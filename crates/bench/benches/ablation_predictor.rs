@@ -1,0 +1,83 @@
+//! Ablation bench: predictor firmware-table resolution vs training time,
+//! with the accuracy-vs-footprint tradeoff printed alongside.
+//!
+//! DESIGN.md calls this design choice out: the PMU stores ETEE grids whose
+//! density trades firmware bytes against prediction accuracy near the
+//! crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexwatts::{FlexWattsPdn, ModePredictor, PdnMode, PredictorInputs};
+use pdn_proc::client_soc;
+use pdn_units::{ApplicationRatio, Watts};
+use pdn_workload::WorkloadType;
+use pdnspot::{ModelParams, Pdn, Scenario};
+use std::hint::black_box;
+
+fn grid(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+}
+
+/// Fraction of off-knot probe points where the predictor agrees with a
+/// brute-force oracle.
+fn oracle_agreement(predictor: &ModePredictor, params: &ModelParams) -> f64 {
+    let ivr = FlexWattsPdn::new(params.clone(), PdnMode::IvrMode);
+    let ldo = FlexWattsPdn::new(params.clone(), PdnMode::LdoMode);
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for tdp in [6.0, 13.0, 21.0, 31.0, 44.0] {
+        let soc = client_soc(Watts::new(tdp));
+        for wl in WorkloadType::ACTIVE_TYPES {
+            for ar_v in [0.47, 0.63, 0.77] {
+                let ar = ApplicationRatio::new(ar_v).unwrap();
+                let s = Scenario::active_fixed_tdp_frequency(&soc, wl, ar).unwrap();
+                let oracle = if ivr.evaluate(&s).unwrap().etee >= ldo.evaluate(&s).unwrap().etee
+                {
+                    PdnMode::IvrMode
+                } else {
+                    PdnMode::LdoMode
+                };
+                let predicted = predictor.predict(PredictorInputs {
+                    tdp: Watts::new(tdp),
+                    ar,
+                    workload_type: wl,
+                    power_state: None,
+                });
+                total += 1;
+                if predicted == oracle {
+                    agree += 1;
+                }
+            }
+        }
+    }
+    agree as f64 / total as f64
+}
+
+fn bench_table_resolution(c: &mut Criterion) {
+    let params = ModelParams::paper_defaults();
+    let mut g = c.benchmark_group("predictor_table_resolution");
+    g.sample_size(10);
+    for (tdp_knots, ar_knots) in [(2usize, 2usize), (3, 3), (5, 4)] {
+        let tdps = grid(tdp_knots, 4.0, 50.0);
+        let ars = grid(ar_knots, 0.4, 0.8);
+        // Report the accuracy/footprint tradeoff once, outside the timer.
+        let trained = ModePredictor::train(&params, &tdps, &ars).unwrap();
+        println!(
+            "ablation: {}x{} grid -> {} table entries, oracle agreement {:.1}%",
+            tdp_knots,
+            ar_knots,
+            trained.table_entries(),
+            oracle_agreement(&trained, &params) * 100.0
+        );
+        g.bench_with_input(
+            BenchmarkId::new("train", format!("{tdp_knots}x{ar_knots}")),
+            &(tdps, ars),
+            |b, (tdps, ars)| {
+                b.iter(|| black_box(ModePredictor::train(&params, tdps, ars).unwrap()))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(ablation, bench_table_resolution);
+criterion_main!(ablation);

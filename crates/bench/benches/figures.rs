@@ -1,0 +1,142 @@
+//! One Criterion group per paper artefact: times the computation that
+//! regenerates each table/figure (the binaries in `src/bin` print them).
+//!
+//! The heavyweight campaigns (Fig. 4's 200-trace validation, Fig. 7's
+//! 29-benchmark sweep, Fig. 8's five panels) are timed on reduced slices
+//! so `cargo bench` stays tractable; the binaries run them in full.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_proc::client_soc;
+use pdn_units::{ApplicationRatio, Watts};
+use pdn_workload::{BatteryLifeWorkload, WorkloadType};
+use pdnspot::perf::{battery_life_average_power, relative_performance};
+use pdnspot::validation::{validate, ReferenceSystem};
+use pdnspot::{IvrPdn, LdoPdn, ModelParams, Scenario};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table1", |b| b.iter(|| black_box(pdn_bench::tables::table1())));
+    g.bench_function("table2", |b| b.iter(|| black_box(pdn_bench::tables::table2())));
+    g.bench_function("table3", |b| b.iter(|| black_box(pdn_bench::tables::table3())));
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("sensitivity_rows", |b| {
+        b.iter(|| black_box(pdn_bench::fig2::frequency_sensitivity_rows().unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.bench_function("vr_efficiency_curves", |b| {
+        b.iter(|| black_box(pdn_bench::fig3::measure_board_vr().unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    // One PDN over one panel's scenarios (the full campaign runs in the
+    // fig4 binary).
+    let params = ModelParams::paper_defaults();
+    let pdn = IvrPdn::new(params);
+    let reference = ReferenceSystem::new(42);
+    let soc = client_soc(Watts::new(18.0));
+    let scenarios: Vec<Scenario> = [0.4, 0.6, 0.8]
+        .iter()
+        .map(|&a| {
+            Scenario::active_fixed_tdp_frequency(
+                &soc,
+                WorkloadType::MultiThread,
+                ApplicationRatio::new(a).unwrap(),
+            )
+            .unwrap()
+        })
+        .collect();
+    g.bench_function("validate_one_panel", |b| {
+        b.iter(|| black_box(validate(&pdn, &reference, &scenarios).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("loss_breakdown_bars", |b| {
+        b.iter(|| black_box(pdn_bench::fig5::bars().unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    let params = ModelParams::paper_defaults();
+    let soc = client_soc(Watts::new(4.0));
+    let baseline = IvrPdn::new(params.clone());
+    let ldo = LdoPdn::new(params);
+    let bench_profile = &pdn_workload::spec::spec_cpu2006()[14];
+    g.bench_function("one_benchmark_perf", |b| {
+        b.iter(|| {
+            black_box(
+                relative_performance(
+                    &soc,
+                    &ldo,
+                    &baseline,
+                    WorkloadType::SingleThread,
+                    bench_profile.ar,
+                    bench_profile.perf_scalability,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    let params = ModelParams::paper_defaults();
+    let soc = client_soc(Watts::new(18.0));
+    let ivr = IvrPdn::new(params);
+    g.bench_function("battery_life_average", |b| {
+        b.iter(|| {
+            black_box(
+                battery_life_average_power(&soc, &ivr, BatteryLifeWorkload::VideoPlayback)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("bom_area_panels", |b| {
+        b.iter(|| black_box(pdn_bench::fig8::bom_area_panels().unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead");
+    g.bench_function("section6_summary", |b| {
+        b.iter(|| black_box(flexwatts::overhead::summary()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_tables,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig7,
+    bench_fig8,
+    bench_overhead
+);
+criterion_main!(figures);

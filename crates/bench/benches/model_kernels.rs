@@ -1,0 +1,107 @@
+//! Micro-benchmarks of the model kernels everything else is built from:
+//! scenario construction, per-topology ETEE evaluation, predictor lookups,
+//! and the runtime simulator's inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexwatts::{
+    FlexWattsPdn, FlexWattsRuntime, ModePredictor, PdnMode, PredictorInputs, RuntimeConfig,
+};
+use pdn_proc::client_soc;
+use pdn_units::{ApplicationRatio, Seconds, Watts};
+use pdn_workload::{Trace, TraceInterval, WorkloadType};
+use pdnspot::{IPlusMbvrPdn, IvrPdn, LdoPdn, MbvrPdn, ModelParams, Pdn, Scenario};
+use std::hint::black_box;
+
+fn bench_scenario_construction(c: &mut Criterion) {
+    let soc = client_soc(Watts::new(18.0));
+    let ar = ApplicationRatio::new(0.6).unwrap();
+    let mut g = c.benchmark_group("scenario");
+    g.bench_function("active_fixed_tdp_frequency", |b| {
+        b.iter(|| {
+            black_box(
+                Scenario::active_fixed_tdp_frequency(&soc, WorkloadType::MultiThread, ar)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("idle", |b| {
+        b.iter(|| black_box(Scenario::idle(&soc, pdn_proc::PackageCState::C8)))
+    });
+    g.finish();
+}
+
+fn bench_etee_evaluation(c: &mut Criterion) {
+    let params = ModelParams::paper_defaults();
+    let soc = client_soc(Watts::new(18.0));
+    let scenario = Scenario::active_fixed_tdp_frequency(
+        &soc,
+        WorkloadType::MultiThread,
+        ApplicationRatio::new(0.6).unwrap(),
+    )
+    .unwrap();
+    let pdns: Vec<(&str, Box<dyn Pdn>)> = vec![
+        ("ivr", Box::new(IvrPdn::new(params.clone()))),
+        ("mbvr", Box::new(MbvrPdn::new(params.clone()))),
+        ("ldo", Box::new(LdoPdn::new(params.clone()))),
+        ("iplusmbvr", Box::new(IPlusMbvrPdn::new(params.clone()))),
+        ("flexwatts_ivr_mode", Box::new(FlexWattsPdn::new(params.clone(), PdnMode::IvrMode))),
+        ("flexwatts_ldo_mode", Box::new(FlexWattsPdn::new(params, PdnMode::LdoMode))),
+    ];
+    let mut g = c.benchmark_group("etee_evaluate");
+    for (name, pdn) in &pdns {
+        g.bench_function(*name, |b| b.iter(|| black_box(pdn.evaluate(&scenario).unwrap())));
+    }
+    g.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let params = ModelParams::paper_defaults();
+    let predictor = ModePredictor::train(&params, &[4.0, 18.0, 50.0], &[0.4, 0.6, 0.8]).unwrap();
+    let inputs = PredictorInputs {
+        tdp: Watts::new(14.0),
+        ar: ApplicationRatio::new(0.57).unwrap(),
+        workload_type: WorkloadType::MultiThread,
+        power_state: None,
+    };
+    let mut g = c.benchmark_group("predictor");
+    g.bench_function("predict", |b| b.iter(|| black_box(predictor.predict(inputs))));
+    g.bench_function("predict_with_hysteresis", |b| {
+        b.iter(|| black_box(predictor.predict_with_hysteresis(inputs, PdnMode::IvrMode)))
+    });
+    g.finish();
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let params = ModelParams::paper_defaults();
+    let predictor = ModePredictor::train(&params, &[4.0, 18.0, 50.0], &[0.4, 0.6, 0.8]).unwrap();
+    let runtime = FlexWattsRuntime::new(
+        client_soc(Watts::new(18.0)),
+        params,
+        predictor,
+        RuntimeConfig::default(),
+    );
+    let trace = Trace::new(
+        "bench",
+        vec![
+            TraceInterval::active(
+                Seconds::from_millis(30.0),
+                WorkloadType::MultiThread,
+                ApplicationRatio::new(0.7).unwrap(),
+            ),
+            TraceInterval::idle(Seconds::from_millis(30.0), pdn_proc::PackageCState::C8),
+        ],
+    );
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(20);
+    g.bench_function("60ms_trace", |b| b.iter(|| black_box(runtime.run(&trace).unwrap())));
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_scenario_construction,
+    bench_etee_evaluation,
+    bench_predictor,
+    bench_runtime
+);
+criterion_main!(kernels);

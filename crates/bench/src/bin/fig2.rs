@@ -1,0 +1,10 @@
+//! Regenerates the paper's fig2 series as text.
+fn main() {
+    match pdn_bench::fig2::render() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("fig2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's fig3 series as text.
+fn main() {
+    match pdn_bench::fig3::render() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("fig3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

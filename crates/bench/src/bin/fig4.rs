@@ -1,0 +1,10 @@
+//! Regenerates the paper's fig4 series as text.
+fn main() {
+    match pdn_bench::fig4::render() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("fig4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

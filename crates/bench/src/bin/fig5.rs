@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig. 5 loss breakdown as text.
+fn main() {
+    match pdn_bench::fig5::render() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("fig5 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

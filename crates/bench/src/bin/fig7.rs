@@ -1,0 +1,10 @@
+//! Regenerates the paper's fig7 series as text.
+fn main() {
+    match pdn_bench::fig7::render() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("fig7 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

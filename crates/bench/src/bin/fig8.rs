@@ -1,0 +1,10 @@
+//! Regenerates the paper's fig8 series as text.
+fn main() {
+    match pdn_bench::fig8::render() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("fig8 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

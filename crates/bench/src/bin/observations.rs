@@ -1,0 +1,13 @@
+//! Regenerates the §5 observations (crossover map) and the load-line
+//! ablation as text.
+fn main() {
+    match pdn_bench::observations::crossover_map()
+        .and_then(|a| pdn_bench::observations::loadline_sensitivity().map(|b| format!("{a}\n{b}")))
+    {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("observations failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §6 overhead report as text.
+fn main() {
+    print!("{}", pdn_bench::overheads::render());
+}

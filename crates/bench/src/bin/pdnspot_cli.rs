@@ -1,0 +1,151 @@
+//! `pdnspot_cli` — the command-line face of the PDNspot framework.
+//!
+//! Evaluates any PDN on any operating point from the shell, the way the
+//! paper's open-source release is meant to be driven:
+//!
+//! ```console
+//! $ pdnspot_cli --tdp 4 --workload mt --ar 0.6
+//! $ pdnspot_cli --tdp 18 --pdn mbvr --workload gfx --ar 0.7
+//! $ pdnspot_cli --tdp 25 --state c8
+//! $ pdnspot_cli --tdp 50 --pdn flexwatts --workload st --ar 0.56 --bom
+//! ```
+//!
+//! With no `--pdn`, all five architectures are compared.
+
+use flexwatts::FlexWattsAuto;
+use pdn_proc::{client_soc, PackageCState};
+use pdn_units::{ApplicationRatio, Watts};
+use pdn_workload::WorkloadType;
+use pdnspot::areabom::{pdn_footprint, VrCatalog};
+use pdnspot::{IPlusMbvrPdn, IvrPdn, LdoPdn, MbvrPdn, ModelParams, Pdn, Scenario};
+
+struct Args {
+    tdp: f64,
+    pdn: Option<String>,
+    workload: WorkloadType,
+    ar: f64,
+    state: Option<PackageCState>,
+    bom: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pdnspot_cli [--tdp W] [--pdn ivr|mbvr|ldo|i+mbvr|flexwatts] \
+         [--workload st|mt|gfx] [--ar FRACTION] [--state c0min|c2|c3|c6|c7|c8] [--bom]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        tdp: 4.0,
+        pdn: None,
+        workload: WorkloadType::MultiThread,
+        ar: 0.6,
+        state: None,
+        bom: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--tdp" => args.tdp = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--ar" => args.ar = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--pdn" => args.pdn = Some(it.next().unwrap_or_else(|| usage()).to_lowercase()),
+            "--workload" => {
+                args.workload = match it.next().as_deref() {
+                    Some("st") => WorkloadType::SingleThread,
+                    Some("mt") => WorkloadType::MultiThread,
+                    Some("gfx") => WorkloadType::Graphics,
+                    _ => usage(),
+                }
+            }
+            "--state" => {
+                args.state = Some(match it.next().as_deref() {
+                    Some("c0min") => PackageCState::C0Min,
+                    Some("c2") => PackageCState::C2,
+                    Some("c3") => PackageCState::C3,
+                    Some("c6") => PackageCState::C6,
+                    Some("c7") => PackageCState::C7,
+                    Some("c8") => PackageCState::C8,
+                    _ => usage(),
+                })
+            }
+            "--bom" => args.bom = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    let params = ModelParams::paper_defaults();
+    let soc = client_soc(Watts::new(args.tdp));
+
+    let all: Vec<(&str, Box<dyn Pdn>)> = vec![
+        ("ivr", Box::new(IvrPdn::new(params.clone()))),
+        ("mbvr", Box::new(MbvrPdn::new(params.clone()))),
+        ("ldo", Box::new(LdoPdn::new(params.clone()))),
+        ("i+mbvr", Box::new(IPlusMbvrPdn::new(params.clone()))),
+        ("flexwatts", Box::new(FlexWattsAuto::new(params))),
+    ];
+    let selected: Vec<&(&str, Box<dyn Pdn>)> = match &args.pdn {
+        Some(name) => {
+            let found: Vec<_> = all.iter().filter(|(n, _)| n == name).collect();
+            if found.is_empty() {
+                usage();
+            }
+            found
+        }
+        None => all.iter().collect(),
+    };
+
+    let scenario = match args.state {
+        Some(state) => Scenario::idle(&soc, state),
+        None => Scenario::active_fixed_tdp_frequency(
+            &soc,
+            args.workload,
+            ApplicationRatio::new(args.ar)?,
+        )?,
+    };
+    println!(
+        "scenario: {} | nominal load {:.3}",
+        scenario.name,
+        scenario.total_nominal_power()
+    );
+    println!(
+        "{:<10} {:>7} {:>9} {:>9} {:>12} {:>10} {:>8}",
+        "PDN", "ETEE", "input", "VR loss", "I2R compute", "I2R SA/IO", "other"
+    );
+    for (name, pdn) in &selected {
+        let e = pdn.evaluate(&scenario)?;
+        println!(
+            "{:<10} {:>7} {:>8.3}W {:>8.3}W {:>11.3}W {:>9.3}W {:>7.3}W",
+            name,
+            format!("{:.1}%", e.etee.percent()),
+            e.input_power.get(),
+            e.breakdown.vr_loss.get(),
+            e.breakdown.conduction_compute.get(),
+            e.breakdown.conduction_sa_io.get(),
+            e.breakdown.other.get(),
+        );
+    }
+
+    if args.bom {
+        let catalog = VrCatalog::paper_calibrated();
+        println!("\n{:<10} {:>10} {:>10} {:>6} {:>6}", "PDN", "area", "cost", "PMIC", "rails");
+        for (name, pdn) in &selected {
+            let f = pdn_footprint(pdn.as_ref(), &soc, &catalog)?;
+            println!(
+                "{:<10} {:>7.1}mm2 {:>9.2}$ {:>6} {:>6}",
+                name,
+                f.area.get(),
+                f.cost.get(),
+                if f.pmic { "yes" } else { "no" },
+                f.rails.len(),
+            );
+        }
+    }
+    Ok(())
+}

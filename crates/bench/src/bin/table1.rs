@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 as text.
+fn main() {
+    print!("{}", pdn_bench::tables::table1());
+}

@@ -1,0 +1,133 @@
+//! Fig. 4: PDNspot validation — measured vs predicted ETEE for the three
+//! baseline PDNs across TDPs, workload types, ARs (panels a–i), and
+//! package power states (panel j).
+
+use crate::render::TextTable;
+use crate::suite::{three_baselines, ARS};
+use pdn_proc::{client_soc, PackageCState};
+use pdn_units::{ApplicationRatio, Watts};
+use pdn_workload::WorkloadType;
+use pdnspot::validation::{validate, ReferenceSystem, ValidationReport};
+use pdnspot::{ModelParams, PdnError, Scenario};
+
+/// The TDP panels of Fig. 4 (a–i use 4, 18, 50 W).
+pub const PANEL_TDPS: [f64; 3] = [4.0, 18.0, 50.0];
+
+/// One validation point: predicted and measured ETEE.
+#[derive(Debug, Clone)]
+pub struct ValidationPoint {
+    /// PDN name.
+    pub pdn: String,
+    /// Scenario label (e.g. `"multi-thread-18W-ar60"`).
+    pub scenario: String,
+    /// Model-predicted ETEE.
+    pub predicted: f64,
+    /// Reference-system ("measured") ETEE.
+    pub measured: f64,
+}
+
+/// Runs the full Fig. 4 campaign: panels a–i plus the C-state panel j.
+///
+/// Returns per-PDN validation reports and the flattened points.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn campaign(seed: u64) -> Result<(Vec<(String, ValidationReport)>, Vec<ValidationPoint>), PdnError> {
+    let params = ModelParams::paper_defaults();
+    let reference = ReferenceSystem::new(seed);
+    let mut scenarios = Vec::new();
+    for tdp in PANEL_TDPS {
+        let soc = client_soc(Watts::new(tdp));
+        for wl in WorkloadType::ACTIVE_TYPES {
+            for ar in ARS {
+                let ar = ApplicationRatio::new(ar).expect("static AR");
+                scenarios.push(Scenario::active_fixed_tdp_frequency(&soc, wl, ar)?);
+            }
+        }
+    }
+    // Panel j: power states (TDP-insensitive; evaluated at 18 W).
+    let soc = client_soc(Watts::new(18.0));
+    for state in PackageCState::ALL {
+        scenarios.push(Scenario::idle(&soc, state));
+    }
+
+    let mut reports = Vec::new();
+    let mut points = Vec::new();
+    for pdn in three_baselines(&params) {
+        let report = validate(pdn.as_ref(), &reference, &scenarios)?;
+        for (scenario, sample) in scenarios.iter().zip(&report.samples) {
+            points.push(ValidationPoint {
+                pdn: pdn.kind().to_string(),
+                scenario: scenario.name.clone(),
+                predicted: sample.predicted.get(),
+                measured: sample.measured.get(),
+            });
+        }
+        reports.push((pdn.kind().to_string(), report));
+    }
+    Ok((reports, points))
+}
+
+/// Renders the campaign: accuracy summary plus the panel-j rows.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn render() -> Result<String, PdnError> {
+    let (reports, points) = campaign(42)?;
+    let mut summary = TextTable::new(
+        "Fig. 4 — PDNspot validation accuracy (paper: 99.1/99.4/99.2 % avg)",
+        &["PDN", "mean", "min", "max", "samples"],
+    );
+    for (name, report) in &reports {
+        summary.row(vec![
+            name.clone(),
+            format!("{:.2}%", report.mean_accuracy() * 100.0),
+            format!("{:.2}%", report.min_accuracy() * 100.0),
+            format!("{:.2}%", report.max_accuracy() * 100.0),
+            report.samples.len().to_string(),
+        ]);
+    }
+    let mut panel_j = TextTable::new(
+        "Fig. 4j — ETEE in battery-life power states (measured vs predicted)",
+        &["PDN", "scenario", "predicted", "measured"],
+    );
+    for p in points.iter().filter(|p| p.scenario.starts_with('C')) {
+        panel_j.row(vec![
+            p.pdn.clone(),
+            p.scenario.clone(),
+            format!("{:.1}%", p.predicted * 100.0),
+            format!("{:.1}%", p.measured * 100.0),
+        ]);
+    }
+    Ok(format!("{}\n{}", summary.render(), panel_j.render()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_covers_all_panels() {
+        let (reports, points) = campaign(7).unwrap();
+        assert_eq!(reports.len(), 3);
+        // 3 TDPs × 3 types × 5 ARs + 6 C-states = 51 scenarios per PDN.
+        assert_eq!(points.len(), 3 * 51);
+        for (name, report) in &reports {
+            assert!(
+                report.mean_accuracy() > 0.98,
+                "{name} accuracy {:.4}",
+                report.mean_accuracy()
+            );
+        }
+    }
+
+    #[test]
+    fn renders_summary_and_panel_j() {
+        let s = render().unwrap();
+        assert!(s.contains("validation accuracy"));
+        assert!(s.contains("C0MIN"));
+        assert!(s.contains("MBVR"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Fig. 8: the headline comparison of the five PDNs — SPEC average
+//! performance (a), 3DMark06 performance (b), battery-life average power
+//! (c), BOM (d), and board area (e), across 4–50 W TDPs, all normalised
+//! to the IVR PDN.
+
+use crate::render::{times, TextTable};
+use crate::suite::{five_pdns, TDPS};
+use pdn_proc::client_soc;
+use pdn_units::Watts;
+use pdn_workload::graphics::threedmark06;
+use pdn_workload::spec::spec_cpu2006;
+use pdn_workload::{BatteryLifeWorkload, WorkloadType};
+use pdnspot::areabom::{pdn_footprint, VrCatalog};
+use pdnspot::perf::{battery_life_average_power, relative_performance};
+use pdnspot::{IvrPdn, ModelParams, PdnError};
+
+/// The five-PDN series of one panel: one value per (TDP, PDN).
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Panel title.
+    pub title: String,
+    /// Row labels (TDPs or workload names).
+    pub labels: Vec<String>,
+    /// Values per row, ordered [IVR, MBVR, LDO, I+MBVR, FlexWatts].
+    pub values: Vec<[f64; 5]>,
+}
+
+impl Panel {
+    /// Renders the panel as a table (values already normalised).
+    pub fn render(&self, unit: &str) -> String {
+        let mut t = TextTable::new(
+            self.title.clone(),
+            &["point", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts"],
+        );
+        for (label, vals) in self.labels.iter().zip(&self.values) {
+            let mut cells = vec![label.clone()];
+            cells.extend(vals.iter().map(|v| match unit {
+                "%" => format!("{:.1}%", v * 100.0),
+                _ => times(*v),
+            }));
+            t.row(cells);
+        }
+        t.render()
+    }
+}
+
+/// Panel (a): SPEC CPU2006 average performance vs TDP.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn spec_average_panel() -> Result<Panel, PdnError> {
+    performance_panel(
+        "Fig. 8a — SPEC CPU2006 average performance (normalised to IVR)",
+        WorkloadType::MultiThread,
+    )
+}
+
+/// Panel (b): 3DMark06 performance vs TDP.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn graphics_panel() -> Result<Panel, PdnError> {
+    performance_panel(
+        "Fig. 8b — 3DMark06 performance (normalised to IVR)",
+        WorkloadType::Graphics,
+    )
+}
+
+/// SPEC's Fig. 8a panel runs the suite as multi-programmed pairs (both
+/// cores busy), which is what makes the high-TDP rows power-limited.
+fn performance_panel(title: &str, wl: WorkloadType) -> Result<Panel, PdnError> {
+    let params = ModelParams::paper_defaults();
+    let baseline = IvrPdn::new(params.clone());
+    let pdns = five_pdns(&params);
+    let workloads: Vec<(pdn_units::ApplicationRatio, pdn_units::Ratio)> = match wl {
+        WorkloadType::Graphics => {
+            threedmark06().iter().map(|b| (b.ar, b.perf_scalability)).collect()
+        }
+        _ => spec_cpu2006().iter().map(|b| (b.ar, b.perf_scalability)).collect(),
+    };
+    let mut labels = Vec::new();
+    let mut values = Vec::new();
+    for &tdp in &TDPS {
+        let soc = client_soc(Watts::new(tdp));
+        let mut row = [0.0f64; 5];
+        for (i, pdn) in pdns.iter().enumerate() {
+            let mut sum = 0.0;
+            for &(ar, scal) in &workloads {
+                sum += relative_performance(&soc, pdn.as_ref(), &baseline, wl, ar, scal)?;
+            }
+            row[i] = sum / workloads.len() as f64;
+        }
+        labels.push(format!("{tdp}W"));
+        values.push(row);
+    }
+    Ok(Panel { title: title.to_string(), labels, values })
+}
+
+/// Panel (c): battery-life average power, normalised to IVR (lower is
+/// better).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn battery_panel() -> Result<Panel, PdnError> {
+    let params = ModelParams::paper_defaults();
+    let pdns = five_pdns(&params);
+    // §7.1: battery-life power is TDP-insensitive; evaluated at 18 W.
+    let soc = client_soc(Watts::new(18.0));
+    let mut labels = Vec::new();
+    let mut values = Vec::new();
+    for wl in BatteryLifeWorkload::ALL {
+        let mut row = [0.0f64; 5];
+        let ivr_power = battery_life_average_power(&soc, pdns[0].as_ref(), wl)?;
+        for (i, pdn) in pdns.iter().enumerate() {
+            let p = battery_life_average_power(&soc, pdn.as_ref(), wl)?;
+            row[i] = p.get() / ivr_power.get();
+        }
+        labels.push(wl.to_string());
+        values.push(row);
+    }
+    Ok(Panel {
+        title: "Fig. 8c — battery-life average power (normalised to IVR; lower is better)"
+            .to_string(),
+        labels,
+        values,
+    })
+}
+
+/// Panels (d) and (e): BOM cost and board area vs TDP, normalised to IVR.
+///
+/// # Errors
+///
+/// Propagates rail-sizing errors.
+pub fn bom_area_panels() -> Result<(Panel, Panel), PdnError> {
+    let params = ModelParams::paper_defaults();
+    let catalog = VrCatalog::paper_calibrated();
+    let pdns = five_pdns(&params);
+    let mut bom = Panel {
+        title: "Fig. 8d — BOM cost (normalised to IVR)".to_string(),
+        labels: Vec::new(),
+        values: Vec::new(),
+    };
+    let mut area = Panel {
+        title: "Fig. 8e — board area (normalised to IVR)".to_string(),
+        labels: Vec::new(),
+        values: Vec::new(),
+    };
+    for &tdp in &TDPS {
+        let soc = client_soc(Watts::new(tdp));
+        let footprints: Vec<_> = pdns
+            .iter()
+            .map(|p| pdn_footprint(p.as_ref(), &soc, &catalog))
+            .collect::<Result<_, _>>()?;
+        let ivr = &footprints[0];
+        let mut bom_row = [0.0f64; 5];
+        let mut area_row = [0.0f64; 5];
+        for (i, f) in footprints.iter().enumerate() {
+            bom_row[i] = f.cost.get() / ivr.cost.get();
+            area_row[i] = f.area.get() / ivr.area.get();
+        }
+        bom.labels.push(format!("{tdp}W"));
+        bom.values.push(bom_row);
+        area.labels.push(format!("{tdp}W"));
+        area.values.push(area_row);
+    }
+    Ok((bom, area))
+}
+
+/// Renders all five panels.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn render() -> Result<String, PdnError> {
+    let a = spec_average_panel()?;
+    let b = graphics_panel()?;
+    let c = battery_panel()?;
+    let (d, e) = bom_area_panels()?;
+    Ok(format!(
+        "{}\n{}\n{}\n{}\n{}",
+        a.render("%"),
+        b.render("%"),
+        c.render("%"),
+        d.render("x"),
+        e.render("x")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(panel: &Panel, label_prefix: &str, col: usize) -> f64 {
+        panel
+            .values
+            .iter()
+            .zip(&panel.labels)
+            .find(|(_, l)| l.starts_with(label_prefix))
+            .map(|(v, _)| v[col])
+            .unwrap()
+    }
+
+    #[test]
+    fn fig8a_flexwatts_wins_low_tdp_and_holds_high_tdp() {
+        let a = spec_average_panel().unwrap();
+        let fw_4w = col(&a, "4W", 4);
+        assert!(
+            fw_4w > 1.07 && fw_4w < 1.40,
+            "SPEC average FlexWatts gain at 4 W: {fw_4w:.3}"
+        );
+        // At 50 W FlexWatts stays within ~1 % of IVR (its IVR-Mode).
+        let fw_50w = col(&a, "50W", 4);
+        assert!(fw_50w > 0.985, "FlexWatts at 50 W: {fw_50w:.3}");
+        // ...and does not lose to MBVR there (§7.1: up to 7 % better; our
+        // 36-50 W rows are frequency-limited, so the gap closes to ~0 —
+        // see EXPERIMENTS.md — but it shows at 18-25 W).
+        let mbvr_50w = col(&a, "50W", 1);
+        assert!(
+            fw_50w >= mbvr_50w - 1e-9,
+            "FlexWatts {fw_50w:.3} vs MBVR {mbvr_50w:.3} at 50 W"
+        );
+        let fw_25w = col(&a, "25W", 4);
+        let mbvr_25w = col(&a, "25W", 1);
+        assert!(
+            fw_25w >= mbvr_25w,
+            "FlexWatts {fw_25w:.3} must match/beat MBVR {mbvr_25w:.3} at 25 W"
+        );
+    }
+
+    #[test]
+    fn fig8b_graphics_gains_at_low_tdp() {
+        let b = graphics_panel().unwrap();
+        let fw_4w = col(&b, "4W", 4);
+        assert!(
+            fw_4w > 1.10 && fw_4w < 1.45,
+            "3DMark06 FlexWatts gain at 4 W: {fw_4w:.3}"
+        );
+        let fw_50w = col(&b, "50W", 4);
+        assert!(fw_50w > 0.98, "FlexWatts graphics at 50 W: {fw_50w:.3}");
+    }
+
+    #[test]
+    fn fig8c_video_playback_power_drop_matches_headline() {
+        // Headline: FlexWatts reduces video-playback average power by
+        // ≈ 11 % vs IVR (8–17 % band accepted for the reproduction).
+        let c = battery_panel().unwrap();
+        let fw = col(&c, "video-playback", 4);
+        assert!(
+            (0.83..=0.92).contains(&fw),
+            "FlexWatts video playback vs IVR: {fw:.3}"
+        );
+        // FlexWatts within ~1 % of MBVR on battery life.
+        let mbvr = col(&c, "video-playback", 1);
+        assert!(fw < mbvr + 0.015, "FlexWatts {fw:.3} vs MBVR {mbvr:.3}");
+    }
+
+    #[test]
+    fn fig8d_e_flexwatts_comparable_to_ivr() {
+        let (d, e) = bom_area_panels().unwrap();
+        for tdp in ["4W", "18W", "50W"] {
+            let fw_bom = col(&d, tdp, 4);
+            let fw_area = col(&e, tdp, 4);
+            assert!(fw_bom < 1.5, "FlexWatts BOM at {tdp}: {fw_bom:.2}");
+            assert!(fw_area < 1.55, "FlexWatts area at {tdp}: {fw_area:.2}");
+            let mbvr_bom = col(&d, tdp, 1);
+            assert!(mbvr_bom > 1.5, "MBVR BOM at {tdp}: {mbvr_bom:.2}");
+            assert!(mbvr_bom > fw_bom, "FlexWatts must undercut MBVR at {tdp}");
+        }
+    }
+
+    #[test]
+    fn renders_all_panels() {
+        let s = render().unwrap();
+        for marker in ["Fig. 8a", "Fig. 8b", "Fig. 8c", "Fig. 8d", "Fig. 8e"] {
+            assert!(s.contains(marker), "missing {marker}");
+        }
+    }
+}

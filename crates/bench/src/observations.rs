@@ -1,0 +1,105 @@
+//! §5's three observations, regenerated: the ETEE crossover map across
+//! TDPs and workload types, plus the FlexWatts load-line sensitivity
+//! ablation called out in DESIGN.md.
+
+use crate::render::TextTable;
+use crate::suite::{five_pdns, TDPS};
+use flexwatts::{FlexWattsAuto, FlexWattsPdn, PdnMode};
+use pdn_proc::client_soc;
+use pdn_units::{ApplicationRatio, Ohms, Watts};
+use pdn_workload::WorkloadType;
+use pdnspot::{ModelParams, Pdn, PdnError, Scenario};
+
+/// The ETEE of every PDN at every (TDP, workload type) point, AR = 56 %.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn crossover_map() -> Result<String, PdnError> {
+    let params = ModelParams::paper_defaults();
+    let pdns = five_pdns(&params);
+    let ar = ApplicationRatio::new(0.56).expect("static AR");
+    let mut out = String::new();
+    for wl in WorkloadType::ACTIVE_TYPES {
+        let mut t = TextTable::new(
+            format!("Observation 1/2 — ETEE vs TDP ({wl}, AR = 56%)"),
+            &["TDP", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts", "FlexWatts mode"],
+        );
+        let auto = FlexWattsAuto::new(params.clone());
+        for &tdp in &TDPS {
+            let soc = client_soc(Watts::new(tdp));
+            let s = Scenario::active_fixed_tdp_frequency(&soc, wl, ar)?;
+            let mut cells = vec![format!("{tdp}W")];
+            for pdn in &pdns {
+                cells.push(format!("{:.1}%", pdn.evaluate(&s)?.etee.percent()));
+            }
+            cells.push(auto.best_mode(&s)?.to_string());
+            t.row(cells);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// The DESIGN.md ablation: how the FlexWatts shared-rail load-line penalty
+/// affects its 4 W/50 W ETEE (the "<1 % worse than the best static PDN"
+/// tradeoff).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn loadline_sensitivity() -> Result<String, PdnError> {
+    let ar = ApplicationRatio::new(0.6).expect("static AR");
+    let mut t = TextTable::new(
+        "Ablation — FlexWatts shared-rail load line vs ETEE",
+        &["RLL (mOhm)", "4W LDO-Mode ETEE", "50W IVR-Mode ETEE"],
+    );
+    for r_mohm in [1.0, 1.2, 1.4, 1.8, 2.5] {
+        let mut params = ModelParams::paper_defaults();
+        params.flexwatts_loadlines.vin = Ohms::from_milliohms(r_mohm);
+        params.flexwatts_loadlines.compute = Ohms::from_milliohms(r_mohm);
+        let low_soc = client_soc(Watts::new(4.0));
+        let high_soc = client_soc(Watts::new(50.0));
+        let low = Scenario::active_fixed_tdp_frequency(&low_soc, WorkloadType::SingleThread, ar)?;
+        let high = Scenario::active_fixed_tdp_frequency(&high_soc, WorkloadType::MultiThread, ar)?;
+        let ldo = FlexWattsPdn::new(params.clone(), PdnMode::LdoMode).evaluate(&low)?;
+        let ivr = FlexWattsPdn::new(params, PdnMode::IvrMode).evaluate(&high)?;
+        t.row(vec![
+            format!("{r_mohm:.1}"),
+            format!("{:.2}%", ldo.etee.percent()),
+            format!("{:.2}%", ivr.etee.percent()),
+        ]);
+    }
+    Ok(t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_map_reports_mode_flip() {
+        let s = crossover_map().unwrap();
+        assert!(s.contains("LDO-Mode"), "low TDPs must run LDO-Mode");
+        assert!(s.contains("IVR-Mode"), "high TDPs must run IVR-Mode");
+    }
+
+    #[test]
+    fn higher_loadline_costs_etee_monotonically() {
+        let s = loadline_sensitivity().unwrap();
+        assert!(s.contains("1.4"));
+        // Parse the 50 W column and check monotone decrease.
+        let values: Vec<f64> = s
+            .lines()
+            .filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .filter_map(|l| {
+                l.split_whitespace().last().and_then(|v| v.trim_end_matches('%').parse().ok())
+            })
+            .collect();
+        assert!(values.len() >= 4);
+        for w in values.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "ETEE must fall as RLL grows: {values:?}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! §6 overhead accounting: mode-switch latency breakdown and die-area
+//! overhead.
+
+use crate::render::TextTable;
+use flexwatts::overhead::summary;
+use flexwatts::ModeSwitchFlow;
+
+/// Renders the §6 overhead report.
+pub fn render() -> String {
+    let s = summary();
+    let t = ModeSwitchFlow::new().reference_transition();
+    let mut latency = TextTable::new(
+        "FlexWatts mode-switch latency (paper: ~94 us total)",
+        &["step", "latency"],
+    );
+    latency.row(vec!["package C6 entry".into(), format!("{:.0} us", t.c6_entry.micros())]);
+    latency.row(vec!["VR reconfiguration".into(), format!("{:.0} us", t.vr_adjust.micros())]);
+    latency.row(vec!["package C6 exit".into(), format!("{:.0} us", t.c6_exit.micros())]);
+    latency.row(vec!["total".into(), format!("{:.0} us", t.total().micros())]);
+
+    let mut area = TextTable::new(
+        "FlexWatts die-area overhead (paper: 0.041 mm^2; 0.04%/0.03%)",
+        &["metric", "value"],
+    );
+    area.row(vec!["LDO-mode circuitry".into(), format!("{:.3} mm^2", s.die_area.get())]);
+    area.row(vec![
+        "fraction of dual-core die".into(),
+        format!("{:.3}%", s.dual_core_fraction * 100.0),
+    ]);
+    area.row(vec![
+        "fraction of quad-core die".into(),
+        format!("{:.3}%", s.quad_core_fraction * 100.0),
+    ]);
+    format!("{}\n{}", latency.render(), area.render())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_both_overhead_tables() {
+        let s = super::render();
+        assert!(s.contains("94 us"));
+        assert!(s.contains("0.041 mm^2"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Tables 1–3 of the paper: the architecture summary, the PDNspot model
+//! parameters, and the validation-system configurations.
+
+use crate::render::TextTable;
+use pdn_proc::{broadwell_ult, client_soc, skylake_ult, DomainKind};
+use pdn_units::Watts;
+use pdnspot::ModelParams;
+
+/// Renders Table 1: the modelled processor architecture.
+pub fn table1() -> String {
+    let soc = client_soc(Watts::new(18.0));
+    let mut t = TextTable::new(
+        "Table 1 — processor architecture summary",
+        &["domain", "freq range", "voltage range", "notes"],
+    );
+    for (kind, cfg) in soc.domains() {
+        let (vlo, vhi) = cfg.vf.voltage_range();
+        let notes = match kind {
+            DomainKind::Core0 | DomainKind::Core1 => "single clock domain across cores",
+            DomainKind::Llc => "voltage design point matches the cores",
+            DomainKind::Gfx => "graphics engines",
+            DomainKind::Sa => "memory/display controllers, IO fabric (fixed freq)",
+            DomainKind::Io => "DDR/display IO (fixed freq)",
+        };
+        t.row(vec![
+            kind.to_string(),
+            format!("{:.1}-{:.1} GHz", cfg.fmin.gigahertz(), cfg.fmax.gigahertz()),
+            format!("{:.2}-{:.2} V", vlo.get(), vhi.get()),
+            notes.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders Table 2: the PDNspot model parameters.
+pub fn table2() -> String {
+    let p = ModelParams::paper_defaults();
+    let mut t = TextTable::new("Table 2 — PDNspot model parameters", &["parameter", "IVR", "MBVR", "LDO"]);
+    t.row(vec![
+        "load-line RLL (mOhm)".into(),
+        format!("IN={}", p.ivr_loadlines.vin.milliohms()),
+        format!(
+            "cores/GFX={}, SA={}, IO={}",
+            p.mbvr_loadlines.compute.milliohms(),
+            p.mbvr_loadlines.sa.milliohms(),
+            p.mbvr_loadlines.io.milliohms()
+        ),
+        format!(
+            "IN={}, SA={}, IO={}",
+            p.ldo_loadlines.vin.milliohms(),
+            p.ldo_loadlines.sa.milliohms(),
+            p.ldo_loadlines.io.milliohms()
+        ),
+    ]);
+    t.row(vec![
+        "tolerance band (mV)".into(),
+        format!("{:.0}", p.ivr_tob.total().millivolts()),
+        format!("{:.0}", p.mbvr_tob.total().millivolts()),
+        format!("{:.0}", p.ldo_tob.total().millivolts()),
+    ]);
+    t.row(vec![
+        "on-chip VR eff.".into(),
+        "81-88% (buck)".into(),
+        "-".into(),
+        "(Vout/Vin)*99.1%".into(),
+    ]);
+    t.row(vec![
+        "off-chip VR eff.".into(),
+        "72-93% (Vin,Vout,Iout,PS)".into(),
+        "72-93%".into(),
+        "72-93%".into(),
+    ]);
+    t.row(vec![
+        "leakage exponent".into(),
+        format!("{}", p.leakage_exponent),
+        String::new(),
+        String::new(),
+    ]);
+    t.row(vec![
+        "V_IN level".into(),
+        format!("{}", p.vin_level),
+        "-".into(),
+        "max compute voltage".into(),
+    ]);
+    t.render()
+}
+
+/// Renders Table 3: the validation-system configurations.
+pub fn table3() -> String {
+    let mut t = TextTable::new(
+        "Table 3 — validation systems",
+        &["system", "TDP", "node", "PDN"],
+    );
+    for (soc, pdn) in [(broadwell_ult(), "IVR"), (skylake_ult(), "MBVR")] {
+        t.row(vec![
+            soc.name.clone(),
+            format!("{}", soc.tdp),
+            format!("{} nm", soc.process_node_nm),
+            pdn.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "i7-6600U + emulated LDO".into(),
+        "15 W".into(),
+        "14 nm".into(),
+        "LDO".into(),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_six_domains() {
+        let s = table1();
+        for d in ["Core0", "Core1", "LLC", "GFX", "SA", "IO"] {
+            assert!(s.contains(d), "missing {d}");
+        }
+    }
+
+    #[test]
+    fn table2_carries_the_key_constants() {
+        let s = table2();
+        assert!(s.contains("2.8"));
+        assert!(s.contains("99.1%"));
+        assert!(s.contains("1.8 V"));
+    }
+
+    #[test]
+    fn table3_lists_three_validation_systems() {
+        let s = table3();
+        assert!(s.contains("Broadwell"));
+        assert!(s.contains("Skylake"));
+        assert!(s.contains("emulated LDO"));
+    }
+}

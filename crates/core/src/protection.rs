@@ -1,0 +1,172 @@
+//! System maximum-current protection for the hybrid PDN.
+//!
+//! FlexWatts's shared `V_IN` VR is electrically sized for IVR-Mode
+//! currents (§7: IVR-Mode carries roughly half the current of LDO-Mode at
+//! the same power, so the shared VR is designed "with a maximum-current
+//! level similar to that of IVR"). That sizing is only safe because the
+//! PMU's maximum-current protection (§6 cites the Skylake mechanism)
+//! *forces* IVR-Mode whenever running in LDO-Mode would push the `V_IN`
+//! current past its design limit — efficiency preferences never override
+//! electrical safety.
+//!
+//! [`MaxCurrentProtection`] implements that override. The runtime consults
+//! it after every predictor decision.
+
+use crate::topology::{FlexWattsPdn, PdnMode};
+use pdn_units::Amps;
+use pdnspot::{Pdn, PdnError, Scenario};
+use serde::{Deserialize, Serialize};
+
+/// The PMU's maximum-current protection for the shared `V_IN` rail.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaxCurrentProtection {
+    /// The `V_IN` rail's electrical design current.
+    pub vin_iccmax: Amps,
+    /// Protection threshold as a fraction of Iccmax: the PMU acts before
+    /// the limit is reached (sensing latency, load transients).
+    pub threshold: f64,
+}
+
+impl MaxCurrentProtection {
+    /// Builds the protection from the FlexWatts rail sizing of a SoC: the
+    /// `V_IN` rail's LDO-Mode output-current capability (the IVR-Mode
+    /// rating times the duty-cycle headroom at the low output voltage,
+    /// capped at the mode-crossover power — see
+    /// [`FlexWattsPdn::vin_protection_limit`]), with a 5 % electrical
+    /// margin on top so steady crossover-level operation does not trip it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rail-sizing errors.
+    pub fn from_rail_sizing(
+        pdn: &FlexWattsPdn,
+        soc: &pdn_proc::SocSpec,
+    ) -> Result<Self, PdnError> {
+        let vin = pdn.vin_protection_limit(soc)? * 1.05;
+        Ok(Self { vin_iccmax: vin, threshold: 0.95 })
+    }
+
+    /// The current the protection allows before intervening.
+    pub fn trip_current(&self) -> Amps {
+        self.vin_iccmax * self.threshold
+    }
+
+    /// Applies the protection to a mode decision: if running `scenario` in
+    /// the decided mode would exceed the trip current on `V_IN`, the
+    /// decision is overridden to IVR-Mode (whose higher rail voltage
+    /// halves the current).
+    ///
+    /// Returns the (possibly overridden) mode and whether an override
+    /// fired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn enforce(
+        &self,
+        decided: PdnMode,
+        ldo_mode: &FlexWattsPdn,
+        scenario: &Scenario,
+    ) -> Result<(PdnMode, bool), PdnError> {
+        if decided == PdnMode::IvrMode {
+            return Ok((decided, false));
+        }
+        let eval = ldo_mode.evaluate(scenario)?;
+        let vin_current = eval
+            .rails
+            .iter()
+            .find(|r| r.name == "V_IN")
+            .map(|r| r.current)
+            .unwrap_or(Amps::ZERO);
+        if vin_current > self.trip_current() {
+            Ok((PdnMode::IvrMode, true))
+        } else {
+            Ok((decided, false))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_proc::client_soc;
+    use pdn_units::{ApplicationRatio, Watts};
+    use pdn_workload::WorkloadType;
+    use pdnspot::ModelParams;
+
+    fn protection(tdp: f64) -> (MaxCurrentProtection, FlexWattsPdn, pdn_proc::SocSpec) {
+        let params = ModelParams::paper_defaults();
+        let soc = client_soc(Watts::new(tdp));
+        let ldo = FlexWattsPdn::new(params.clone(), PdnMode::LdoMode);
+        let ivr = FlexWattsPdn::new(params, PdnMode::IvrMode);
+        let prot = MaxCurrentProtection::from_rail_sizing(&ivr, &soc).unwrap();
+        (prot, ldo, soc)
+    }
+
+    #[test]
+    fn ivr_mode_decisions_pass_through() {
+        let (prot, ldo, soc) = protection(18.0);
+        let s = Scenario::active_fixed_tdp_frequency(
+            &soc,
+            WorkloadType::MultiThread,
+            ApplicationRatio::new(0.6).unwrap(),
+        )
+        .unwrap();
+        let (mode, fired) = prot.enforce(PdnMode::IvrMode, &ldo, &s).unwrap();
+        assert_eq!(mode, PdnMode::IvrMode);
+        assert!(!fired);
+    }
+
+    #[test]
+    fn light_ldo_mode_loads_are_allowed() {
+        let (prot, ldo, soc) = protection(18.0);
+        let s = Scenario::idle(&soc, pdn_proc::PackageCState::C0Min);
+        let (mode, fired) = prot.enforce(PdnMode::LdoMode, &ldo, &s).unwrap();
+        assert_eq!(mode, PdnMode::LdoMode);
+        assert!(!fired, "C0MIN currents are far below the trip point");
+    }
+
+    #[test]
+    fn heavy_ldo_mode_loads_force_ivr_mode() {
+        // The rail is sized at the IVR-Mode virus current; the LDO-Mode
+        // virus at low rail voltage roughly doubles the current, so the
+        // protection must fire.
+        let (prot, ldo, soc) = protection(50.0);
+        let virus = Scenario::power_virus_at_tdp(&soc, WorkloadType::MultiThread).unwrap();
+        let (mode, fired) = prot.enforce(PdnMode::LdoMode, &ldo, &virus).unwrap();
+        assert_eq!(mode, PdnMode::IvrMode);
+        assert!(fired, "the power virus in LDO-Mode must trip the protection");
+    }
+
+    #[test]
+    fn trip_current_sits_below_iccmax() {
+        let (prot, _, _) = protection(25.0);
+        assert!(prot.trip_current() < prot.vin_iccmax);
+        assert!(prot.trip_current().get() > 0.0);
+    }
+
+    #[test]
+    fn ldo_mode_virus_current_is_roughly_double_ivr_mode() {
+        // §7's quantitative claim: "FlexWatts has reduced current (by
+        // nearly 50%) in IVR-Mode compared to LDO".
+        let params = ModelParams::paper_defaults();
+        let soc = client_soc(Watts::new(25.0));
+        let virus = Scenario::power_virus_at_tdp(&soc, WorkloadType::MultiThread).unwrap();
+        let vin_current = |mode: PdnMode| -> f64 {
+            FlexWattsPdn::new(params.clone(), mode)
+                .evaluate(&virus)
+                .unwrap()
+                .rails
+                .iter()
+                .find(|r| r.name == "V_IN")
+                .unwrap()
+                .current
+                .get()
+        };
+        let ratio = vin_current(PdnMode::LdoMode) / vin_current(PdnMode::IvrMode);
+        assert!(
+            (1.5..=3.0).contains(&ratio),
+            "LDO-Mode current should be ≈ 2× IVR-Mode: {ratio:.2}×"
+        );
+    }
+}

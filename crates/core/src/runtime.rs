@@ -1,0 +1,418 @@
+//! The FlexWatts runtime: the closed loop of sensors → predictor → mode
+//! switch → power delivery, simulated over workload traces.
+//!
+//! Every evaluation interval (default 10 ms, §6) the runtime gathers the
+//! PMU's estimates (activity-sensor AR, workload type from domain states,
+//! package power state, configured TDP), asks the predictor for the best
+//! mode, and — when the answer changes — executes the package-C6 switch
+//! flow, paying its ≈ 94 µs of enforced idleness. Platform energy is
+//! integrated through PDNspot in whichever mode is active.
+
+use crate::predictor::{ModePredictor, PredictorInputs};
+use crate::protection::MaxCurrentProtection;
+use crate::switchflow::{ModeSwitchFlow, SwitchTransition};
+use crate::topology::{FlexWattsPdn, PdnMode};
+use pdn_pmu::{classify_workload, ActivitySensorBank, CStateDriver};
+use pdn_proc::{DomainKind, PackageCState, SocSpec};
+use pdn_units::{Seconds, Volts, Watts};
+use pdn_workload::{Phase, Trace};
+use pdnspot::{ModelParams, Pdn, PdnError, Scenario};
+use std::collections::BTreeMap;
+
+/// Configuration of a runtime simulation.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Seed for the activity-sensor calibration.
+    pub sensor_seed: u64,
+    /// The mode the platform boots in.
+    pub initial_mode: PdnMode,
+    /// Whether the §6 maximum-current protection may override LDO-Mode
+    /// decisions (on by default; the shared V_IN rail is sized assuming
+    /// it).
+    pub max_current_protection: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            sensor_seed: 0x0F1E_2D3C,
+            initial_mode: PdnMode::IvrMode,
+            max_current_protection: true,
+        }
+    }
+}
+
+/// The outcome of simulating a trace.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Total simulated time (including switch idleness).
+    pub total_time: Seconds,
+    /// Total energy drawn from the battery/PSU, in joules.
+    pub energy_joules: f64,
+    /// Energy an oracle that always runs the better mode (with free
+    /// switches) would have drawn — the predictor-quality baseline.
+    pub oracle_energy_joules: f64,
+    /// Every executed mode switch.
+    pub switches: Vec<SwitchTransition>,
+    /// Time spent in each mode.
+    pub time_in_mode: BTreeMap<PdnMode, Seconds>,
+    /// Number of predictor evaluations performed.
+    pub predictor_evaluations: u64,
+    /// Fraction of predictor decisions that matched the oracle's mode.
+    pub prediction_accuracy: f64,
+    /// Number of times the maximum-current protection overrode an
+    /// LDO-Mode decision.
+    pub protection_overrides: u64,
+}
+
+impl RuntimeReport {
+    /// Average platform power over the trace.
+    pub fn average_power(&self) -> Watts {
+        if self.total_time.get() <= 0.0 {
+            return Watts::ZERO;
+        }
+        Watts::new(self.energy_joules / self.total_time.get())
+    }
+
+    /// Total time lost to mode-switch flows.
+    pub fn switch_overhead(&self) -> Seconds {
+        self.switches.iter().map(SwitchTransition::total).sum()
+    }
+
+    /// How close the runtime's energy came to the oracle's
+    /// (1.0 = perfect; the switch overhead and mispredictions cost the
+    /// difference).
+    pub fn energy_efficiency_vs_oracle(&self) -> f64 {
+        if self.energy_joules <= 0.0 {
+            return 1.0;
+        }
+        self.oracle_energy_joules / self.energy_joules
+    }
+}
+
+/// The FlexWatts runtime simulator.
+#[derive(Debug)]
+pub struct FlexWattsRuntime {
+    soc: SocSpec,
+    ivr_mode: FlexWattsPdn,
+    ldo_mode: FlexWattsPdn,
+    predictor: ModePredictor,
+    sensors: ActivitySensorBank,
+    switch_flow: ModeSwitchFlow,
+    protection: MaxCurrentProtection,
+    config: RuntimeConfig,
+}
+
+impl FlexWattsRuntime {
+    /// Creates a runtime for one SoC.
+    pub fn new(
+        soc: SocSpec,
+        params: ModelParams,
+        predictor: ModePredictor,
+        config: RuntimeConfig,
+    ) -> Self {
+        let ivr_mode = FlexWattsPdn::new(params.clone(), PdnMode::IvrMode);
+        let protection = MaxCurrentProtection::from_rail_sizing(&ivr_mode, &soc)
+            .expect("rail sizing of the client SoC is always feasible");
+        Self {
+            ldo_mode: FlexWattsPdn::new(params, PdnMode::LdoMode),
+            sensors: ActivitySensorBank::new(config.sensor_seed),
+            switch_flow: ModeSwitchFlow::new(),
+            ivr_mode,
+            protection,
+            predictor,
+            soc,
+            config,
+        }
+    }
+
+    fn pdn(&self, mode: PdnMode) -> &FlexWattsPdn {
+        match mode {
+            PdnMode::IvrMode => &self.ivr_mode,
+            PdnMode::LdoMode => &self.ldo_mode,
+        }
+    }
+
+    /// The `V_IN` level of a mode (used for switch slew accounting).
+    fn vin_level(&self, mode: PdnMode, scenario: &Scenario) -> Volts {
+        match mode {
+            PdnMode::IvrMode => self.ivr_mode.params().vin_level,
+            PdnMode::LdoMode => scenario
+                .max_voltage_among(&DomainKind::WIDE_RANGE)
+                .unwrap_or(Volts::new(0.85)),
+        }
+    }
+
+    /// Simulates a trace, returning the energy/switch report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PDNspot evaluation errors.
+    pub fn run(&self, trace: &Trace) -> Result<RuntimeReport, PdnError> {
+        let mut mode = self.config.initial_mode;
+        let mut energy = 0.0;
+        let mut oracle_energy = 0.0;
+        let mut switches = Vec::new();
+        let mut time_in_mode: BTreeMap<PdnMode, Seconds> =
+            PdnMode::ALL.iter().map(|&m| (m, Seconds::ZERO)).collect();
+        let mut driver = CStateDriver::new();
+        let mut evaluations = 0u64;
+        let mut correct_predictions = 0u64;
+        let mut protection_overrides = 0u64;
+        let mut total_time = Seconds::ZERO;
+        let eval_interval = self.predictor.evaluation_interval();
+        let mut since_eval = eval_interval; // evaluate at trace start
+
+        for interval in trace.intervals() {
+            // Build the ground-truth scenario and the PMU's view of it.
+            let (scenario, pmu_inputs) = match interval.phase {
+                Phase::Active { workload_type, ar } => {
+                    let scenario = Scenario::active_fixed_tdp_frequency(
+                        &self.soc,
+                        workload_type,
+                        ar,
+                    )?;
+                    let powered: BTreeMap<DomainKind, bool> = DomainKind::ALL
+                        .iter()
+                        .map(|&k| (k, scenario.load(k).powered))
+                        .collect();
+                    let estimated_type = classify_workload(&powered, None);
+                    let estimated_ar = self.sensors.estimate(DomainKind::Core0, ar);
+                    (
+                        scenario,
+                        PredictorInputs {
+                            tdp: self.soc.tdp,
+                            ar: estimated_ar,
+                            workload_type: estimated_type,
+                            power_state: None,
+                        },
+                    )
+                }
+                Phase::Idle(state) => (
+                    Scenario::idle(&self.soc, state),
+                    PredictorInputs {
+                        tdp: self.soc.tdp,
+                        ar: interval.phase.ar(),
+                        workload_type: pdn_workload::WorkloadType::BatteryLife,
+                        power_state: Some(state),
+                    },
+                ),
+            };
+
+            // Evaluate both modes once per interval; reuse across chunks.
+            let power_ivr = self.ivr_mode.evaluate(&scenario)?.input_power;
+            let power_ldo = self.ldo_mode.evaluate(&scenario)?.input_power;
+            let oracle_power = power_ivr.min(power_ldo);
+            let oracle_mode =
+                if power_ivr <= power_ldo { PdnMode::IvrMode } else { PdnMode::LdoMode };
+
+            let mut remaining = interval.duration;
+            while remaining.get() > 0.0 {
+                if since_eval >= eval_interval {
+                    since_eval = Seconds::ZERO;
+                    evaluations += 1;
+                    let mut decided = self.predictor.predict_with_hysteresis(pmu_inputs, mode);
+                    if self.config.max_current_protection {
+                        let (enforced, fired) =
+                            self.protection.enforce(decided, &self.ldo_mode, &scenario)?;
+                        if fired {
+                            protection_overrides += 1;
+                        }
+                        decided = enforced;
+                    }
+                    if decided == oracle_mode {
+                        correct_predictions += 1;
+                    }
+                    if decided != mode {
+                        // The mode switch forces ≈ 94 µs of C6 idleness.
+                        let v_from = self.vin_level(mode, &scenario);
+                        let v_to = self.vin_level(decided, &scenario);
+                        let transition =
+                            self.switch_flow.execute(mode, decided, v_from, v_to, &mut driver);
+                        let switch_time = transition.total();
+                        // During the switch the package sits in C6.
+                        let c6 = Scenario::idle(&self.soc, PackageCState::C6);
+                        let c6_power = self.pdn(decided).evaluate(&c6)?.input_power;
+                        energy += c6_power * switch_time;
+                        oracle_energy += c6_power * switch_time;
+                        total_time += switch_time;
+                        switches.push(transition);
+                        mode = decided;
+                    }
+                }
+                let chunk = remaining.min(eval_interval - since_eval).min(remaining);
+                let power = match mode {
+                    PdnMode::IvrMode => power_ivr,
+                    PdnMode::LdoMode => power_ldo,
+                };
+                energy += power * chunk;
+                oracle_energy += oracle_power * chunk;
+                *time_in_mode.get_mut(&mode).expect("all modes present") += chunk;
+                total_time += chunk;
+                since_eval += chunk;
+                remaining -= chunk;
+            }
+        }
+
+        Ok(RuntimeReport {
+            total_time,
+            energy_joules: energy,
+            oracle_energy_joules: oracle_energy,
+            switches,
+            time_in_mode,
+            predictor_evaluations: evaluations,
+            prediction_accuracy: if evaluations == 0 {
+                1.0
+            } else {
+                correct_predictions as f64 / evaluations as f64
+            },
+            protection_overrides,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_proc::client_soc;
+    use pdn_units::ApplicationRatio;
+    use pdn_workload::{BatteryLifeWorkload, TraceInterval, WorkloadType};
+
+    fn predictor() -> ModePredictor {
+        ModePredictor::train(
+            &ModelParams::paper_defaults(),
+            &[4.0, 10.0, 18.0, 25.0, 50.0],
+            &[0.4, 0.6, 0.8],
+        )
+        .unwrap()
+    }
+
+    fn runtime(tdp: f64) -> FlexWattsRuntime {
+        FlexWattsRuntime::new(
+            client_soc(Watts::new(tdp)),
+            ModelParams::paper_defaults(),
+            predictor(),
+            RuntimeConfig::default(),
+        )
+    }
+
+    fn ar(v: f64) -> ApplicationRatio {
+        ApplicationRatio::new(v).unwrap()
+    }
+
+    #[test]
+    fn low_tdp_workload_settles_into_ldo_mode() {
+        let rt = runtime(4.0);
+        let trace = Trace::new(
+            "steady",
+            vec![TraceInterval::active(
+                Seconds::from_millis(100.0),
+                WorkloadType::SingleThread,
+                ar(0.6),
+            )],
+        );
+        let report = rt.run(&trace).unwrap();
+        // Booting in IVR-Mode, the first evaluation must switch to LDO.
+        assert_eq!(report.switches.len(), 1);
+        assert_eq!(report.switches[0].to, PdnMode::LdoMode);
+        let ldo_time = report.time_in_mode[&PdnMode::LdoMode];
+        assert!(ldo_time.get() > 0.95 * report.total_time.get());
+        assert!(report.prediction_accuracy > 0.9);
+    }
+
+    #[test]
+    fn high_tdp_workload_stays_in_ivr_mode() {
+        let rt = runtime(50.0);
+        let trace = Trace::new(
+            "steady",
+            vec![TraceInterval::active(
+                Seconds::from_millis(100.0),
+                WorkloadType::MultiThread,
+                ar(0.7),
+            )],
+        );
+        let report = rt.run(&trace).unwrap();
+        assert!(report.switches.is_empty(), "no reason to leave IVR-Mode at 50 W");
+        assert_eq!(report.time_in_mode[&PdnMode::IvrMode], report.total_time);
+    }
+
+    #[test]
+    fn bursty_trace_switches_modes_and_pays_the_latency() {
+        // At 36 W: heavy bursts prefer IVR-Mode; the low-frequency active
+        // state (C0MIN, e.g. between video frames) prefers LDO-Mode.
+        let rt = runtime(36.0);
+        let mut intervals = Vec::new();
+        for _ in 0..5 {
+            intervals.push(TraceInterval::active(
+                Seconds::from_millis(40.0),
+                WorkloadType::MultiThread,
+                ar(0.8),
+            ));
+            intervals.push(TraceInterval::idle(
+                Seconds::from_millis(40.0),
+                pdn_proc::PackageCState::C0Min,
+            ));
+        }
+        let report = rt.run(&Trace::new("bursty", intervals)).unwrap();
+        assert!(report.switches.len() >= 6, "bursts must toggle the mode");
+        let overhead = report.switch_overhead();
+        assert!(
+            (overhead.micros() - 94.0 * report.switches.len() as f64).abs()
+                < 40.0 * report.switches.len() as f64,
+            "each switch costs ≈ 94 µs"
+        );
+        // Switch overhead is a tiny fraction of a 400 ms trace.
+        assert!(overhead.get() / report.total_time.get() < 0.01);
+    }
+
+    #[test]
+    fn deep_idle_is_mode_neutral_so_no_thrashing() {
+        // In C2–C8 the compute rails are off and SA/IO sit on dedicated
+        // board rails in *both* modes, so the predictor sees (nearly)
+        // equal ETEE and the hysteresis keeps the current mode — no
+        // pointless switch storm while a video idles in C8.
+        let rt = runtime(36.0);
+        let trace = Trace::new(
+            "deep-idle",
+            vec![TraceInterval::idle(
+                Seconds::from_millis(200.0),
+                pdn_proc::PackageCState::C8,
+            )],
+        );
+        let report = rt.run(&trace).unwrap();
+        assert!(report.switches.len() <= 1, "C8 must not toggle modes");
+    }
+
+    #[test]
+    fn video_playback_runs_close_to_the_oracle() {
+        let rt = runtime(18.0);
+        let trace = BatteryLifeWorkload::VideoPlayback.as_trace(30);
+        let report = rt.run(&trace).unwrap();
+        assert!(
+            report.energy_efficiency_vs_oracle() > 0.97,
+            "runtime must track the oracle: {:.4}",
+            report.energy_efficiency_vs_oracle()
+        );
+        assert!(report.average_power().get() > 0.1 && report.average_power().get() < 2.0);
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let rt = runtime(10.0);
+        let trace = Trace::new(
+            "mixed",
+            vec![
+                TraceInterval::active(Seconds::from_millis(25.0), WorkloadType::Graphics, ar(0.7)),
+                TraceInterval::idle(Seconds::from_millis(25.0), pdn_proc::PackageCState::C6),
+            ],
+        );
+        let report = rt.run(&trace).unwrap();
+        let mode_time: Seconds = report.time_in_mode.values().copied().sum();
+        assert!(
+            (mode_time + report.switch_overhead() - report.total_time).abs().get() < 1e-9,
+            "time must be fully attributed"
+        );
+        assert!(report.oracle_energy_joules <= report.energy_joules + 1e-12);
+        assert!(report.predictor_evaluations >= 5);
+    }
+}

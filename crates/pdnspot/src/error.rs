@@ -1,0 +1,62 @@
+//! Error type for PDN evaluation.
+
+use std::fmt;
+
+/// Error produced by PDNspot evaluations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdnError {
+    /// A regulator rejected its operating point.
+    Vr(pdn_vr::VrError),
+    /// A quantity or curve failed validation.
+    Units(pdn_units::UnitsError),
+    /// The scenario is inconsistent (e.g. no powered domain, or a solver
+    /// could not bracket a solution).
+    Scenario(String),
+}
+
+impl fmt::Display for PdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdnError::Vr(e) => write!(f, "regulator error: {e}"),
+            PdnError::Units(e) => write!(f, "units error: {e}"),
+            PdnError::Scenario(msg) => write!(f, "scenario error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PdnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PdnError::Vr(e) => Some(e),
+            PdnError::Units(e) => Some(e),
+            PdnError::Scenario(_) => None,
+        }
+    }
+}
+
+impl From<pdn_vr::VrError> for PdnError {
+    fn from(e: pdn_vr::VrError) -> Self {
+        PdnError::Vr(e)
+    }
+}
+
+impl From<pdn_units::UnitsError> for PdnError {
+    fn from(e: pdn_units::UnitsError) -> Self {
+        PdnError::Units(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = PdnError::from(pdn_units::UnitsError::NotFinite { what: "ratio" });
+        assert!(e.to_string().contains("units"));
+        assert!(std::error::Error::source(&e).is_some());
+        let s = PdnError::Scenario("no powered domain".into());
+        assert!(s.to_string().contains("no powered domain"));
+        assert!(std::error::Error::source(&s).is_none());
+    }
+}

@@ -1,0 +1,644 @@
+//! Scenarios: the per-domain operating conditions a PDN is evaluated at.
+//!
+//! A [`Scenario`] fixes everything the power-flow models need: which
+//! domains are powered, their nominal power, rail voltage, the package-
+//! level application ratio (AR), and the power state. Scenarios are built
+//! from a SoC specification plus a workload description, so the same
+//! scenario can be fed to every PDN topology for an apples-to-apples ETEE
+//! comparison (Figs. 4 and 5 of the paper).
+
+use crate::error::PdnError;
+use crate::params::ModelParams;
+use pdn_proc::{DomainKind, DomainState, PackageCState, SocSpec};
+use pdn_units::{ApplicationRatio, Celsius, Hertz, Ratio, Volts, Watts};
+use pdn_workload::WorkloadType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The fraction of TDP assumed to reach the loads when constructing
+/// budget-limited scenarios (a representative ETEE; the per-PDN frequency
+/// optimisation for the performance figures lives in [`crate::perf`]).
+pub const NOMINAL_BUDGET_FRACTION: f64 = 0.78;
+
+/// Rail guardbands are sized for the Turbo Boost virus, which briefly
+/// exceeds TDP (§1); this is the headroom factor applied to the TDP virus.
+pub const TURBO_VIRUS_MARGIN: f64 = 1.3;
+
+/// Operating conditions of one domain within a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainLoad {
+    /// Nominal power consumed by the domain (`P_NOM` in Fig. 1).
+    pub nominal_power: Watts,
+    /// Nominal rail voltage required by the domain (`V_NOM`).
+    pub voltage: Volts,
+    /// Leakage fraction used by the Eq. 2 guardband.
+    pub leakage_fraction: Ratio,
+    /// Whether the domain is powered at all.
+    pub powered: bool,
+}
+
+impl DomainLoad {
+    /// An unpowered (gated) domain.
+    pub fn gated() -> Self {
+        Self {
+            nominal_power: Watts::ZERO,
+            voltage: Volts::new(0.45),
+            leakage_fraction: Ratio::ZERO,
+            powered: false,
+        }
+    }
+}
+
+/// A complete evaluation scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable label.
+    pub name: String,
+    /// Workload type (predictor input `WL_TYPE`).
+    pub workload_type: WorkloadType,
+    /// Package application ratio (guardbands are sized for `P/AR`).
+    pub ar: ApplicationRatio,
+    /// `Some` when the package resides in an idle/C0MIN state.
+    pub power_state: Option<PackageCState>,
+    /// Junction temperature.
+    pub tj: Celsius,
+    /// TDP of the SoC the scenario was built for.
+    pub tdp: Watts,
+    loads: BTreeMap<DomainKind, DomainLoad>,
+    /// Power-virus load sets (one per virus workload type) at the
+    /// TDP-limited frequency, used to size shared-rail load-line
+    /// guardbands (§2.4: the guardband must survive the maximum possible
+    /// current of the rail).
+    virus: Vec<BTreeMap<DomainKind, DomainLoad>>,
+    /// Extra headroom applied on top of the virus sums (Turbo Boost can
+    /// briefly exceed TDP, and rails must survive it; §1).
+    virus_margin: f64,
+}
+
+impl Scenario {
+    /// Builds an active scenario at explicit compute frequencies.
+    ///
+    /// Domain roles follow the workload type (§7.1): single-thread gates
+    /// core 1 and graphics; multi-thread gates only graphics; graphics
+    /// workloads run the LLC at a higher frequency/voltage than the cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::Scenario`] if no domain ends up powered.
+    pub fn active(
+        soc: &SocSpec,
+        workload_type: WorkloadType,
+        ar: ApplicationRatio,
+        f_cores: Hertz,
+        f_gfx: Hertz,
+    ) -> Result<Self, PdnError> {
+        let loads = Self::domain_loads_at(soc, workload_type, ar, f_cores, f_gfx);
+        if loads.values().all(|l| !l.powered) {
+            return Err(PdnError::Scenario("no powered domain in scenario".into()));
+        }
+        Ok(Self {
+            name: format!("{}-{}W-ar{:.0}", workload_type, soc.tdp.get(), ar.percent()),
+            workload_type,
+            ar,
+            power_state: None,
+            tj: soc.tj_active,
+            tdp: soc.tdp,
+            loads,
+            virus: Self::tdp_virus_loads(soc),
+            virus_margin: TURBO_VIRUS_MARGIN,
+        })
+    }
+
+    /// Computes the per-domain loads of an active operating point.
+    fn domain_loads_at(
+        soc: &SocSpec,
+        workload_type: WorkloadType,
+        ar: ApplicationRatio,
+        f_cores: Hertz,
+        f_gfx: Hertz,
+    ) -> BTreeMap<DomainKind, DomainLoad> {
+        let tj = soc.tj_active;
+        let mut loads = BTreeMap::new();
+        for (kind, cfg) in soc.domains() {
+            let powered = workload_type.domain_powered(kind);
+            if !powered {
+                loads.insert(kind, DomainLoad::gated());
+                continue;
+            }
+            let frequency = match kind {
+                DomainKind::Core0 | DomainKind::Core1 => f_cores,
+                DomainKind::Gfx => f_gfx,
+                DomainKind::Llc => {
+                    if workload_type == WorkloadType::Graphics {
+                        // §7.1: graphics demand pushes the LLC above the
+                        // core clock; scale the GFX clock position into the
+                        // LLC range.
+                        let gfx_cfg = soc.domain(DomainKind::Gfx);
+                        let t = (f_gfx.get() - gfx_cfg.fmin.get())
+                            / (gfx_cfg.fmax.get() - gfx_cfg.fmin.get()).max(1.0);
+                        let llc_from_gfx = Hertz::new(
+                            cfg.fmin.get() + 0.8 * t * (cfg.fmax.get() - cfg.fmin.get()),
+                        );
+                        f_cores.max(llc_from_gfx)
+                    } else {
+                        f_cores
+                    }
+                }
+                DomainKind::Sa | DomainKind::Io => cfg.fmax,
+            };
+            // SA/IO activity tracks the workload but stays moderate; in
+            // graphics workloads the cores mostly wait on the GPU (§7.1
+            // gives them only 10–20 % of the budget); the other compute
+            // domains carry the package AR.
+            let activity = match kind {
+                DomainKind::Sa | DomainKind::Io => {
+                    ApplicationRatio::new((ar.get() * 0.8).clamp(0.05, 1.0))
+                        .expect("scaled AR is valid")
+                }
+                DomainKind::Core0 | DomainKind::Core1
+                    if workload_type == WorkloadType::Graphics =>
+                {
+                    ApplicationRatio::new((ar.get() * 0.25).clamp(0.05, 1.0))
+                        .expect("scaled AR is valid")
+                }
+                _ => ar,
+            };
+            let state = DomainState::active(frequency, activity);
+            loads.insert(
+                kind,
+                DomainLoad {
+                    nominal_power: cfg.nominal_power(&state, tj),
+                    voltage: cfg.voltage_for(&state),
+                    leakage_fraction: cfg.power.guardband_leakage_fraction,
+                    powered: true,
+                },
+            );
+        }
+        loads
+    }
+
+    /// Per-domain power-virus loads: for each domain, the AR = 1 power at
+    /// the highest frequency the TDP sustains for the workload type that
+    /// stresses that domain hardest (multi-thread for cores/LLC, graphics
+    /// for GFX).
+    fn tdp_virus_loads(soc: &SocSpec) -> Vec<BTreeMap<DomainKind, DomainLoad>> {
+        [WorkloadType::MultiThread, WorkloadType::Graphics]
+            .into_iter()
+            .map(|wl| {
+                let t = Self::solve_t_for_nominal(soc, wl, soc.tdp);
+                let (f_cores, f_gfx) = Self::frequency_point(soc, wl, t);
+                Self::domain_loads_at(soc, wl, ApplicationRatio::POWER_VIRUS, f_cores, f_gfx)
+            })
+            .collect()
+    }
+
+    /// Infallible bisection of the frequency scalar for a nominal-power
+    /// target (used for virus sizing, where domain loads always exist).
+    fn solve_t_for_nominal(soc: &SocSpec, workload_type: WorkloadType, budget: Watts) -> f64 {
+        let nominal_at = |t: f64| -> Watts {
+            let (f_cores, f_gfx) = Self::frequency_point(soc, workload_type, t);
+            Self::domain_loads_at(
+                soc,
+                workload_type,
+                ApplicationRatio::POWER_VIRUS,
+                f_cores,
+                f_gfx,
+            )
+            .values()
+            .filter(|l| l.powered)
+            .map(|l| l.nominal_power)
+            .sum()
+        };
+        if nominal_at(1.0) <= budget {
+            return 1.0;
+        }
+        if nominal_at(0.0) >= budget {
+            return 0.0;
+        }
+        let (mut lo, mut hi) = (0.0, 1.0);
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if nominal_at(mid) > budget {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        lo
+    }
+
+    /// The worst-case (power-virus) power a rail serving `domains` must be
+    /// guardbanded for: the largest *simultaneous* virus total across the
+    /// virus workload types (a rail need not survive the multi-thread and
+    /// graphics viruses at once — the TDP forbids it).
+    ///
+    /// A domain counts towards the guardband when it is powered, or when
+    /// the scheduler could wake it without a PMU reconfiguration: an idle
+    /// sibling core can receive a thread at any instant, so the shared
+    /// cores rail keeps its virus headroom even in single-thread phases;
+    /// a parked graphics engine, by contrast, only comes up through a
+    /// driver flow during which the PMU re-setpoints the rails.
+    ///
+    /// Never less than the rail's running power.
+    pub fn rail_virus_power(&self, domains: &[DomainKind], running: Watts) -> Watts {
+        // In graphics configurations the second core is parked by the
+        // configuration itself (the driver/scheduler keeps it off), so
+        // the sibling-wake rule does not apply there.
+        let siblings_wakeable = self.workload_type != WorkloadType::Graphics
+            && (self.load(DomainKind::Core0).powered || self.load(DomainKind::Core1).powered);
+        let counts = |k: DomainKind| -> bool {
+            if self.load(k).powered {
+                return true;
+            }
+            matches!(k, DomainKind::Core0 | DomainKind::Core1) && siblings_wakeable
+        };
+        let virus = self
+            .virus
+            .iter()
+            .map(|set| {
+                domains
+                    .iter()
+                    .filter(|k| counts(**k))
+                    .filter_map(|k| set.get(k))
+                    .map(|l| l.nominal_power)
+                    .sum::<Watts>()
+            })
+            .fold(Watts::ZERO, Watts::max);
+        (virus * self.virus_margin).max(running)
+    }
+
+    /// Builds an active scenario whose compute frequency is chosen so that
+    /// the total nominal power fills [`NOMINAL_BUDGET_FRACTION`] of the TDP
+    /// — the PDN-independent operating point used for the ETEE comparisons
+    /// of Figs. 4 and 5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::Scenario`] if the budget cannot be bracketed.
+    pub fn active_budget(
+        soc: &SocSpec,
+        workload_type: WorkloadType,
+        ar: ApplicationRatio,
+        _params: &ModelParams,
+    ) -> Result<Self, PdnError> {
+        let budget = Watts::new(soc.tdp.get() * NOMINAL_BUDGET_FRACTION);
+        Self::active_with_budget(soc, workload_type, ar, budget)
+    }
+
+    /// Builds an active scenario whose compute frequency is chosen so that
+    /// the total nominal power fills an explicit `budget` (clamping at the
+    /// architectural frequency limits when the budget cannot be reached).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::Scenario`] if no domain ends up powered.
+    pub fn active_with_budget(
+        soc: &SocSpec,
+        workload_type: WorkloadType,
+        ar: ApplicationRatio,
+        budget: Watts,
+    ) -> Result<Self, PdnError> {
+        let t = Self::solve_t_for_budget(soc, workload_type, ar, budget)?;
+        let (f_cores, f_gfx) = Self::frequency_point(soc, workload_type, t);
+        Scenario::active(soc, workload_type, ar, f_cores, f_gfx)
+    }
+
+    /// Builds the Fig. 4-style scenario: the compute frequency is the one a
+    /// TDP-limited part ships with (the AR = 1 power virus fills the TDP),
+    /// and the workload then runs at that *fixed* frequency with its own
+    /// AR. Varying AR along this constructor sweeps the Fig. 4 x-axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::Scenario`] if no domain ends up powered.
+    pub fn active_fixed_tdp_frequency(
+        soc: &SocSpec,
+        workload_type: WorkloadType,
+        ar: ApplicationRatio,
+    ) -> Result<Self, PdnError> {
+        let t = Self::solve_t_for_budget(
+            soc,
+            workload_type,
+            ApplicationRatio::POWER_VIRUS,
+            soc.tdp,
+        )?;
+        let (f_cores, f_gfx) = Self::frequency_point(soc, workload_type, t);
+        Scenario::active(soc, workload_type, ar, f_cores, f_gfx)
+    }
+
+    /// Bisects the frequency scalar `t` so that the scenario's nominal
+    /// power meets `budget` (clamping at the range ends).
+    fn solve_t_for_budget(
+        soc: &SocSpec,
+        workload_type: WorkloadType,
+        ar: ApplicationRatio,
+        budget: Watts,
+    ) -> Result<f64, PdnError> {
+        let nominal_at = |t: f64| -> Result<Watts, PdnError> {
+            let (f_cores, f_gfx) = Self::frequency_point(soc, workload_type, t);
+            Ok(Scenario::active(soc, workload_type, ar, f_cores, f_gfx)?.total_nominal_power())
+        };
+        // The nominal power is monotone in t; bisect t ∈ [0, 1].
+        if nominal_at(1.0)? <= budget {
+            return Ok(1.0);
+        }
+        if nominal_at(0.0)? >= budget {
+            return Ok(0.0);
+        }
+        let mut lo = 0.0;
+        let mut hi = 1.0;
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if nominal_at(mid)? > budget {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Maps a scalar `t ∈ [0, 1]` to compute frequencies consistent with
+    /// the workload type's budget split (§7.1: graphics workloads keep the
+    /// cores at the bottom third of their range).
+    pub fn frequency_point(soc: &SocSpec, workload_type: WorkloadType, t: f64) -> (Hertz, Hertz) {
+        let t = t.clamp(0.0, 1.0);
+        let cores = soc.domain(DomainKind::Core0);
+        let gfx = soc.domain(DomainKind::Gfx);
+        let lerp = |lo: Hertz, hi: Hertz, x: f64| Hertz::new(lo.get() + x * (hi.get() - lo.get()));
+        match workload_type {
+            WorkloadType::Graphics => (
+                lerp(cores.fmin, cores.fmax, t * 0.18),
+                lerp(gfx.fmin, gfx.fmax, t),
+            ),
+            WorkloadType::BatteryLife => (cores.fmin, gfx.fmin),
+            _ => (lerp(cores.fmin, cores.fmax, t), gfx.fmin),
+        }
+    }
+
+    /// Builds an idle-state scenario (Fig. 4j and the battery-life model).
+    ///
+    /// Domain powers come from the paper-calibrated
+    /// [`PackageCState::nominal_domain_powers`]; voltages are the fixed
+    /// SA/IO rail levels and the minimum compute voltage for C0MIN.
+    pub fn idle(soc: &SocSpec, state: PackageCState) -> Self {
+        let mut loads = BTreeMap::new();
+        let powers = state.nominal_domain_powers();
+        for (kind, cfg) in soc.domains() {
+            match powers.get(&kind) {
+                Some(&p) => {
+                    let voltage = cfg.vf.voltage_at(cfg.fmin);
+                    loads.insert(
+                        kind,
+                        DomainLoad {
+                            nominal_power: p,
+                            voltage,
+                            leakage_fraction: cfg.power.guardband_leakage_fraction,
+                            powered: true,
+                        },
+                    );
+                }
+                None => {
+                    loads.insert(kind, DomainLoad::gated());
+                }
+            }
+        }
+        Self {
+            name: format!("{state}-{}W", soc.tdp.get()),
+            workload_type: WorkloadType::BatteryLife,
+            // Idle currents are steady: no power-virus headroom needed.
+            ar: ApplicationRatio::POWER_VIRUS,
+            power_state: Some(state),
+            tj: pdn_proc::soc::TJ_BATTERY_LIFE,
+            tdp: soc.tdp,
+            loads,
+            // The PMU re-setpoints the rails for the low-frequency idle
+            // configuration, so the guardband covers the virus at the
+            // *minimum* frequency, not the TDP design point, and turbo is
+            // not reachable without first leaving the idle state.
+            virus: Self::fmin_virus_loads(soc),
+            virus_margin: 1.0,
+        }
+    }
+
+    /// Per-domain power-virus loads at the minimum operating frequencies —
+    /// the rail guardband basis for C0MIN/idle configurations, where DVFS
+    /// has already lowered every setpoint.
+    fn fmin_virus_loads(soc: &SocSpec) -> Vec<BTreeMap<DomainKind, DomainLoad>> {
+        [WorkloadType::MultiThread, WorkloadType::Graphics]
+            .into_iter()
+            .map(|wl| {
+                let cores = soc.domain(DomainKind::Core0);
+                let gfx = soc.domain(DomainKind::Gfx);
+                Self::domain_loads_at(
+                    soc,
+                    wl,
+                    ApplicationRatio::POWER_VIRUS,
+                    cores.fmin,
+                    gfx.fmin,
+                )
+            })
+            .collect()
+    }
+
+    /// Builds the power-virus scenario used to size Iccmax (§3.2): every
+    /// role-appropriate domain at maximum frequency with AR = 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::Scenario`] if no domain ends up powered.
+    pub fn power_virus(soc: &SocSpec, workload_type: WorkloadType) -> Result<Self, PdnError> {
+        let cores = soc.domain(DomainKind::Core0);
+        let gfx = soc.domain(DomainKind::Gfx);
+        Scenario::active(
+            soc,
+            workload_type,
+            ApplicationRatio::POWER_VIRUS,
+            cores.fmax,
+            gfx.fmax,
+        )
+    }
+
+    /// Builds the TDP-limited power-virus scenario used to size off-chip
+    /// VRs: AR = 1 at the highest frequency the TDP (plus a turbo margin)
+    /// sustains. Platforms size their VRs for the part's own power class,
+    /// not the architectural maximum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::Scenario`] if no domain ends up powered.
+    pub fn power_virus_at_tdp(
+        soc: &SocSpec,
+        workload_type: WorkloadType,
+    ) -> Result<Self, PdnError> {
+        const TURBO_MARGIN: f64 = 1.25;
+        Scenario::active_with_budget(
+            soc,
+            workload_type,
+            ApplicationRatio::POWER_VIRUS,
+            Watts::new(soc.tdp.get() * TURBO_MARGIN),
+        )
+    }
+
+    /// The load of one domain.
+    pub fn load(&self, kind: DomainKind) -> &DomainLoad {
+        self.loads.get(&kind).expect("scenario configures all domains")
+    }
+
+    /// Iterates `(kind, load)` pairs in canonical domain order.
+    pub fn loads(&self) -> impl Iterator<Item = (DomainKind, &DomainLoad)> {
+        self.loads.iter().map(|(&k, l)| (k, l))
+    }
+
+    /// Total nominal power of all powered domains (the ETEE numerator).
+    pub fn total_nominal_power(&self) -> Watts {
+        self.loads.values().filter(|l| l.powered).map(|l| l.nominal_power).sum()
+    }
+
+    /// Whether this scenario is an idle/C-state scenario.
+    pub fn is_idle(&self) -> bool {
+        self.power_state.is_some_and(|s| !s.compute_powered())
+    }
+
+    /// The highest rail voltage among a set of powered domains — the level
+    /// a shared rail must supply (LDO-mode V_IN, §2.3).
+    pub fn max_voltage_among(&self, domains: &[DomainKind]) -> Option<Volts> {
+        domains
+            .iter()
+            .filter_map(|k| {
+                let l = self.load(*k);
+                l.powered.then_some(l.voltage)
+            })
+            .max_by(|a, b| a.get().total_cmp(&b.get()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_proc::client_soc;
+
+    fn ar(v: f64) -> ApplicationRatio {
+        ApplicationRatio::new(v).unwrap()
+    }
+
+    #[test]
+    fn single_thread_gates_core1_and_gfx() {
+        let soc = client_soc(Watts::new(18.0));
+        let s = Scenario::active(
+            &soc,
+            WorkloadType::SingleThread,
+            ar(0.6),
+            Hertz::from_gigahertz(2.0),
+            Hertz::from_gigahertz(0.1),
+        )
+        .unwrap();
+        assert!(s.load(DomainKind::Core0).powered);
+        assert!(!s.load(DomainKind::Core1).powered);
+        assert!(!s.load(DomainKind::Gfx).powered);
+        assert!(s.load(DomainKind::Sa).powered);
+        assert_eq!(s.load(DomainKind::Core1).nominal_power, Watts::ZERO);
+    }
+
+    #[test]
+    fn graphics_runs_llc_hotter_than_cores() {
+        let soc = client_soc(Watts::new(25.0));
+        let s = Scenario::active(
+            &soc,
+            WorkloadType::Graphics,
+            ar(0.7),
+            Hertz::from_gigahertz(1.0),
+            Hertz::from_gigahertz(1.1),
+        )
+        .unwrap();
+        let v_core = s.load(DomainKind::Core0).voltage;
+        let v_llc = s.load(DomainKind::Llc).voltage;
+        let v_gfx = s.load(DomainKind::Gfx).voltage;
+        assert!(v_llc > v_core, "LLC {v_llc} should exceed cores {v_core}");
+        assert!(v_gfx > v_core, "GFX {v_gfx} should exceed cores {v_core}");
+    }
+
+    #[test]
+    fn budget_scenario_fills_the_nominal_budget() {
+        let soc = client_soc(Watts::new(18.0));
+        let p = ModelParams::paper_defaults();
+        let s = Scenario::active_budget(&soc, WorkloadType::MultiThread, ar(0.6), &p).unwrap();
+        let total = s.total_nominal_power().get();
+        let budget = 18.0 * NOMINAL_BUDGET_FRACTION;
+        assert!(
+            (total - budget).abs() / budget < 0.01,
+            "nominal {total} should track budget {budget}"
+        );
+    }
+
+    #[test]
+    fn low_tdp_budget_scenario_saturates_at_a_low_frequency() {
+        let soc = client_soc(Watts::new(4.0));
+        let p = ModelParams::paper_defaults();
+        let s = Scenario::active_budget(&soc, WorkloadType::SingleThread, ar(0.6), &p).unwrap();
+        // At 4 W the cores cannot be anywhere near fmax: their load voltage
+        // must be near the bottom of the V/f curve.
+        assert!(s.load(DomainKind::Core0).voltage.get() < 0.72);
+    }
+
+    #[test]
+    fn idle_scenario_reproduces_cstate_powers() {
+        let soc = client_soc(Watts::new(18.0));
+        let s = Scenario::idle(&soc, PackageCState::C8);
+        assert!(s.is_idle());
+        assert!((s.total_nominal_power().get() - 0.13).abs() < 1e-9);
+        assert!(!s.load(DomainKind::Core0).powered);
+        assert!(s.load(DomainKind::Sa).powered);
+    }
+
+    #[test]
+    fn c0min_scenario_keeps_compute_powered() {
+        let soc = client_soc(Watts::new(18.0));
+        let s = Scenario::idle(&soc, PackageCState::C0Min);
+        assert!(!s.is_idle(), "C0MIN counts as active residency");
+        assert!(s.load(DomainKind::Core0).powered);
+        assert!((s.total_nominal_power().get() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_virus_has_ar_one_and_max_power() {
+        let soc = client_soc(Watts::new(50.0));
+        let pv = Scenario::power_virus(&soc, WorkloadType::MultiThread).unwrap();
+        assert_eq!(pv.ar, ApplicationRatio::POWER_VIRUS);
+        let budget = Scenario::active_budget(
+            &soc,
+            WorkloadType::MultiThread,
+            ar(0.6),
+            &ModelParams::paper_defaults(),
+        )
+        .unwrap();
+        assert!(pv.total_nominal_power() > budget.total_nominal_power());
+    }
+
+    #[test]
+    fn max_voltage_among_skips_gated_domains() {
+        let soc = client_soc(Watts::new(18.0));
+        let s = Scenario::active(
+            &soc,
+            WorkloadType::SingleThread,
+            ar(0.5),
+            Hertz::from_gigahertz(3.0),
+            Hertz::from_gigahertz(1.2),
+        )
+        .unwrap();
+        let vmax = s
+            .max_voltage_among(&[DomainKind::Core0, DomainKind::Gfx])
+            .unwrap();
+        // GFX is gated in single-thread, so the max is the core voltage.
+        assert_eq!(vmax, s.load(DomainKind::Core0).voltage);
+        assert!(s.max_voltage_among(&[DomainKind::Gfx]).is_none());
+    }
+
+    #[test]
+    fn battery_life_frequency_point_is_minimum() {
+        let soc = client_soc(Watts::new(18.0));
+        let (fc, fg) = Scenario::frequency_point(&soc, WorkloadType::BatteryLife, 0.9);
+        assert_eq!(fc, soc.domain(DomainKind::Core0).fmin);
+        assert_eq!(fg, soc.domain(DomainKind::Gfx).fmin);
+    }
+}

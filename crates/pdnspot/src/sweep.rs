@@ -1,0 +1,248 @@
+//! Design-space exploration utilities.
+//!
+//! PDNspot's stated purpose is "multi-dimensional architecture-space
+//! exploration of modern processor PDNs" (§3). This module provides the
+//! sweep machinery the paper's figures are built from: ETEE surfaces over
+//! (TDP × AR) per workload type, series extraction, and a crossover
+//! finder that locates the TDP at which one PDN overtakes another
+//! (§5 Observation 1: "the ETEE crossover point ... exists at some TDP
+//! between 4 W and 50 W").
+
+use crate::error::PdnError;
+use crate::scenario::Scenario;
+use crate::topology::Pdn;
+use pdn_proc::SocSpec;
+use pdn_units::{ApplicationRatio, Watts};
+use pdn_workload::WorkloadType;
+use serde::{Deserialize, Serialize};
+
+/// An ETEE surface: one value per (TDP, AR) lattice point for one PDN and
+/// workload type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EteeSurface {
+    /// The PDN's display name.
+    pub pdn: String,
+    /// The workload type swept.
+    pub workload_type: WorkloadType,
+    /// TDP axis (watts).
+    pub tdps: Vec<f64>,
+    /// AR axis (fractions).
+    pub ars: Vec<f64>,
+    /// Row-major ETEE values (`values[t * ars.len() + a]`).
+    pub values: Vec<f64>,
+}
+
+impl EteeSurface {
+    /// The ETEE at a lattice point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn at(&self, tdp_idx: usize, ar_idx: usize) -> f64 {
+        self.values[tdp_idx * self.ars.len() + ar_idx]
+    }
+
+    /// The fixed-AR series over TDP (one Fig. 8-style line).
+    pub fn tdp_series(&self, ar_idx: usize) -> Vec<(f64, f64)> {
+        self.tdps
+            .iter()
+            .enumerate()
+            .map(|(i, &tdp)| (tdp, self.at(i, ar_idx)))
+            .collect()
+    }
+
+    /// The fixed-TDP series over AR (one Fig. 4-style curve).
+    pub fn ar_series(&self, tdp_idx: usize) -> Vec<(f64, f64)> {
+        self.ars
+            .iter()
+            .enumerate()
+            .map(|(j, &ar)| (ar, self.at(tdp_idx, j)))
+            .collect()
+    }
+}
+
+/// Sweeps a PDN's ETEE over a (TDP × AR) lattice at the fixed-TDP-frequency
+/// operating points (the Fig. 4 methodology).
+///
+/// `soc_for` builds the SoC at each TDP (normally `pdn_proc::client_soc`).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn etee_surface(
+    pdn: &dyn Pdn,
+    workload_type: WorkloadType,
+    tdps: &[f64],
+    ars: &[f64],
+    soc_for: impl Fn(Watts) -> SocSpec,
+) -> Result<EteeSurface, PdnError> {
+    let mut values = Vec::with_capacity(tdps.len() * ars.len());
+    for &tdp in tdps {
+        let soc = soc_for(Watts::new(tdp));
+        for &ar in ars {
+            let ar = ApplicationRatio::new(ar).map_err(PdnError::Units)?;
+            let scenario = Scenario::active_fixed_tdp_frequency(&soc, workload_type, ar)?;
+            values.push(pdn.evaluate(&scenario)?.etee.get());
+        }
+    }
+    Ok(EteeSurface {
+        pdn: pdn.kind().to_string(),
+        workload_type,
+        tdps: tdps.to_vec(),
+        ars: ars.to_vec(),
+        values,
+    })
+}
+
+/// The result of a crossover search between two PDNs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Crossover {
+    /// `a` is at least as efficient as `b` over the whole range.
+    AlwaysFirst,
+    /// `b` is at least as efficient as `a` over the whole range.
+    AlwaysSecond,
+    /// The ETEE orders swap near this TDP.
+    At(Watts),
+}
+
+/// Finds the TDP at which `a` overtakes `b` (or vice versa) for a workload
+/// type and AR, by bisection over `[lo, hi]` watts.
+///
+/// The comparison uses the Fig. 4 fixed-TDP-frequency operating points.
+/// The search assumes a single crossover in the range, which holds for the
+/// paper's PDN pairs (the ETEE difference is monotone in TDP).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn crossover_tdp(
+    a: &dyn Pdn,
+    b: &dyn Pdn,
+    workload_type: WorkloadType,
+    ar: ApplicationRatio,
+    range: (f64, f64),
+    soc_for: impl Fn(Watts) -> SocSpec,
+) -> Result<Crossover, PdnError> {
+    let advantage = |tdp: f64| -> Result<f64, PdnError> {
+        let soc = soc_for(Watts::new(tdp));
+        let s = Scenario::active_fixed_tdp_frequency(&soc, workload_type, ar)?;
+        Ok(a.evaluate(&s)?.etee.get() - b.evaluate(&s)?.etee.get())
+    };
+    let (mut lo, mut hi) = range;
+    let at_lo = advantage(lo)?;
+    let at_hi = advantage(hi)?;
+    if at_lo >= 0.0 && at_hi >= 0.0 {
+        return Ok(Crossover::AlwaysFirst);
+    }
+    if at_lo <= 0.0 && at_hi <= 0.0 {
+        return Ok(Crossover::AlwaysSecond);
+    }
+    let rising = at_hi > at_lo;
+    for _ in 0..32 {
+        let mid = 0.5 * (lo + hi);
+        let v = advantage(mid)?;
+        if (v > 0.0) == rising {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(Crossover::At(Watts::new(0.5 * (lo + hi))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ModelParams;
+    use crate::topology::{IvrPdn, MbvrPdn};
+    use pdn_proc::client_soc;
+
+    #[test]
+    fn surface_series_extraction() {
+        let pdn = IvrPdn::new(ModelParams::paper_defaults());
+        let surface = etee_surface(
+            &pdn,
+            WorkloadType::MultiThread,
+            &[4.0, 18.0, 50.0],
+            &[0.4, 0.8],
+            client_soc,
+        )
+        .unwrap();
+        assert_eq!(surface.values.len(), 6);
+        let series = surface.tdp_series(0);
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].0, 4.0);
+        let ar_series = surface.ar_series(1);
+        assert_eq!(ar_series.len(), 2);
+        assert!(ar_series.iter().all(|&(_, e)| (0.0..=1.0).contains(&e)));
+    }
+
+    #[test]
+    fn spec_crossover_lands_near_18w() {
+        // §5 Observation 1 / §7.1: the SPEC-class crossover between IVR
+        // and MBVR sits near 18 W.
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let ar = ApplicationRatio::new(0.56).unwrap();
+        match crossover_tdp(&ivr, &mbvr, WorkloadType::MultiThread, ar, (4.0, 50.0), client_soc)
+            .unwrap()
+        {
+            Crossover::At(tdp) => {
+                assert!(
+                    (10.0..=26.0).contains(&tdp.get()),
+                    "SPEC crossover at {tdp} (paper: ≈ 18 W)"
+                );
+            }
+            other => panic!("expected a crossover, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graphics_crossover_sits_above_the_spec_one() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let ar = ApplicationRatio::new(0.56).unwrap();
+        let spec = crossover_tdp(
+            &ivr,
+            &mbvr,
+            WorkloadType::MultiThread,
+            ar,
+            (4.0, 50.0),
+            client_soc,
+        )
+        .unwrap();
+        let gfx = crossover_tdp(
+            &ivr,
+            &mbvr,
+            WorkloadType::Graphics,
+            ar,
+            (4.0, 50.0),
+            client_soc,
+        )
+        .unwrap();
+        let (Crossover::At(spec), Crossover::At(gfx)) = (spec, gfx) else {
+            panic!("both pairs must cross in range");
+        };
+        assert!(
+            gfx.get() > spec.get() - 2.0,
+            "graphics crossover {gfx} should not sit far below SPEC's {spec}"
+        );
+    }
+
+    #[test]
+    fn degenerate_ranges_report_dominance() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let ar = ApplicationRatio::new(0.56).unwrap();
+        // Restricted to low TDPs, MBVR dominates outright.
+        let c = crossover_tdp(&mbvr, &ivr, WorkloadType::MultiThread, ar, (4.0, 10.0), client_soc)
+            .unwrap();
+        assert_eq!(c, Crossover::AlwaysFirst);
+        let c = crossover_tdp(&ivr, &mbvr, WorkloadType::MultiThread, ar, (4.0, 10.0), client_soc)
+            .unwrap();
+        assert_eq!(c, Crossover::AlwaysSecond);
+    }
+}

@@ -1,0 +1,200 @@
+//! The I+MBVR hybrid PDN (§7, Intel Skylake-X): IVRs for the compute
+//! domains, dedicated board VRs for SA and IO.
+
+use super::{dedicated_rail_flow, ivr_domain_stage, Pdn, PdnKind};
+use crate::error::PdnError;
+use crate::etee::{board_vr_stage, load_line_stage, LossBreakdown, PdnEvaluation, RailReport};
+use crate::params::ModelParams;
+use crate::scenario::Scenario;
+use pdn_proc::DomainKind;
+use pdn_units::{Amps, Watts};
+use pdn_vr::{presets, BuckConverter};
+use std::collections::BTreeMap;
+
+/// The IVR+MBVR hybrid: like the IVR PDN it regulates the wide-range
+/// domains in two stages through `V_IN`, but like the LDO PDN it removes
+/// the second stage for SA/IO, giving those narrow-range domains one-stage
+/// efficiency.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_units::{ApplicationRatio, Watts};
+/// use pdn_workload::WorkloadType;
+/// use pdnspot::{IPlusMbvrPdn, IvrPdn, ModelParams, Pdn, Scenario};
+///
+/// let params = ModelParams::paper_defaults();
+/// let soc = pdn_proc::client_soc(Watts::new(18.0));
+/// let s = Scenario::active_budget(
+///     &soc,
+///     WorkloadType::MultiThread,
+///     ApplicationRatio::new(0.6)?,
+///     &params,
+/// )?;
+/// let iplus = IPlusMbvrPdn::new(params.clone()).evaluate(&s)?;
+/// let ivr = IvrPdn::new(params).evaluate(&s)?;
+/// assert!(iplus.etee.get() > ivr.etee.get(), "I+MBVR beats IVR (§7.1)");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct IPlusMbvrPdn {
+    params: ModelParams,
+    vin_vr: BuckConverter,
+    sa_vr: BuckConverter,
+    io_vr: BuckConverter,
+    ivrs: BTreeMap<DomainKind, BuckConverter>,
+}
+
+impl IPlusMbvrPdn {
+    /// Builds the I+MBVR PDN: four compute IVRs plus `V_IN`, `V_SA`,
+    /// `V_IO` board rails.
+    pub fn new(params: ModelParams) -> Self {
+        let ivrs = DomainKind::WIDE_RANGE
+            .iter()
+            .map(|&k| (k, presets::ivr(&format!("IVR_{}", k.rail_name()))))
+            .collect();
+        Self {
+            params,
+            vin_vr: presets::vin_board_vr(),
+            sa_vr: presets::sa_board_vr(),
+            io_vr: presets::io_board_vr(),
+            ivrs,
+        }
+    }
+}
+
+impl Pdn for IPlusMbvrPdn {
+    fn kind(&self) -> PdnKind {
+        PdnKind::IPlusMbvr
+    }
+
+    fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
+        let p = &self.params;
+        let mut breakdown = LossBreakdown::default();
+        let mut rails: Vec<RailReport> = Vec::new();
+        let mut p_batt = Watts::ZERO;
+        let mut chip_current = Amps::ZERO;
+
+        // Compute domains: the IVR flow (Eqs. 6–9) restricted to the
+        // wide-range group.
+        let mut p_in = Watts::ZERO;
+        for &kind in &DomainKind::WIDE_RANGE {
+            let stage = ivr_domain_stage(scenario, kind, p, &self.ivrs[&kind])?;
+            p_in += stage.input_power;
+            breakdown.other += stage.overhead;
+            breakdown.vr_loss += stage.vr_loss;
+        }
+        if p_in.get() > 0.0 {
+            let step = load_line_stage(p_in, p.vin_level, scenario.ar, p.ivr_loadlines.vin);
+            breakdown.conduction_compute += step.extra;
+            chip_current += p_in / p.vin_level;
+            let (pin, rail) = board_vr_stage(
+                &self.vin_vr,
+                p.supply_voltage,
+                step.v_ll,
+                step.p_ll,
+                p.board_lightload_cap,
+            )?;
+            breakdown.vr_loss += pin - step.p_ll;
+            p_batt += pin;
+            rails.push(rail);
+        }
+
+        // SA/IO: dedicated one-stage board rails (the MBVR flow).
+        for (kind, r_ll, vr) in [
+            (DomainKind::Sa, p.mbvr_loadlines.sa, &self.sa_vr),
+            (DomainKind::Io, p.mbvr_loadlines.io, &self.io_vr),
+        ] {
+            let (pin, overhead, conduction, vr_loss, rail) = dedicated_rail_flow(
+                scenario,
+                kind,
+                p.ivr_tob.total(),
+                super::power_gate_impedance(),
+                r_ll,
+                vr,
+                p,
+            )?;
+            if pin.get() > 0.0 {
+                breakdown.other += overhead;
+                breakdown.conduction_sa_io += conduction;
+                breakdown.vr_loss += vr_loss;
+                chip_current += rail.current;
+                p_batt += pin;
+                rails.push(rail);
+            }
+        }
+
+        PdnEvaluation::assemble(
+            scenario.total_nominal_power(),
+            p_batt,
+            breakdown,
+            chip_current,
+            rails,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::IvrPdn;
+    use pdn_proc::{client_soc, PackageCState};
+    use pdn_units::ApplicationRatio;
+    use pdn_workload::WorkloadType;
+
+    fn ar(v: f64) -> ApplicationRatio {
+        ApplicationRatio::new(v).unwrap()
+    }
+
+    #[test]
+    fn three_offchip_rails() {
+        let pdn = IPlusMbvrPdn::new(ModelParams::paper_defaults());
+        let soc = client_soc(Watts::new(18.0));
+        let rails = pdn.offchip_rails(&soc).unwrap();
+        assert_eq!(rails.len(), 3, "I+MBVR uses V_IN, V_SA, V_IO");
+    }
+
+    #[test]
+    fn beats_ivr_at_every_tdp() {
+        let params = ModelParams::paper_defaults();
+        let iplus = IPlusMbvrPdn::new(params.clone());
+        let ivr = IvrPdn::new(params);
+        for tdp in [4.0, 18.0, 50.0] {
+            let soc = client_soc(Watts::new(tdp));
+            let s =
+                Scenario::active_budget(&soc, WorkloadType::MultiThread, ar(0.6), iplus.params())
+                    .unwrap();
+            let e_iplus = iplus.evaluate(&s).unwrap().etee.get();
+            let e_ivr = ivr.evaluate(&s).unwrap().etee.get();
+            assert!(
+                e_iplus > e_ivr,
+                "I+MBVR must beat IVR at {tdp} W: {e_iplus:.3} vs {e_ivr:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_is_conserved() {
+        let pdn = IPlusMbvrPdn::new(ModelParams::paper_defaults());
+        let soc = client_soc(Watts::new(25.0));
+        let s = Scenario::active_budget(&soc, WorkloadType::Graphics, ar(0.7), pdn.params())
+            .unwrap();
+        let e = pdn.evaluate(&s).unwrap();
+        let accounted = e.nominal_power + e.breakdown.total();
+        assert!((accounted.get() - e.input_power.get()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_states_better_than_ivr() {
+        let params = ModelParams::paper_defaults();
+        let iplus = IPlusMbvrPdn::new(params.clone());
+        let ivr = IvrPdn::new(params);
+        let soc = client_soc(Watts::new(18.0));
+        let s = Scenario::idle(&soc, PackageCState::C8);
+        assert!(iplus.evaluate(&s).unwrap().etee.get() > ivr.evaluate(&s).unwrap().etee.get());
+    }
+}

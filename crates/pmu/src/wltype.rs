@@ -1,0 +1,86 @@
+//! Workload-type classification from domain power states.
+//!
+//! §6: "The PMU estimates the workload type based on the power state of
+//! the cores and graphics engines. If the graphics engines are active, the
+//! workload type is set to graphics; if more than one core is active and
+//! graphics is idle, it is set to multi-threaded."
+
+use pdn_proc::{DomainKind, PackageCState};
+use pdn_workload::WorkloadType;
+use std::collections::BTreeMap;
+
+/// Classifies the running workload from per-domain activity flags and the
+/// current package power state.
+pub fn classify_workload(
+    powered: &BTreeMap<DomainKind, bool>,
+    package_state: Option<PackageCState>,
+) -> WorkloadType {
+    if let Some(state) = package_state {
+        if !state.compute_powered() {
+            return WorkloadType::BatteryLife;
+        }
+    }
+    let on = |k: DomainKind| powered.get(&k).copied().unwrap_or(false);
+    if on(DomainKind::Gfx) {
+        WorkloadType::Graphics
+    } else if on(DomainKind::Core0) && on(DomainKind::Core1) {
+        WorkloadType::MultiThread
+    } else if on(DomainKind::Core0) || on(DomainKind::Core1) {
+        WorkloadType::SingleThread
+    } else {
+        WorkloadType::BatteryLife
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn states(core0: bool, core1: bool, gfx: bool) -> BTreeMap<DomainKind, bool> {
+        let mut m = BTreeMap::new();
+        m.insert(DomainKind::Core0, core0);
+        m.insert(DomainKind::Core1, core1);
+        m.insert(DomainKind::Gfx, gfx);
+        m
+    }
+
+    #[test]
+    fn graphics_dominates() {
+        assert_eq!(classify_workload(&states(true, true, true), None), WorkloadType::Graphics);
+        assert_eq!(classify_workload(&states(false, false, true), None), WorkloadType::Graphics);
+    }
+
+    #[test]
+    fn core_count_separates_st_and_mt() {
+        assert_eq!(
+            classify_workload(&states(true, true, false), None),
+            WorkloadType::MultiThread
+        );
+        assert_eq!(
+            classify_workload(&states(true, false, false), None),
+            WorkloadType::SingleThread
+        );
+        assert_eq!(
+            classify_workload(&states(false, true, false), None),
+            WorkloadType::SingleThread
+        );
+    }
+
+    #[test]
+    fn idle_states_classify_as_battery_life() {
+        assert_eq!(
+            classify_workload(&states(true, true, true), Some(PackageCState::C8)),
+            WorkloadType::BatteryLife
+        );
+        assert_eq!(classify_workload(&states(false, false, false), None),
+            WorkloadType::BatteryLife);
+    }
+
+    #[test]
+    fn c0min_classifies_by_domain_activity() {
+        assert_eq!(
+            classify_workload(&states(true, true, false), Some(PackageCState::C0Min)),
+            WorkloadType::MultiThread
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Processor power domains (Table 1 of the paper).
+
+use pdn_units::{ApplicationRatio, Hertz};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six power domains of the modelled client processor (Table 1).
+///
+/// The two CPU cores share one clock domain but have separate rails in the
+/// IVR and LDO PDNs (Fig. 1), so they are modelled as distinct domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DomainKind {
+    /// CPU core 0 (0.8–4 GHz clock domain shared with core 1).
+    Core0,
+    /// CPU core 1.
+    Core1,
+    /// Last-level cache; sized/clocked proportionally to cores and graphics.
+    Llc,
+    /// Graphics engines (0.1–1.2 GHz).
+    Gfx,
+    /// System agent: memory controller, display controller, IO fabric.
+    Sa,
+    /// Processor IOs (DDR IO, display IO) at fixed frequencies.
+    Io,
+}
+
+impl DomainKind {
+    /// All domains in canonical order.
+    pub const ALL: [DomainKind; 6] = [
+        DomainKind::Core0,
+        DomainKind::Core1,
+        DomainKind::Llc,
+        DomainKind::Gfx,
+        DomainKind::Sa,
+        DomainKind::Io,
+    ];
+
+    /// Domains with a wide power-consumption range (CPU cores, LLC,
+    /// graphics). FlexWatts allocates its hybrid PDN to exactly these
+    /// domains (§6).
+    pub const WIDE_RANGE: [DomainKind; 4] =
+        [DomainKind::Core0, DomainKind::Core1, DomainKind::Llc, DomainKind::Gfx];
+
+    /// Domains with a low, narrow power range (SA, IO). FlexWatts and the
+    /// LDO PDN statically put these on dedicated off-chip VRs.
+    pub const NARROW_RANGE: [DomainKind; 2] = [DomainKind::Sa, DomainKind::Io];
+
+    /// Whether the domain belongs to the compute group whose frequency the
+    /// power-budget manager scales with the available budget.
+    pub fn is_compute(self) -> bool {
+        matches!(self, DomainKind::Core0 | DomainKind::Core1 | DomainKind::Gfx)
+    }
+
+    /// Whether the domain has a wide power range (hybrid-PDN candidates).
+    pub fn is_wide_range(self) -> bool {
+        Self::WIDE_RANGE.contains(&self)
+    }
+
+    /// Whether the domain runs at fixed frequency regardless of load
+    /// (Table 1: SA and IO operate at fixed frequencies).
+    pub fn is_fixed_frequency(self) -> bool {
+        matches!(self, DomainKind::Sa | DomainKind::Io)
+    }
+
+    /// Short rail-style name used in reports (matches Fig. 1 labels).
+    pub fn rail_name(self) -> &'static str {
+        match self {
+            DomainKind::Core0 => "Core0",
+            DomainKind::Core1 => "Core1",
+            DomainKind::Llc => "LLC",
+            DomainKind::Gfx => "GFX",
+            DomainKind::Sa => "SA",
+            DomainKind::Io => "IO",
+        }
+    }
+}
+
+impl fmt::Display for DomainKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.rail_name())
+    }
+}
+
+/// Runtime state of one domain: clock, activity, and whether it is powered.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainState {
+    /// Operating clock frequency (ignored when `powered` is false).
+    pub frequency: Hertz,
+    /// Activity factor relative to the domain's power virus (AR, §2.4).
+    pub activity: ApplicationRatio,
+    /// Whether the domain is powered (false = power-gated / idle).
+    pub powered: bool,
+}
+
+impl DomainState {
+    /// An active domain at `frequency` with activity `activity`.
+    pub fn active(frequency: Hertz, activity: ApplicationRatio) -> Self {
+        Self { frequency, activity, powered: true }
+    }
+
+    /// A power-gated (idle) domain.
+    pub fn gated() -> Self {
+        Self {
+            frequency: Hertz::ZERO,
+            activity: ApplicationRatio::POWER_VIRUS,
+            powered: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_all_domains() {
+        let mut all: Vec<DomainKind> = DomainKind::WIDE_RANGE.to_vec();
+        all.extend(DomainKind::NARROW_RANGE);
+        all.sort();
+        let mut expected = DomainKind::ALL.to_vec();
+        expected.sort();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn compute_vs_fixed_frequency() {
+        assert!(DomainKind::Core0.is_compute());
+        assert!(DomainKind::Gfx.is_compute());
+        assert!(!DomainKind::Llc.is_compute());
+        assert!(DomainKind::Sa.is_fixed_frequency());
+        assert!(!DomainKind::Core1.is_fixed_frequency());
+    }
+
+    #[test]
+    fn display_matches_fig1_labels() {
+        assert_eq!(DomainKind::Gfx.to_string(), "GFX");
+        assert_eq!(DomainKind::Llc.to_string(), "LLC");
+    }
+
+    #[test]
+    fn gated_state_is_unpowered() {
+        let s = DomainState::gated();
+        assert!(!s.powered);
+        assert_eq!(s.frequency, Hertz::ZERO);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the processor power model.
+
+use pdn_proc::{client_soc, guardband_power, DomainKind, DomainState, PackageCState};
+use pdn_units::{ApplicationRatio, Celsius, Hertz, Ratio, Volts, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The Eq. 2 guardband factor is ≥ 1, monotone in the band, and
+    /// monotone in the leakage fraction (since δ > 2).
+    #[test]
+    fn guardband_is_monotone(
+        p in 0.01f64..40.0,
+        v in 0.4f64..1.1,
+        band_mv in 0.0f64..60.0,
+        fl in 0.0f64..0.6,
+    ) {
+        let p_nom = Watts::new(p);
+        let fl = Ratio::new(fl).unwrap();
+        let gb = guardband_power(p_nom, fl, Volts::new(v), Volts::from_millivolts(band_mv), 2.8);
+        prop_assert!(gb >= p_nom);
+        let wider = guardband_power(
+            p_nom,
+            fl,
+            Volts::new(v),
+            Volts::from_millivolts(band_mv + 5.0),
+            2.8,
+        );
+        prop_assert!(wider >= gb);
+        let leakier = guardband_power(
+            p_nom,
+            Ratio::new((fl.get() + 0.2).min(1.0)).unwrap(),
+            Volts::new(v),
+            Volts::from_millivolts(band_mv),
+            2.8,
+        );
+        prop_assert!(leakier.get() >= gb.get() - 1e-12);
+    }
+
+    /// Domain nominal power is monotone in frequency, activity, and
+    /// temperature for every domain of the client SoC.
+    #[test]
+    fn nominal_power_is_monotone(
+        tdp in 4.0f64..50.0,
+        t in 0.0f64..0.95,
+        ar in 0.1f64..0.95,
+        tj in 50.0f64..100.0,
+    ) {
+        let soc = client_soc(Watts::new(tdp));
+        for (kind, cfg) in soc.domains() {
+            let span = cfg.fmax.get() - cfg.fmin.get();
+            let f_lo = Hertz::new(cfg.fmin.get() + t * span);
+            let f_hi = Hertz::new((f_lo.get() + 0.05 * span.max(1.0)).min(cfg.fmax.get()));
+            let ar_lo = ApplicationRatio::new(ar).unwrap();
+            let ar_hi = ApplicationRatio::new((ar + 0.05).min(1.0)).unwrap();
+            let tj_lo = Celsius::new(tj);
+            let tj_hi = Celsius::new(tj + 10.0);
+            let p = |f: Hertz, a: ApplicationRatio, temp: Celsius| {
+                cfg.nominal_power(&DomainState::active(f, a), temp)
+            };
+            prop_assert!(p(f_hi, ar_lo, tj_lo) >= p(f_lo, ar_lo, tj_lo), "{kind}: frequency");
+            prop_assert!(p(f_lo, ar_hi, tj_lo) >= p(f_lo, ar_lo, tj_lo), "{kind}: activity");
+            prop_assert!(p(f_lo, ar_lo, tj_hi) >= p(f_lo, ar_lo, tj_lo), "{kind}: temperature");
+        }
+    }
+
+    /// The realised leakage fraction lies in (0, 1) and falls with
+    /// activity.
+    #[test]
+    fn leakage_fraction_behaviour(
+        tdp in 4.0f64..50.0,
+        ar in 0.15f64..0.9,
+    ) {
+        let soc = client_soc(Watts::new(tdp));
+        let cores = &soc.domain(DomainKind::Core0).power;
+        let f = Hertz::from_gigahertz(2.0);
+        let v = Volts::new(0.5);
+        let tj = Celsius::new(80.0);
+        let lo = cores.leakage_fraction_at(f, v, ApplicationRatio::new(ar).unwrap(), tj);
+        let hi = cores.leakage_fraction_at(
+            f,
+            v,
+            ApplicationRatio::new((ar + 0.1).min(1.0)).unwrap(),
+            tj,
+        );
+        prop_assert!(lo.get() > 0.0 && lo.get() < 1.0);
+        prop_assert!(hi <= lo);
+    }
+
+    /// C-state nominal power is invariant across SoCs (the §7.1
+    /// "same nominal power at all TDPs" assumption) and strictly ordered.
+    #[test]
+    fn cstate_powers_are_tdp_invariant(idx in 0usize..6) {
+        let state = PackageCState::ALL[idx];
+        let p = state.nominal_power();
+        // The table is static: identical regardless of any SoC instance.
+        let _ = client_soc(Watts::new(25.0));
+        prop_assert_eq!(state.nominal_power(), p);
+        prop_assert!(p.get() > 0.0 && p.get() <= 2.5);
+    }
+
+    /// Voltage from the V/f curve is monotone and inside Table 1's band
+    /// for every domain.
+    #[test]
+    fn vf_curves_are_sane(tdp in 4.0f64..50.0, t in 0.0f64..1.0) {
+        let soc = client_soc(Watts::new(tdp));
+        for (kind, cfg) in soc.domains() {
+            let span = cfg.fmax.get() - cfg.fmin.get();
+            let f = Hertz::new(cfg.fmin.get() + t * span);
+            let v = cfg.vf.voltage_at(f);
+            prop_assert!(
+                (0.35..=1.2).contains(&v.get()),
+                "{kind}: {v} at {:.2} GHz",
+                f.gigahertz()
+            );
+            let v2 = cfg.vf.voltage_at(Hertz::new((f.get() + 0.05 * span).min(cfg.fmax.get())));
+            prop_assert!(v2 >= v, "{kind}: V/f must be non-decreasing");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for quantity validation and curve construction.
+
+use std::fmt;
+
+/// Error produced when constructing or evaluating a validated quantity,
+/// ratio, or curve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitsError {
+    /// A value was outside its permitted range.
+    OutOfRange {
+        /// Name of the quantity being validated (e.g. `"efficiency"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable description of the permitted range.
+        range: &'static str,
+    },
+    /// A value was NaN or infinite where a finite value is required.
+    NotFinite {
+        /// Name of the quantity being validated.
+        what: &'static str,
+    },
+    /// A curve was built from fewer points than required.
+    TooFewPoints {
+        /// Number of points supplied.
+        got: usize,
+        /// Minimum number of points required.
+        need: usize,
+    },
+    /// Curve abscissae were not strictly increasing.
+    NonMonotonicAxis {
+        /// Index of the first offending point.
+        index: usize,
+    },
+    /// A 2-D grid was built with a value count that does not match its axes.
+    GridShapeMismatch {
+        /// Expected number of values (`rows * cols`).
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for UnitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitsError::OutOfRange { what, value, range } => {
+                write!(f, "{what} value {value} outside permitted range {range}")
+            }
+            UnitsError::NotFinite { what } => {
+                write!(f, "{what} value must be finite")
+            }
+            UnitsError::TooFewPoints { got, need } => {
+                write!(f, "curve needs at least {need} points, got {got}")
+            }
+            UnitsError::NonMonotonicAxis { index } => {
+                write!(f, "curve axis must be strictly increasing (violated at index {index})")
+            }
+            UnitsError::GridShapeMismatch { expected, got } => {
+                write!(f, "grid expected {expected} values, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnitsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_meaningful() {
+        let e = UnitsError::OutOfRange { what: "efficiency", value: 1.5, range: "(0, 1]" };
+        let msg = e.to_string();
+        assert!(msg.contains("efficiency"));
+        assert!(msg.contains("1.5"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UnitsError>();
+    }
+
+    #[test]
+    fn all_variants_display_nonempty() {
+        let variants = [
+            UnitsError::OutOfRange { what: "x", value: 0.0, range: "[0,1]" },
+            UnitsError::NotFinite { what: "x" },
+            UnitsError::TooFewPoints { got: 1, need: 2 },
+            UnitsError::NonMonotonicAxis { index: 3 },
+            UnitsError::GridShapeMismatch { expected: 6, got: 5 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

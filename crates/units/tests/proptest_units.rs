@@ -1,0 +1,111 @@
+//! Property-based tests for the quantity, ratio, and curve primitives.
+
+use pdn_units::{Amps, ApplicationRatio, Curve1, Efficiency, Grid2, Ohms, Volts, Watts};
+use proptest::prelude::*;
+
+fn finite(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
+    range.prop_filter("finite", |v| v.is_finite())
+}
+
+proptest! {
+    /// Ohm's law closes: (V / I) * I == V up to floating-point error.
+    #[test]
+    fn ohms_law_closes(v in finite(1e-3..10.0), i in finite(1e-3..100.0)) {
+        let volts = Volts::new(v);
+        let amps = Amps::new(i);
+        let r: Ohms = volts / amps;
+        let back: Volts = amps * r;
+        prop_assert!((back.get() - v).abs() <= 1e-9 * v.abs());
+    }
+
+    /// Conversion stages never create power: input ≥ output for η ∈ (0, 1].
+    #[test]
+    fn efficiency_never_creates_power(eta in finite(0.01..1.0), p in finite(0.0..100.0)) {
+        let eta = Efficiency::new(eta).unwrap();
+        let out = Watts::new(p);
+        let input = eta.input_for_output(out);
+        prop_assert!(input.get() >= out.get() - 1e-12);
+        let loss = eta.loss_for_output(out);
+        prop_assert!(loss.get() >= -1e-12);
+        // Round trip.
+        let recovered = eta.output_for_input(input);
+        prop_assert!((recovered.get() - p).abs() <= 1e-9 * p.max(1.0));
+    }
+
+    /// Chaining efficiencies is commutative and never exceeds either stage.
+    #[test]
+    fn chain_is_commutative_and_contractive(a in finite(0.01..1.0), b in finite(0.01..1.0)) {
+        let ea = Efficiency::new(a).unwrap();
+        let eb = Efficiency::new(b).unwrap();
+        prop_assert_eq!(ea.chain(eb), eb.chain(ea));
+        let chained = ea.chain(eb).get();
+        prop_assert!(chained <= ea.get() + 1e-15);
+        prop_assert!(chained <= eb.get() + 1e-15);
+    }
+
+    /// Peak power is at least average power for any valid AR.
+    #[test]
+    fn peak_power_dominates_average(ar in finite(0.01..1.0), p in finite(0.0..100.0)) {
+        let ar = ApplicationRatio::new(ar).unwrap();
+        prop_assert!(ar.peak_power(Watts::new(p)).get() >= p - 1e-12);
+    }
+
+    /// Curve evaluation stays within the convex hull of the knot values.
+    #[test]
+    fn curve_eval_bounded_by_knots(
+        ys in prop::collection::vec(finite(-100.0..100.0), 2..20),
+        x in finite(-10.0..30.0),
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let curve = Curve1::from_axes(xs, ys.clone()).unwrap();
+        let v = curve.eval(x);
+        let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        prop_assert_eq!(curve.y_min(), lo);
+        prop_assert_eq!(curve.y_max(), hi);
+    }
+
+    /// A curve built over a monotone non-decreasing set of y values evaluates
+    /// monotonically.
+    #[test]
+    fn monotone_curve_evaluates_monotonically(
+        mut ys in prop::collection::vec(finite(0.0..10.0), 2..12),
+        a in finite(0.0..12.0),
+        b in finite(0.0..12.0),
+    ) {
+        ys.sort_by(f64::total_cmp);
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let curve = Curve1::from_axes(xs, ys).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(curve.eval(lo) <= curve.eval(hi) + 1e-9);
+    }
+
+    /// Bilinear evaluation stays within the hull of the four bracketing
+    /// lattice values (and therefore within the global hull).
+    #[test]
+    fn grid_eval_bounded(
+        values in prop::collection::vec(finite(-5.0..5.0), 9),
+        r in finite(-1.0..4.0),
+        c in finite(-1.0..4.0),
+    ) {
+        let g = Grid2::from_rows(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0], values.clone()).unwrap();
+        let v = g.eval(r, c);
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    /// Grid evaluation reproduces lattice values exactly at the knots.
+    #[test]
+    fn grid_exact_at_knots(values in prop::collection::vec(finite(-5.0..5.0), 6)) {
+        let rows = vec![1.0, 2.0];
+        let cols = vec![10.0, 20.0, 40.0];
+        let g = Grid2::from_rows(rows.clone(), cols.clone(), values.clone()).unwrap();
+        for (ri, &r) in rows.iter().enumerate() {
+            for (ci, &c) in cols.iter().enumerate() {
+                prop_assert!((g.eval(r, c) - values[ri * 3 + ci]).abs() < 1e-12);
+            }
+        }
+    }
+}

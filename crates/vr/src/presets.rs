@@ -1,0 +1,211 @@
+//! Calibrated regulator presets for the platforms studied in the paper.
+//!
+//! These parametric devices substitute for the paper's lab-measured VRs
+//! (§4.2). Their efficiency ranges are calibrated to Table 2:
+//!
+//! * off-chip (board) VRs: 72–93 % over the workload operating range;
+//! * on-die IVR: 81–88 % over the workload operating range;
+//! * on-die LDO: `(Vout/Vin) · 99.1 %`.
+//!
+//! and their curve shapes to Fig. 3 (rising from ≈ 50 % at 0.1 A, peaking
+//! around 90 %, light-load power states recovering efficiency at low
+//! current).
+
+use crate::buck::{BuckConverter, BuckParams, PhaseConfig};
+use crate::ldo::LdoRegulator;
+use crate::powergate::PowerGate;
+use crate::traits::Placement;
+use pdn_units::{Amps, Ohms, Volts, Watts};
+
+/// The first-stage board VR (`V_IN`) used by the IVR, LDO, I+MBVR, and
+/// FlexWatts PDNs: converts the 7.2–20 V supply down to ≤ 2 V.
+pub fn vin_board_vr() -> BuckConverter {
+    BuckConverter::new(BuckParams {
+        name: "V_IN".into(),
+        placement: Placement::Motherboard,
+        vin_range: (Volts::new(5.0), Volts::new(20.0)),
+        vout_range: (Volts::new(0.4), Volts::new(2.0)),
+        min_headroom: Volts::new(2.0),
+        iccmax: Amps::new(60.0),
+        base_fixed_loss: Watts::from_milliwatts(40.0),
+        switch_drop: Volts::new(0.045),
+        vin_ref: Volts::new(7.2),
+        phases: PhaseConfig {
+            max_phases: 4,
+            per_phase_resistance: Ohms::from_milliohms(24.0),
+            per_phase_fixed: Watts::from_milliwatts(25.0),
+        },
+    })
+    .expect("preset parameters are valid")
+}
+
+/// A board VR feeding a compute domain directly (MBVR's `V_Cores`/`V_GFX`):
+/// converts the supply down to core voltages (0.5–1.1 V), so it must carry
+/// roughly twice the current of the `V_IN` VR at the same power.
+pub fn compute_board_vr(name: &str) -> BuckConverter {
+    BuckConverter::new(BuckParams {
+        name: name.into(),
+        placement: Placement::Motherboard,
+        vin_range: (Volts::new(5.0), Volts::new(20.0)),
+        vout_range: (Volts::new(0.3), Volts::new(1.3)),
+        min_headroom: Volts::new(2.0),
+        iccmax: Amps::new(80.0),
+        base_fixed_loss: Watts::from_milliwatts(40.0),
+        switch_drop: Volts::new(0.045),
+        vin_ref: Volts::new(7.2),
+        phases: PhaseConfig {
+            max_phases: 8,
+            per_phase_resistance: Ohms::from_milliohms(16.0),
+            per_phase_fixed: Watts::from_milliwatts(25.0),
+        },
+    })
+    .expect("preset parameters are valid")
+}
+
+/// The small board VR feeding the system agent (`V_SA`): low, narrow power
+/// range, optimised for ~1 A loads.
+pub fn sa_board_vr() -> BuckConverter {
+    small_rail_vr("V_SA")
+}
+
+/// The small board VR feeding the IO domain (`V_IO`).
+pub fn io_board_vr() -> BuckConverter {
+    small_rail_vr("V_IO")
+}
+
+fn small_rail_vr(name: &str) -> BuckConverter {
+    BuckConverter::new(BuckParams {
+        name: name.into(),
+        placement: Placement::Motherboard,
+        vin_range: (Volts::new(5.0), Volts::new(20.0)),
+        vout_range: (Volts::new(0.3), Volts::new(1.9)),
+        min_headroom: Volts::new(2.0),
+        iccmax: Amps::new(8.0),
+        base_fixed_loss: Watts::from_milliwatts(15.0),
+        switch_drop: Volts::new(0.035),
+        vin_ref: Volts::new(7.2),
+        phases: PhaseConfig {
+            max_phases: 2,
+            per_phase_resistance: Ohms::from_milliohms(30.0),
+            per_phase_fixed: Watts::from_milliwatts(10.0),
+        },
+    })
+    .expect("preset parameters are valid")
+}
+
+/// An on-die integrated voltage regulator (IVR): a high-switching-frequency
+/// buck fed at 1.6–1.8 V, regulating down to domain voltages with ≥ 0.6 V
+/// headroom (§2.2), with efficiency in Table 2's 81–88 % band at workload
+/// operating points.
+pub fn ivr(name: &str) -> BuckConverter {
+    BuckConverter::new(BuckParams {
+        name: name.into(),
+        placement: Placement::Die,
+        vin_range: (Volts::new(1.5), Volts::new(1.9)),
+        vout_range: (Volts::new(0.3), Volts::new(1.2)),
+        min_headroom: Volts::new(0.6),
+        iccmax: Amps::new(40.0),
+        base_fixed_loss: Watts::from_milliwatts(50.0),
+        switch_drop: Volts::new(0.094),
+        vin_ref: Volts::new(1.8),
+        phases: PhaseConfig {
+            max_phases: 16,
+            per_phase_resistance: Ohms::from_milliohms(14.0),
+            per_phase_fixed: Watts::from_milliwatts(24.0),
+        },
+    })
+    .expect("preset parameters are valid")
+}
+
+/// The shared off-chip `V_IN` VR of the FlexWatts hybrid PDN: one device
+/// that must output 1.8 V in IVR-Mode *and* compute voltages (0.4–1.1 V)
+/// in LDO-Mode. Electrically it is a compute-class multi-phase design,
+/// sized with an Iccmax similar to the IVR PDN's first stage because
+/// high-power (high-current) episodes always run in IVR-Mode (§7).
+pub fn flexwatts_vin_vr() -> BuckConverter {
+    BuckConverter::new(BuckParams {
+        name: "V_IN".into(),
+        placement: Placement::Motherboard,
+        vin_range: (Volts::new(5.0), Volts::new(20.0)),
+        vout_range: (Volts::new(0.3), Volts::new(2.0)),
+        min_headroom: Volts::new(2.0),
+        iccmax: Amps::new(60.0),
+        base_fixed_loss: Watts::from_milliwatts(40.0),
+        switch_drop: Volts::new(0.047),
+        vin_ref: Volts::new(7.2),
+        phases: PhaseConfig {
+            max_phases: 8,
+            per_phase_resistance: Ohms::from_milliohms(16.0),
+            per_phase_fixed: Watts::from_milliwatts(25.0),
+        },
+    })
+    .expect("preset parameters are valid")
+}
+
+/// An on-die LDO VR with the paper's 99.1 % current efficiency.
+pub fn ldo(name: &str) -> LdoRegulator {
+    LdoRegulator::paper_default(name)
+}
+
+/// An on-die power gate with Table 2's impedance range (1–2 mΩ; this preset
+/// uses 1.5 mΩ).
+pub fn power_gate(name: &str) -> PowerGate {
+    PowerGate::new(name, Ohms::from_milliohms(1.5), Amps::new(40.0))
+        .expect("preset parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{OperatingPoint, VoltageRegulator};
+
+    #[test]
+    fn board_vr_efficiency_spans_table2_range() {
+        let vr = vin_board_vr();
+        let mut etas = Vec::new();
+        for i in [0.3, 1.0, 3.0, 10.0, 25.0] {
+            let op = OperatingPoint::new(Volts::new(7.2), Volts::new(1.8), Amps::new(i));
+            etas.push(vr.efficiency(op).unwrap().get());
+        }
+        let max = etas.iter().copied().fold(0.0, f64::max);
+        let min = etas.iter().copied().fold(1.0, f64::min);
+        assert!(max > 0.88 && max < 0.95, "peak board η {max}");
+        assert!(min > 0.70, "worst workload-range board η {min}");
+    }
+
+    #[test]
+    fn compute_board_vr_carries_double_current() {
+        let vr = compute_board_vr("V_Cores");
+        assert!(vr.iccmax().get() > vin_board_vr().iccmax().get());
+        // 30 W at 0.9 V is ~33 A: must be feasible with reasonable η.
+        let op = OperatingPoint::new(Volts::new(7.2), Volts::new(0.9), Amps::new(33.0));
+        let eta = vr.efficiency(op).unwrap().get();
+        assert!(eta > 0.78 && eta < 0.93, "η at 30 W core load = {eta}");
+    }
+
+    #[test]
+    fn sa_io_rails_efficient_at_their_small_loads() {
+        for vr in [sa_board_vr(), io_board_vr()] {
+            let op = OperatingPoint::new(Volts::new(7.2), Volts::new(0.9), Amps::new(1.2));
+            let eta = vr.efficiency(op).unwrap().get();
+            assert!(eta > 0.82, "{} η at 1.2 A = {eta}", vr.name());
+        }
+    }
+
+    #[test]
+    fn ivr_headroom_is_point_six_volts() {
+        let vr = ivr("IVR");
+        assert!(vr.supports_conversion(Volts::new(1.8), Volts::new(1.2)));
+        assert!(!vr.supports_conversion(Volts::new(1.8), Volts::new(1.21)));
+    }
+
+    #[test]
+    fn all_presets_have_unique_sensible_names() {
+        assert_eq!(vin_board_vr().name(), "V_IN");
+        assert_eq!(sa_board_vr().name(), "V_SA");
+        assert_eq!(io_board_vr().name(), "V_IO");
+        assert_eq!(ivr("IVR_GFX").name(), "IVR_GFX");
+        assert_eq!(ldo("LDO_LLC").name(), "LDO_LLC");
+        assert_eq!(power_gate("PG_Core1").name(), "PG_Core1");
+    }
+}

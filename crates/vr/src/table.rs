@@ -1,0 +1,324 @@
+//! Tabulated voltage-regulator efficiency surfaces.
+//!
+//! PDNspot's inputs are *measured* efficiency curves — η as a function of
+//! output current for a lattice of input voltages, output voltages, and VR
+//! power states (§4.2 and Fig. 3 of the paper). [`EfficiencySurface`]
+//! stores curves in exactly that form and interpolates between them, which
+//! is also how a real PMU stores VR efficiency tables in firmware
+//! (footnote 11 of the paper).
+//!
+//! A surface can be *sampled* from any parametric [`VoltageRegulator`]
+//! model via [`EfficiencySurface::sample`], standing in for a lab
+//! measurement campaign over a real device.
+
+use crate::traits::{OperatingPoint, Placement, VoltageRegulator, VrError, VrPowerState};
+use pdn_units::{Amps, Curve1, Efficiency, Volts};
+use serde::{Deserialize, Serialize};
+
+/// One measured efficiency curve: η(Iout) at fixed (Vin, Vout, power state).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurfaceEntry {
+    /// Input voltage of the sweep.
+    pub vin: Volts,
+    /// Output voltage of the sweep.
+    pub vout: Volts,
+    /// VR power state of the sweep.
+    pub power_state: VrPowerState,
+    /// Efficiency versus output current in amperes (log-current axis).
+    pub curve: Curve1,
+}
+
+/// A set of efficiency curves forming an η(Vin, Vout, Iout, PS) surface.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_units::{Amps, Volts};
+/// use pdn_vr::{presets, EfficiencySurface, OperatingPoint, VoltageRegulator, VrPowerState};
+///
+/// // "Measure" the V_IN board VR over the Fig. 3 sweep lattice.
+/// let surface = EfficiencySurface::sample(
+///     &presets::vin_board_vr(),
+///     &[Volts::new(7.2)],
+///     &[Volts::new(1.8)],
+///     &[VrPowerState::Ps0],
+///     (0.1, 10.0),
+///     16,
+/// )?;
+/// let op = OperatingPoint::new(Volts::new(7.2), Volts::new(1.8), Amps::new(2.0));
+/// let direct = presets::vin_board_vr().efficiency(op)?;
+/// let tabulated = surface.efficiency(op)?;
+/// assert!((direct.get() - tabulated.get()).abs() < 0.01);
+/// # Ok::<(), pdn_vr::VrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencySurface {
+    name: String,
+    placement: Placement,
+    iccmax: Amps,
+    entries: Vec<SurfaceEntry>,
+}
+
+impl EfficiencySurface {
+    /// Builds a surface from explicit entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VrError::InvalidParameter`] if `entries` is empty or
+    /// `iccmax` is non-positive.
+    pub fn new(
+        name: impl Into<String>,
+        placement: Placement,
+        iccmax: Amps,
+        entries: Vec<SurfaceEntry>,
+    ) -> Result<Self, VrError> {
+        if entries.is_empty() {
+            return Err(VrError::InvalidParameter {
+                parameter: "entries",
+                value: 0.0,
+                range: "at least one curve",
+            });
+        }
+        if iccmax.get() <= 0.0 {
+            return Err(VrError::InvalidParameter {
+                parameter: "iccmax",
+                value: iccmax.get(),
+                range: "> 0",
+            });
+        }
+        Ok(Self { name: name.into(), placement, iccmax, entries })
+    }
+
+    /// Samples a parametric regulator over a measurement lattice,
+    /// producing the tabulated equivalent of a lab sweep: for each
+    /// (Vin, Vout, PS) combination, η is recorded at `points_per_decade`-
+    /// spaced currents spanning `current_range` (amperes, log-spaced).
+    ///
+    /// Lattice points the device cannot operate at (dropout violations,
+    /// current beyond a power state's capability) are skipped, exactly as a
+    /// lab sweep would skip them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VrError::InvalidParameter`] if no lattice point is
+    /// feasible.
+    pub fn sample(
+        vr: &dyn VoltageRegulator,
+        vins: &[Volts],
+        vouts: &[Volts],
+        power_states: &[VrPowerState],
+        current_range: (f64, f64),
+        points_per_curve: usize,
+    ) -> Result<Self, VrError> {
+        let mut entries = Vec::new();
+        let (lo, hi) = current_range;
+        for &vin in vins {
+            for &vout in vouts {
+                if !vr.supports_conversion(vin, vout) {
+                    continue;
+                }
+                for &ps in power_states {
+                    let mut points = Vec::new();
+                    for k in 0..points_per_curve {
+                        let t = k as f64 / (points_per_curve - 1).max(1) as f64;
+                        let i = lo * (hi / lo).powf(t);
+                        let op = OperatingPoint::new(vin, vout, Amps::new(i))
+                            .with_power_state(ps);
+                        if let Ok(eta) = vr.efficiency(op) {
+                            points.push((i, eta.get()));
+                        }
+                    }
+                    if points.len() >= 2 {
+                        entries.push(SurfaceEntry {
+                            vin,
+                            vout,
+                            power_state: ps,
+                            curve: Curve1::from_points(points)?,
+                        });
+                    }
+                }
+            }
+        }
+        Self::new(format!("{}_table", vr.name()), vr.placement(), vr.iccmax(), entries)
+    }
+
+    /// Iterates over the stored curves (used to print Fig. 3).
+    pub fn entries(&self) -> &[SurfaceEntry] {
+        &self.entries
+    }
+
+    /// Returns the curve measured at exactly (vin, vout, ps), if any.
+    pub fn curve_at(
+        &self,
+        vin: Volts,
+        vout: Volts,
+        ps: VrPowerState,
+    ) -> Option<&Curve1> {
+        self.entries
+            .iter()
+            .find(|e| {
+                e.power_state == ps
+                    && (e.vin.get() - vin.get()).abs() < 1e-9
+                    && (e.vout.get() - vout.get()).abs() < 1e-9
+            })
+            .map(|e| &e.curve)
+    }
+}
+
+impl VoltageRegulator for EfficiencySurface {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    fn efficiency(&self, op: OperatingPoint) -> Result<Efficiency, VrError> {
+        if op.iout.get() <= 0.0 || op.iout > self.iccmax {
+            return Err(VrError::UnsupportedOperatingPoint {
+                regulator: self.name.clone(),
+                reason: format!("current {} outside (0, {}]", op.iout, self.iccmax),
+            });
+        }
+        // Restrict to the requested power state, falling back to any state
+        // if it was never measured.
+        let in_state: Vec<&SurfaceEntry> =
+            self.entries.iter().filter(|e| e.power_state == op.power_state).collect();
+        let candidates: &[&SurfaceEntry] = if in_state.is_empty() {
+            return Err(VrError::UnsupportedOperatingPoint {
+                regulator: self.name.clone(),
+                reason: format!("no curves measured in {}", op.power_state),
+            });
+        } else {
+            &in_state
+        };
+        // Nearest input voltage plane.
+        let vin_dist = |e: &SurfaceEntry| (e.vin.get() - op.vin.get()).abs();
+        let best_vin = candidates
+            .iter()
+            .map(|e| e.vin.get())
+            .min_by(|a, b| {
+                (a - op.vin.get()).abs().total_cmp(&(b - op.vin.get()).abs())
+            })
+            .expect("candidates nonempty");
+        let plane: Vec<&&SurfaceEntry> = candidates
+            .iter()
+            .filter(|e| (e.vin.get() - best_vin).abs() < 1e-9)
+            .collect();
+        let _ = vin_dist;
+        // Interpolate across output voltage between the two bracketing
+        // curves (clamped at the extremes).
+        let mut below: Option<&SurfaceEntry> = None;
+        let mut above: Option<&SurfaceEntry> = None;
+        for e in &plane {
+            if e.vout <= op.vout
+                && below.map_or(true, |b| e.vout > b.vout)
+            {
+                below = Some(e);
+            }
+            if e.vout >= op.vout
+                && above.map_or(true, |a| e.vout < a.vout)
+            {
+                above = Some(e);
+            }
+        }
+        let i = op.iout.get();
+        let eta = match (below, above) {
+            (Some(b), Some(a)) if (a.vout.get() - b.vout.get()).abs() > 1e-12 => {
+                let t = (op.vout.get() - b.vout.get()) / (a.vout.get() - b.vout.get());
+                let eb = b.curve.eval_logx(i);
+                let ea = a.curve.eval_logx(i);
+                eb + t * (ea - eb)
+            }
+            (Some(e), _) | (_, Some(e)) => e.curve.eval_logx(i),
+            (None, None) => {
+                return Err(VrError::UnsupportedOperatingPoint {
+                    regulator: self.name.clone(),
+                    reason: "empty voltage plane".into(),
+                })
+            }
+        };
+        Ok(Efficiency::new(eta.clamp(1e-6, 1.0))?)
+    }
+
+    fn iccmax(&self) -> Amps {
+        self.iccmax
+    }
+
+    fn supports_conversion(&self, _vin: Volts, vout: Volts) -> bool {
+        self.entries.iter().any(|e| (e.vout.get() - vout.get()).abs() < 0.25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn sampled() -> EfficiencySurface {
+        EfficiencySurface::sample(
+            &presets::vin_board_vr(),
+            &[Volts::new(7.2), Volts::new(12.0)],
+            &[Volts::new(0.6), Volts::new(1.0), Volts::new(1.8)],
+            &[VrPowerState::Ps0, VrPowerState::Ps1],
+            (0.05, 20.0),
+            24,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sampling_covers_the_lattice() {
+        let s = sampled();
+        // 2 vins × 3 vouts × 2 power states, minus PS1 curves that get
+        // truncated but still have ≥ 2 feasible points.
+        assert!(s.entries().len() >= 8, "got {} entries", s.entries().len());
+        assert!(s.curve_at(Volts::new(7.2), Volts::new(1.8), VrPowerState::Ps0).is_some());
+    }
+
+    #[test]
+    fn tabulated_matches_parametric_model() {
+        let s = sampled();
+        let vr = presets::vin_board_vr();
+        for i in [0.1, 0.5, 1.0, 3.0, 8.0] {
+            let op = OperatingPoint::new(Volts::new(7.2), Volts::new(1.0), Amps::new(i));
+            let direct = vr.efficiency(op).unwrap().get();
+            let tab = s.efficiency(op).unwrap().get();
+            assert!(
+                (direct - tab).abs() < 0.015,
+                "mismatch at {i} A: direct {direct}, table {tab}"
+            );
+        }
+    }
+
+    #[test]
+    fn interpolates_between_measured_vouts() {
+        let s = sampled();
+        let op = OperatingPoint::new(Volts::new(7.2), Volts::new(0.8), Amps::new(2.0));
+        let eta = s.efficiency(op).unwrap().get();
+        let lo = s
+            .efficiency(OperatingPoint::new(Volts::new(7.2), Volts::new(0.6), Amps::new(2.0)))
+            .unwrap()
+            .get();
+        let hi = s
+            .efficiency(OperatingPoint::new(Volts::new(7.2), Volts::new(1.0), Amps::new(2.0)))
+            .unwrap()
+            .get();
+        assert!(eta >= lo.min(hi) && eta <= lo.max(hi));
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_construction() {
+        assert!(EfficiencySurface::new("x", Placement::Motherboard, Amps::new(1.0), vec![])
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_power_state_is_an_error() {
+        let s = sampled();
+        let op = OperatingPoint::new(Volts::new(7.2), Volts::new(1.0), Amps::new(0.1))
+            .with_power_state(VrPowerState::Ps4);
+        assert!(s.efficiency(op).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the regulator device models.
+
+use pdn_units::{Amps, Volts, Watts};
+use pdn_vr::{presets, LdoRegulator, OperatingPoint, VoltageRegulator, VrPowerState};
+use proptest::prelude::*;
+
+fn op(vin: f64, vout: f64, iout: f64) -> OperatingPoint {
+    OperatingPoint::new(Volts::new(vin), Volts::new(vout), Amps::new(iout))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any feasible buck operating point yields η ∈ (0, 1) and an input
+    /// power strictly above the output power.
+    #[test]
+    fn buck_never_creates_power(
+        vout in 0.45f64..1.9,
+        iout in 0.05f64..30.0,
+    ) {
+        let vr = presets::vin_board_vr();
+        let point = op(7.2, vout, iout);
+        let eta = vr.efficiency(point).unwrap();
+        prop_assert!(eta.get() > 0.0 && eta.get() < 1.0);
+        let pin = vr.input_power(point).unwrap();
+        prop_assert!(pin > point.output_power());
+        // Efficiency, input power, and loss are mutually consistent.
+        let loss = vr.loss(point).unwrap();
+        prop_assert!((pin.get() - point.output_power().get() - loss.get()).abs() < 1e-9);
+        let from_eta = point.output_power().get() / eta.get();
+        prop_assert!((from_eta - pin.get()).abs() < 1e-9);
+    }
+
+    /// Phase shedding picks a loss-minimal phase count: no other count
+    /// does better.
+    #[test]
+    fn phase_shedding_is_optimal(
+        vout in 0.5f64..1.8,
+        iout in 0.1f64..30.0,
+    ) {
+        let vr = presets::compute_board_vr("V_X");
+        let point = op(7.2, vout.min(1.3), iout);
+        if vr.check_point(point).is_err() {
+            return Ok(()); // outside the device envelope
+        }
+        let chosen = vr.active_phases(point);
+        let loss_with = |n: u32| -> f64 {
+            // Reconstruct the loss decomposition for an arbitrary count.
+            let p = vr.params();
+            let fixed = p.base_fixed_loss.get()
+                + n as f64 * p.phases.per_phase_fixed.get();
+            let vin_scale = 0.5 + 0.5 * (7.2 / p.vin_ref.get());
+            let switching = p.switch_drop.get() * vin_scale * iout;
+            let conduction = p.phases.per_phase_resistance.get() / n as f64 * iout * iout;
+            fixed + switching + conduction
+        };
+        let chosen_loss = loss_with(chosen);
+        for n in 1..=vr.params().phases.max_phases {
+            prop_assert!(
+                chosen_loss <= loss_with(n) + 1e-9,
+                "phase count {chosen} lost to {n} at {iout:.1} A"
+            );
+        }
+    }
+
+    /// The LDO efficiency equals the paper's Eq. 10 exactly in regulation
+    /// mode, for any valid voltage pair.
+    #[test]
+    fn ldo_matches_equation_10(
+        vin in 0.5f64..1.2,
+        ratio in 0.3f64..0.9,
+        iout in 0.1f64..20.0,
+    ) {
+        let ldo = LdoRegulator::paper_default("LDO");
+        let vout = vin * ratio;
+        let point = op(vin, vout, iout);
+        let eta = ldo.efficiency(point).unwrap();
+        let expected = (vout / vin) * ldo.current_efficiency().get();
+        prop_assert!((eta.get() - expected).abs() < 1e-12);
+    }
+
+    /// Deeper VR power states never *increase* loss at currents they can
+    /// carry.
+    #[test]
+    fn deeper_power_states_never_hurt(iout in 0.01f64..0.25) {
+        let vr = presets::vin_board_vr();
+        let mut prev_loss = f64::INFINITY;
+        for ps in VrPowerState::ALL {
+            let point = op(7.2, 1.8, iout).with_power_state(ps);
+            let Ok(loss) = vr.loss(point) else { break };
+            prop_assert!(
+                loss.get() <= prev_loss + 1e-12,
+                "{ps} increased loss at {iout:.3} A"
+            );
+            prev_loss = loss.get();
+        }
+    }
+
+    /// `best_power_state` always returns a state that can actually carry
+    /// the current.
+    #[test]
+    fn best_power_state_is_feasible(iout in 0.0f64..59.0) {
+        let vr = presets::vin_board_vr();
+        let ps = vr.best_power_state(Amps::new(iout));
+        let capability = vr.iccmax().get() * ps.current_capability_factor();
+        prop_assert!(iout <= capability + 1e-12);
+    }
+
+    /// Power gates: drop and loss scale exactly linearly/quadratically.
+    #[test]
+    fn power_gate_scaling_laws(i in 0.1f64..35.0) {
+        let pg = presets::power_gate("PG");
+        let drop = pg.voltage_drop(Amps::new(i));
+        let loss = pg.conduction_loss(Amps::new(i));
+        prop_assert!((drop.get() - i * pg.resistance().get()).abs() < 1e-12);
+        prop_assert!((loss.get() - i * i * pg.resistance().get()).abs() < 1e-12);
+        // Doubling current doubles drop and quadruples loss.
+        let drop2 = pg.voltage_drop(Amps::new(2.0 * i));
+        prop_assert!((drop2.get() - 2.0 * drop.get()).abs() < 1e-12);
+    }
+
+    /// Quiescent (zero-load) input power is a continuous lower bound: any
+    /// loaded point draws more.
+    #[test]
+    fn quiescent_power_is_a_floor(iout in 0.01f64..30.0) {
+        let vr = presets::vin_board_vr();
+        let quiescent = vr.input_power(op(7.2, 1.8, 0.0)).unwrap();
+        let loaded = vr.input_power(op(7.2, 1.8, iout)).unwrap();
+        prop_assert!(loaded > quiescent);
+        let _ = Watts::ZERO;
+    }
+}

@@ -1,0 +1,149 @@
+//! Composite workload mixes: multi-programmed SPEC pairs as runnable
+//! traces, SYSmark-style office sessions, and HandBrake-style sustained
+//! encodes — the remaining workload families of the paper's §4.1 trace
+//! library.
+
+use crate::batterylife::BatteryLifeWorkload;
+use crate::spec::{multiprogrammed_pairs, SpecBenchmark};
+use crate::trace::{Trace, TraceInterval, WorkloadType};
+use pdn_proc::PackageCState;
+use pdn_units::{ApplicationRatio, Ratio, Seconds};
+
+/// A multi-programmed pair run as one multi-thread trace: both cores busy,
+/// the pair's AR the mean of the members', its scalability the minimum
+/// (the slower-scaling member gates the pair's throughput).
+#[derive(Debug, Clone)]
+pub struct MultiProgrammedMix {
+    /// Display name (`"433.milc+416.gamess"`).
+    pub name: String,
+    /// Effective application ratio.
+    pub ar: ApplicationRatio,
+    /// Effective performance scalability.
+    pub perf_scalability: Ratio,
+}
+
+impl MultiProgrammedMix {
+    /// Builds the mix of two benchmarks.
+    pub fn of(a: &SpecBenchmark, b: &SpecBenchmark) -> Self {
+        let ar = ApplicationRatio::new(0.5 * (a.ar.get() + b.ar.get()))
+            .expect("mean of valid ARs is valid");
+        let scal = if a.perf_scalability <= b.perf_scalability {
+            a.perf_scalability
+        } else {
+            b.perf_scalability
+        };
+        Self { name: format!("{}+{}", a.name, b.name), ar, perf_scalability: scal }
+    }
+
+    /// A steady multi-thread trace of the mix.
+    pub fn as_trace(&self, duration: Seconds) -> Trace {
+        Trace::new(
+            self.name.clone(),
+            vec![TraceInterval::active(duration, WorkloadType::MultiThread, self.ar)],
+        )
+    }
+}
+
+/// The multi-programmed trace library: every Fig. 7 pairing as a mix.
+pub fn multiprogrammed_mixes() -> Vec<MultiProgrammedMix> {
+    multiprogrammed_pairs()
+        .iter()
+        .map(|(_, a, b)| MultiProgrammedMix::of(a, b))
+        .collect()
+}
+
+/// A SYSmark-style office-productivity session: bursts of single-thread
+/// work (keystroke/interaction handling) separated by C-state idle — the
+/// §4.1 "office productivity workloads" family.
+pub fn office_productivity(minutes_of_bursts: usize) -> Trace {
+    let mut intervals = Vec::with_capacity(minutes_of_bursts * 3);
+    for i in 0..minutes_of_bursts {
+        // Alternate light and heavier interactions.
+        let ar = if i % 3 == 0 { 0.65 } else { 0.45 };
+        intervals.push(TraceInterval::active(
+            Seconds::from_millis(25.0),
+            WorkloadType::SingleThread,
+            ApplicationRatio::new(ar).expect("static AR is valid"),
+        ));
+        intervals.push(TraceInterval::idle(Seconds::from_millis(15.0), PackageCState::C2));
+        intervals.push(TraceInterval::idle(Seconds::from_millis(60.0), PackageCState::C8));
+    }
+    Trace::new("sysmark-office", intervals)
+}
+
+/// A HandBrake-style sustained transcode: long multi-thread compute with
+/// periodic I/O stalls — the §4.1 media-encode family.
+pub fn video_transcode(seconds: usize) -> Trace {
+    let mut intervals = Vec::with_capacity(seconds * 2);
+    for _ in 0..seconds {
+        intervals.push(TraceInterval::active(
+            Seconds::from_millis(940.0),
+            WorkloadType::MultiThread,
+            ApplicationRatio::new(0.82).expect("static AR is valid"),
+        ));
+        intervals.push(TraceInterval::idle(Seconds::from_millis(60.0), PackageCState::C2));
+    }
+    Trace::new("handbrake-transcode", intervals)
+}
+
+/// A mixed session: transcode in the background of an office session with
+/// occasional video breaks — a stress case for the FlexWatts predictor.
+pub fn mixed_session() -> Trace {
+    let mut t = Trace::new("mixed-session", vec![]);
+    t.extend(&office_productivity(4));
+    t.extend(&video_transcode(1));
+    t.extend(&BatteryLifeWorkload::VideoPlayback.as_trace(30));
+    t.extend(&office_productivity(2));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_inherit_the_weaker_scalability() {
+        let mixes = multiprogrammed_mixes();
+        assert_eq!(mixes.len(), 14);
+        let first = &mixes[0];
+        assert_eq!(first.name, "433.milc+416.gamess");
+        // milc's 0.37 gates the pair.
+        assert!((first.perf_scalability.get() - 0.37).abs() < 1e-12);
+        // The AR is the mean of 0.52 and 0.80.
+        assert!((first.ar.get() - 0.66).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_traces_are_multithreaded() {
+        let t = multiprogrammed_mixes()[3].as_trace(Seconds::new(1.0));
+        assert_eq!(t.dominant_type(), Some(WorkloadType::MultiThread));
+    }
+
+    #[test]
+    fn office_session_is_mostly_idle() {
+        let t = office_productivity(10);
+        let res = t.active_residency().get();
+        assert!((0.2..0.35).contains(&res), "office active residency {res}");
+        assert_eq!(t.intervals().len(), 30);
+    }
+
+    #[test]
+    fn transcode_is_mostly_busy() {
+        let t = video_transcode(5);
+        assert!(t.active_residency().get() > 0.9);
+        assert!((t.total_duration().get() - 5.0).abs() < 1e-9);
+        assert!(t.mean_active_ar().unwrap().get() > 0.8);
+    }
+
+    #[test]
+    fn mixed_session_spans_phases() {
+        let t = mixed_session();
+        assert!(t.total_duration().get() > 1.0);
+        // It contains active phases of more than one kind plus deep idle.
+        assert!(t.intervals().iter().any(|i| i.phase.is_active()));
+        assert!(t
+            .intervals()
+            .iter()
+            .any(|i| matches!(i.phase, crate::trace::Phase::Idle(PackageCState::C8))));
+    }
+}

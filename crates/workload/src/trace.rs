@@ -1,0 +1,308 @@
+//! Interval traces: the representation of workload behaviour over time.
+//!
+//! A trace is a sequence of intervals, each either *active* (compute
+//! domains running with a workload type and application ratio) or *idle*
+//! (the package resides in a C-state). PDNspot's steady-state models
+//! consume one interval at a time; the FlexWatts runtime simulator walks
+//! whole traces.
+
+use pdn_proc::{DomainKind, PackageCState};
+use pdn_units::{ApplicationRatio, Ratio, Seconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The workload types distinguished by the paper's models and by the
+/// FlexWatts mode predictor (Algorithm 1 input `WL_TYPE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum WorkloadType {
+    /// One CPU core active, graphics idle.
+    SingleThread,
+    /// Both CPU cores active (multi-threaded or multi-programmed),
+    /// graphics idle.
+    MultiThread,
+    /// Graphics engines active; cores lightly loaded (§7.1: 10–20 % of the
+    /// budget goes to the cores in graphics workloads).
+    Graphics,
+    /// Battery-life workload: mostly idle with short active bursts.
+    BatteryLife,
+}
+
+impl WorkloadType {
+    /// The workload types with meaningful active-interval ETEE curves
+    /// (Fig. 4a–i rows).
+    pub const ACTIVE_TYPES: [WorkloadType; 3] =
+        [WorkloadType::SingleThread, WorkloadType::MultiThread, WorkloadType::Graphics];
+
+    /// Whether a domain is powered during an active interval of this type.
+    pub fn domain_powered(self, domain: DomainKind) -> bool {
+        match domain {
+            DomainKind::Core0 | DomainKind::Llc | DomainKind::Sa | DomainKind::Io => true,
+            // Graphics workloads park the second core: the GPU does the
+            // heavy lifting and the cores get only 10-20 % of the budget
+            // (§7.1), which one core at low frequency already consumes.
+            DomainKind::Core1 => matches!(self, WorkloadType::MultiThread),
+            DomainKind::Gfx => matches!(self, WorkloadType::Graphics),
+        }
+    }
+
+    /// The fraction of the compute power budget allocated to the CPU cores
+    /// (the rest goes to graphics). §7.1: graphics workloads give the cores
+    /// 10–20 %; CPU workloads give graphics nothing.
+    pub fn core_budget_share(self) -> Ratio {
+        let share = match self {
+            WorkloadType::Graphics => 0.15,
+            _ => 1.0,
+        };
+        Ratio::new(share).expect("static share is valid")
+    }
+}
+
+impl fmt::Display for WorkloadType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WorkloadType::SingleThread => "single-thread",
+            WorkloadType::MultiThread => "multi-thread",
+            WorkloadType::Graphics => "graphics",
+            WorkloadType::BatteryLife => "battery-life",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What the processor is doing during one trace interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Compute domains are executing.
+    Active {
+        /// The workload type of the interval.
+        workload_type: WorkloadType,
+        /// Package-level application ratio (AR) of the interval.
+        ar: ApplicationRatio,
+    },
+    /// The package resides in an idle state (or C0MIN).
+    Idle(PackageCState),
+}
+
+impl Phase {
+    /// The AR of the phase; idle phases report the power-virus AR since
+    /// their guardband question does not arise.
+    pub fn ar(&self) -> ApplicationRatio {
+        match self {
+            Phase::Active { ar, .. } => *ar,
+            Phase::Idle(_) => ApplicationRatio::POWER_VIRUS,
+        }
+    }
+
+    /// Whether this phase counts as active (C0) residency. The C0MIN
+    /// state — active at minimum frequency — counts (§5: R_C0MIN is an
+    /// active residency).
+    pub fn is_active(&self) -> bool {
+        match self {
+            Phase::Active { .. } => true,
+            Phase::Idle(state) => state.is_active(),
+        }
+    }
+}
+
+/// One interval of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceInterval {
+    /// Interval length.
+    pub duration: Seconds,
+    /// What the processor does in the interval.
+    pub phase: Phase,
+}
+
+impl TraceInterval {
+    /// An active interval.
+    pub fn active(duration: Seconds, workload_type: WorkloadType, ar: ApplicationRatio) -> Self {
+        Self { duration, phase: Phase::Active { workload_type, ar } }
+    }
+
+    /// An idle interval in `state`.
+    pub fn idle(duration: Seconds, state: PackageCState) -> Self {
+        Self { duration, phase: Phase::Idle(state) }
+    }
+}
+
+/// A named sequence of intervals.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_proc::PackageCState;
+/// use pdn_units::{ApplicationRatio, Seconds};
+/// use pdn_workload::{Trace, TraceInterval, WorkloadType};
+///
+/// let trace = Trace::new(
+///     "burst",
+///     vec![
+///         TraceInterval::active(
+///             Seconds::from_millis(10.0),
+///             WorkloadType::SingleThread,
+///             ApplicationRatio::new(0.6)?,
+///         ),
+///         TraceInterval::idle(Seconds::from_millis(90.0), PackageCState::C8),
+///     ],
+/// );
+/// assert!((trace.total_duration().millis() - 100.0).abs() < 1e-9);
+/// assert!((trace.active_residency().get() - 0.1).abs() < 1e-9);
+/// # Ok::<(), pdn_units::UnitsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    intervals: Vec<TraceInterval>,
+}
+
+impl Trace {
+    /// Creates a trace.
+    pub fn new(name: impl Into<String>, intervals: Vec<TraceInterval>) -> Self {
+        Self { name: name.into(), intervals }
+    }
+
+    /// The trace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The intervals, in order.
+    pub fn intervals(&self) -> &[TraceInterval] {
+        &self.intervals
+    }
+
+    /// Total trace duration.
+    pub fn total_duration(&self) -> Seconds {
+        self.intervals.iter().map(|i| i.duration).sum()
+    }
+
+    /// The fraction of trace time spent in active phases.
+    pub fn active_residency(&self) -> Ratio {
+        let total = self.total_duration();
+        if total.get() <= 0.0 {
+            return Ratio::ZERO;
+        }
+        let active: Seconds =
+            self.intervals.iter().filter(|i| i.phase.is_active()).map(|i| i.duration).sum();
+        Ratio::new(active.get() / total.get()).expect("residency of positive durations")
+    }
+
+    /// Duration-weighted mean AR over the active intervals, if any.
+    pub fn mean_active_ar(&self) -> Option<ApplicationRatio> {
+        let mut weighted = 0.0;
+        let mut time = 0.0;
+        for i in &self.intervals {
+            if let Phase::Active { ar, .. } = i.phase {
+                weighted += ar.get() * i.duration.get();
+                time += i.duration.get();
+            }
+        }
+        if time <= 0.0 {
+            None
+        } else {
+            Some(ApplicationRatio::new(weighted / time).expect("mean of valid ARs is valid"))
+        }
+    }
+
+    /// The dominant workload type by active time, if the trace has any
+    /// active interval.
+    pub fn dominant_type(&self) -> Option<WorkloadType> {
+        use std::collections::BTreeMap;
+        let mut time: BTreeMap<WorkloadType, f64> = BTreeMap::new();
+        for i in &self.intervals {
+            if let Phase::Active { workload_type, .. } = i.phase {
+                *time.entry(workload_type).or_insert(0.0) += i.duration.get();
+            }
+        }
+        time.into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(t, _)| t)
+    }
+
+    /// Appends another trace's intervals (sequential composition).
+    pub fn extend(&mut self, other: &Trace) {
+        self.intervals.extend_from_slice(&other.intervals);
+    }
+
+    /// Repeats this trace `n` times.
+    pub fn repeat(&self, n: usize) -> Trace {
+        let mut intervals = Vec::with_capacity(self.intervals.len() * n);
+        for _ in 0..n {
+            intervals.extend_from_slice(&self.intervals);
+        }
+        Trace::new(format!("{}x{n}", self.name), intervals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar(v: f64) -> ApplicationRatio {
+        ApplicationRatio::new(v).unwrap()
+    }
+
+    #[test]
+    fn workload_type_domain_roles() {
+        use DomainKind::*;
+        assert!(WorkloadType::SingleThread.domain_powered(Core0));
+        assert!(!WorkloadType::SingleThread.domain_powered(Core1));
+        assert!(!WorkloadType::SingleThread.domain_powered(Gfx));
+        assert!(WorkloadType::MultiThread.domain_powered(Core1));
+        assert!(WorkloadType::Graphics.domain_powered(Gfx));
+        for t in WorkloadType::ACTIVE_TYPES {
+            assert!(t.domain_powered(Sa) && t.domain_powered(Io) && t.domain_powered(Llc));
+        }
+    }
+
+    #[test]
+    fn graphics_gives_cores_a_small_share() {
+        assert!((WorkloadType::Graphics.core_budget_share().get() - 0.15).abs() < 1e-12);
+        assert_eq!(WorkloadType::SingleThread.core_budget_share(), Ratio::ONE);
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let t = Trace::new(
+            "t",
+            vec![
+                TraceInterval::active(Seconds::new(1.0), WorkloadType::SingleThread, ar(0.4)),
+                TraceInterval::active(Seconds::new(3.0), WorkloadType::MultiThread, ar(0.8)),
+                TraceInterval::idle(Seconds::new(4.0), PackageCState::C6),
+            ],
+        );
+        assert_eq!(t.total_duration(), Seconds::new(8.0));
+        assert!((t.active_residency().get() - 0.5).abs() < 1e-12);
+        let mean = t.mean_active_ar().unwrap();
+        assert!((mean.get() - 0.7).abs() < 1e-12);
+        assert_eq!(t.dominant_type(), Some(WorkloadType::MultiThread));
+    }
+
+    #[test]
+    fn empty_trace_statistics() {
+        let t = Trace::new("empty", vec![]);
+        assert_eq!(t.total_duration(), Seconds::ZERO);
+        assert_eq!(t.active_residency(), Ratio::ZERO);
+        assert!(t.mean_active_ar().is_none());
+        assert!(t.dominant_type().is_none());
+    }
+
+    #[test]
+    fn repeat_multiplies_duration() {
+        let t = Trace::new(
+            "frame",
+            vec![TraceInterval::idle(Seconds::from_millis(16.7), PackageCState::C8)],
+        );
+        let movie = t.repeat(100);
+        assert_eq!(movie.intervals().len(), 100);
+        assert!((movie.total_duration().millis() - 1670.0).abs() < 1e-6);
+        assert_eq!(movie.name(), "framex100");
+    }
+
+    #[test]
+    fn idle_phase_reports_power_virus_ar() {
+        let p = Phase::Idle(PackageCState::C8);
+        assert_eq!(p.ar(), ApplicationRatio::POWER_VIRUS);
+        assert!(!p.is_active());
+    }
+}

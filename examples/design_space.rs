@@ -1,0 +1,59 @@
+//! Design-space exploration: sweep TDP × workload type × AR with PDNspot
+//! and print which PDN wins each cell — the §5 observations at a glance —
+//! plus the per-cell FlexWatts mode the predictor would pick.
+//!
+//! Run with: `cargo run --example design_space`
+
+use flexwatts::FlexWattsAuto;
+use pdn_proc::client_soc;
+use pdn_units::{ApplicationRatio, Watts};
+use pdn_workload::WorkloadType;
+use pdnspot::{IvrPdn, LdoPdn, MbvrPdn, ModelParams, Pdn, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ModelParams::paper_defaults();
+    let pdns: Vec<(&str, Box<dyn Pdn>)> = vec![
+        ("IVR", Box::new(IvrPdn::new(params.clone()))),
+        ("MBVR", Box::new(MbvrPdn::new(params.clone()))),
+        ("LDO", Box::new(LdoPdn::new(params.clone()))),
+    ];
+    let flexwatts = FlexWattsAuto::new(params);
+
+    println!("Best baseline PDN per (TDP, workload, AR) cell, and FlexWatts's mode:\n");
+    println!(
+        "{:<6} {:<13} {:>4}  {:>18}  {:>18}",
+        "TDP", "workload", "AR", "best baseline", "FlexWatts (mode)"
+    );
+    for tdp in pdn_proc::PAPER_TDPS {
+        let soc = client_soc(Watts::new(tdp));
+        for wl in WorkloadType::ACTIVE_TYPES {
+            for ar_pct in [40.0, 60.0, 80.0] {
+                let ar = ApplicationRatio::from_percent(ar_pct)?;
+                let scenario = Scenario::active_fixed_tdp_frequency(&soc, wl, ar)?;
+                let mut best = ("?", 0.0);
+                for (name, pdn) in &pdns {
+                    let etee = pdn.evaluate(&scenario)?.etee.get();
+                    if etee > best.1 {
+                        best = (name, etee);
+                    }
+                }
+                let fw = flexwatts.evaluate(&scenario)?;
+                let mode = flexwatts.best_mode(&scenario)?;
+                println!(
+                    "{:<6} {:<13} {:>3.0}%  {:>10} {:>6.1}%  {:>6.1}% ({})",
+                    format!("{tdp}W"),
+                    wl.to_string(),
+                    ar_pct,
+                    best.0,
+                    best.1 * 100.0,
+                    fw.etee.percent(),
+                    mode,
+                );
+            }
+        }
+        println!();
+    }
+    println!("Reading: at low TDPs the single-stage PDNs win and FlexWatts runs LDO-Mode;");
+    println!("at high TDPs the crossover flips and FlexWatts follows with IVR-Mode (§5/§6).");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Quickstart: evaluate the five PDN architectures on one workload.
+//!
+//! Builds the paper's client SoC at a chosen TDP, constructs a
+//! CPU-intensive scenario, and prints every PDN's end-to-end
+//! power-conversion efficiency (ETEE) and loss breakdown.
+//!
+//! Run with: `cargo run --example quickstart [TDP_WATTS]`
+
+use flexwatts::FlexWattsAuto;
+use pdn_proc::client_soc;
+use pdn_units::{ApplicationRatio, Watts};
+use pdn_workload::WorkloadType;
+use pdnspot::{IPlusMbvrPdn, IvrPdn, LdoPdn, MbvrPdn, ModelParams, Pdn, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tdp: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4.0);
+    let params = ModelParams::paper_defaults();
+    let soc = client_soc(Watts::new(tdp));
+    let ar = ApplicationRatio::new(0.6)?;
+    let scenario = Scenario::active_fixed_tdp_frequency(&soc, WorkloadType::MultiThread, ar)?;
+
+    println!(
+        "SoC: {} | workload: multi-thread, AR = {} | nominal load = {:.2}",
+        soc.name,
+        ar,
+        scenario.total_nominal_power()
+    );
+    println!(
+        "{:<10} {:>7} {:>9} {:>10} {:>12} {:>10} {:>8}",
+        "PDN", "ETEE", "input", "VR loss", "I2R compute", "I2R SA/IO", "other"
+    );
+
+    let pdns: Vec<Box<dyn Pdn>> = vec![
+        Box::new(IvrPdn::new(params.clone())),
+        Box::new(MbvrPdn::new(params.clone())),
+        Box::new(LdoPdn::new(params.clone())),
+        Box::new(IPlusMbvrPdn::new(params.clone())),
+        Box::new(FlexWattsAuto::new(params)),
+    ];
+    for pdn in &pdns {
+        let e = pdn.evaluate(&scenario)?;
+        println!(
+            "{:<10} {:>7} {:>8.2}W {:>9.2}W {:>11.2}W {:>9.2}W {:>7.2}W",
+            pdn.kind().to_string(),
+            format!("{:.1}%", e.etee.percent()),
+            e.input_power.get(),
+            e.breakdown.vr_loss.get(),
+            e.breakdown.conduction_compute.get(),
+            e.breakdown.conduction_sa_io.get(),
+            e.breakdown.other.get(),
+        );
+    }
+
+    println!("\nTip: rerun with a different TDP (e.g. `cargo run --example quickstart 50`)");
+    println!("to watch the winner flip from LDO/MBVR (low TDP) to IVR/FlexWatts (high TDP).");
+    Ok(())
+}

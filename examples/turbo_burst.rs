@@ -1,0 +1,94 @@
+//! Dynamic-workload scenario: a bursty desktop workload alternating Turbo
+//! Boost-style compute bursts with near-idle periods on a 36 W part.
+//! FlexWatts rides the bursts in IVR-Mode and drops to LDO-Mode for the
+//! light phases, paying ~94 µs per switch.
+//!
+//! Run with: `cargo run --example turbo_burst`
+
+use flexwatts::{FlexWattsPdn, FlexWattsRuntime, ModePredictor, PdnMode, RuntimeConfig};
+use pdn_proc::{client_soc, PackageCState};
+use pdn_units::{ApplicationRatio, Seconds, Watts};
+use pdn_workload::{Trace, TraceInterval, WorkloadType};
+use pdnspot::{ModelParams, Pdn, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ModelParams::paper_defaults();
+    let soc = client_soc(Watts::new(36.0));
+
+    // A foreground application: 60 ms of heavy multi-thread compute, then
+    // 40 ms at the low-frequency active floor while the user thinks.
+    let mut intervals = Vec::new();
+    for _ in 0..10 {
+        intervals.push(TraceInterval::active(
+            Seconds::from_millis(60.0),
+            WorkloadType::MultiThread,
+            ApplicationRatio::new(0.85)?,
+        ));
+        intervals.push(TraceInterval::idle(
+            Seconds::from_millis(40.0),
+            PackageCState::C0Min,
+        ));
+    }
+    let trace = Trace::new("turbo-burst", intervals);
+
+    println!("Training the mode predictor...");
+    let predictor = ModePredictor::train(
+        &params,
+        &[4.0, 10.0, 18.0, 25.0, 36.0, 50.0],
+        &[0.4, 0.6, 0.8],
+    )?;
+    let runtime =
+        FlexWattsRuntime::new(soc.clone(), params.clone(), predictor, RuntimeConfig::default());
+
+    println!("Simulating 1 s of bursty execution on a {} part...\n", soc.tdp);
+    let report = runtime.run(&trace)?;
+
+    println!("mode switches        : {}", report.switches.len());
+    if let Some(first) = report.switches.first() {
+        println!(
+            "first switch         : {} -> {} ({:.0} us = {:.0} entry + {:.0} VR + {:.0} exit)",
+            first.from,
+            first.to,
+            first.total().micros(),
+            first.c6_entry.micros(),
+            first.vr_adjust.micros(),
+            first.c6_exit.micros()
+        );
+    }
+    println!(
+        "switch overhead      : {:.0} us over {:.0} ms ({:.3}% of time)",
+        report.switch_overhead().micros(),
+        report.total_time.millis(),
+        report.switch_overhead().get() / report.total_time.get() * 100.0
+    );
+    for (mode, time) in &report.time_in_mode {
+        println!("time in {mode:<9}   : {:.1} ms", time.millis());
+    }
+    println!("average power        : {:.2}", report.average_power());
+    println!(
+        "energy vs oracle     : {:.2}%",
+        report.energy_efficiency_vs_oracle() * 100.0
+    );
+
+    // Show why the switches pay off: per-phase ETEE of the two modes.
+    let burst = Scenario::active_fixed_tdp_frequency(
+        &soc,
+        WorkloadType::MultiThread,
+        ApplicationRatio::new(0.85)?,
+    )?;
+    let lull = Scenario::idle(&soc, PackageCState::C0Min);
+    let ivr_mode = FlexWattsPdn::new(params.clone(), PdnMode::IvrMode);
+    let ldo_mode = FlexWattsPdn::new(params, PdnMode::LdoMode);
+    println!("\nper-phase ETEE:");
+    println!(
+        "  burst : IVR-Mode {} vs LDO-Mode {}",
+        ivr_mode.evaluate(&burst)?.etee,
+        ldo_mode.evaluate(&burst)?.etee
+    );
+    println!(
+        "  lull  : IVR-Mode {} vs LDO-Mode {}",
+        ivr_mode.evaluate(&lull)?.etee,
+        ldo_mode.evaluate(&lull)?.etee
+    );
+    Ok(())
+}

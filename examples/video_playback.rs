@@ -1,0 +1,65 @@
+//! Battery-life scenario: run FlexWatts's closed loop (sensors →
+//! predictor → mode switch) over a video-playback trace and compare its
+//! average power against the static IVR PDN — the paper's headline 11 %
+//! battery-life saving.
+//!
+//! Run with: `cargo run --example video_playback`
+
+use flexwatts::{FlexWattsRuntime, ModePredictor, RuntimeConfig};
+use pdn_proc::client_soc;
+use pdn_units::Watts;
+use pdn_workload::BatteryLifeWorkload;
+use pdnspot::perf::battery_life_average_power;
+use pdnspot::{IvrPdn, ModelParams, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ModelParams::paper_defaults();
+    let soc = client_soc(Watts::new(18.0));
+
+    println!("Training the mode predictor (tabulating PMU firmware curves)...");
+    let predictor = ModePredictor::train(
+        &params,
+        &[4.0, 10.0, 18.0, 25.0, 50.0],
+        &[0.4, 0.5, 0.6, 0.7, 0.8],
+    )?;
+
+    let runtime = FlexWattsRuntime::new(
+        soc.clone(),
+        params.clone(),
+        predictor,
+        RuntimeConfig::default(),
+    );
+
+    println!("Simulating one second of 60 fps video playback...\n");
+    let trace = BatteryLifeWorkload::VideoPlayback.as_trace(60);
+    let report = runtime.run(&trace)?;
+
+    let ivr = IvrPdn::new(params);
+    let ivr_power = battery_life_average_power(&soc, &ivr, BatteryLifeWorkload::VideoPlayback)?;
+
+    println!("FlexWatts average power : {:.3}", report.average_power());
+    println!("IVR PDN average power   : {ivr_power:.3}");
+    let saving = 1.0 - report.average_power().get() / ivr_power.get();
+    println!("saving vs IVR           : {:.1}% (paper: ~11%)", saving * 100.0);
+    println!();
+    println!("mode switches           : {}", report.switches.len());
+    println!("switch overhead         : {:.0} us", report.switch_overhead().micros());
+    for (mode, time) in &report.time_in_mode {
+        println!("time in {mode:<9}      : {:.1} ms", time.millis());
+    }
+    println!("predictor evaluations   : {}", report.predictor_evaluations);
+    println!("prediction accuracy     : {:.1}%", report.prediction_accuracy * 100.0);
+    println!(
+        "energy vs oracle        : {:.2}% of optimal",
+        report.energy_efficiency_vs_oracle() * 100.0
+    );
+    // Per §5: the nominal (pre-PDN) average of the video workload.
+    let nominal: f64 = [(2.5, 0.10), (1.2, 0.05), (0.13, 0.85)]
+        .iter()
+        .map(|(p, r)| p * r)
+        .sum();
+    println!("\nnominal workload power  : {nominal:.3} W (ETEE turns this into the above)");
+    let c8 = Scenario::idle(&soc, pdn_proc::PackageCState::C8);
+    println!("(85% of frame time sits in {}, nominal {:.2} W)", c8.name, c8.total_nominal_power().get());
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the FlexWatts / PDNspot reproduction workspace.
+//!
+//! This crate re-exports the public API of every workspace member so that the
+//! examples and integration tests in the repository root can exercise the
+//! whole system through a single dependency. Downstream users should normally
+//! depend on the individual crates ([`flexwatts`], [`pdnspot`], …) directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use flexwatts_repro::pdnspot::params::ModelParams;
+//!
+//! let params = ModelParams::paper_defaults();
+//! assert!(params.leakage_exponent > 2.0);
+//! ```
+
+pub use flexwatts;
+pub use pdn_bench;
+pub use pdn_pmu;
+pub use pdn_proc;
+pub use pdn_units;
+pub use pdn_vr;
+pub use pdn_workload;
+pub use pdnspot;

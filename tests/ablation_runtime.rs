@@ -1,0 +1,154 @@
+//! Runtime ablations called out in DESIGN.md: hysteresis margin vs switch
+//! count/energy, predictor firmware round trip through the runtime, and
+//! the maximum-current protection in action.
+
+use flexwatts::{FlexWattsRuntime, ModePredictor, PdnMode, RuntimeConfig};
+use pdn_proc::{client_soc, PackageCState};
+use pdn_units::{ApplicationRatio, Seconds, Watts};
+use pdn_workload::{Trace, TraceInterval, WorkloadType};
+use pdnspot::ModelParams;
+
+fn bursty_trace(bursts: usize) -> Trace {
+    let mut intervals = Vec::new();
+    for _ in 0..bursts {
+        intervals.push(TraceInterval::active(
+            Seconds::from_millis(30.0),
+            WorkloadType::MultiThread,
+            ApplicationRatio::new(0.85).unwrap(),
+        ));
+        intervals.push(TraceInterval::idle(Seconds::from_millis(30.0), PackageCState::C0Min));
+    }
+    Trace::new("ablation-bursty", intervals)
+}
+
+fn base_predictor() -> ModePredictor {
+    ModePredictor::train(
+        &ModelParams::paper_defaults(),
+        &[4.0, 10.0, 18.0, 25.0, 36.0, 50.0],
+        &[0.4, 0.6, 0.8],
+    )
+    .unwrap()
+}
+
+#[test]
+fn hysteresis_trades_switches_for_energy() {
+    let params = ModelParams::paper_defaults();
+    let soc = client_soc(Watts::new(36.0));
+    let trace = bursty_trace(8);
+    let base = base_predictor();
+
+    let mut switch_counts = Vec::new();
+    let mut oracle_efficiencies = Vec::new();
+    for margin in [0.0, 0.004, 0.03, 0.20] {
+        let runtime = FlexWattsRuntime::new(
+            soc.clone(),
+            params.clone(),
+            base.clone().with_hysteresis(margin),
+            RuntimeConfig::default(),
+        );
+        let report = runtime.run(&trace).unwrap();
+        switch_counts.push(report.switches.len());
+        oracle_efficiencies.push(report.energy_efficiency_vs_oracle());
+    }
+    // More hysteresis → never more switches.
+    for pair in switch_counts.windows(2) {
+        assert!(pair[1] <= pair[0], "switch counts must fall: {switch_counts:?}");
+    }
+    // A prohibitive margin pins the boot mode: at most the protection or
+    // nothing moves it.
+    assert!(switch_counts[3] <= 1, "20 % margin must pin the mode: {switch_counts:?}");
+    // ...at an energy cost relative to the oracle.
+    assert!(
+        oracle_efficiencies[3] <= oracle_efficiencies[1] + 1e-9,
+        "pinned mode cannot beat the adaptive one: {oracle_efficiencies:?}"
+    );
+    // The paper-default margin keeps the runtime within 2 % of the oracle.
+    assert!(oracle_efficiencies[1] > 0.98, "{oracle_efficiencies:?}");
+}
+
+#[test]
+fn flashed_predictor_drives_the_runtime_identically() {
+    let params = ModelParams::paper_defaults();
+    let soc = client_soc(Watts::new(18.0));
+    let trace = bursty_trace(4);
+    let trained = base_predictor();
+    let [ivr_img, ldo_img] = trained.firmware_images();
+    let flashed =
+        ModePredictor::from_firmware(ivr_img.as_bytes(), ldo_img.as_bytes()).unwrap();
+
+    let run = |p: ModePredictor| {
+        FlexWattsRuntime::new(soc.clone(), params.clone(), p, RuntimeConfig::default())
+            .run(&trace)
+            .unwrap()
+    };
+    let a = run(trained);
+    let b = run(flashed);
+    assert_eq!(a.switches.len(), b.switches.len());
+    assert!((a.energy_joules - b.energy_joules).abs() < 1e-12);
+    assert_eq!(a.time_in_mode, b.time_in_mode);
+}
+
+#[test]
+fn protection_fires_on_sustained_heavy_ldo_pressure() {
+    // Train a deliberately wrong predictor whose tables only know the low
+    // TDPs — at 50 W it keeps voting LDO-Mode, and only the
+    // maximum-current protection stands between that vote and the rail.
+    let params = ModelParams::paper_defaults();
+    let myopic = ModePredictor::train(&params, &[4.0, 6.0], &[0.4, 0.8]).unwrap();
+    let soc = client_soc(Watts::new(50.0));
+    let runtime = FlexWattsRuntime::new(
+        soc,
+        params,
+        myopic,
+        RuntimeConfig {
+            initial_mode: PdnMode::LdoMode,
+            ..RuntimeConfig::default()
+        },
+    );
+    let trace = Trace::new(
+        "virus-pressure",
+        vec![TraceInterval::active(
+            Seconds::from_millis(60.0),
+            WorkloadType::MultiThread,
+            ApplicationRatio::new(1.0).unwrap(),
+        )],
+    );
+    let report = runtime.run(&trace).unwrap();
+    assert!(
+        report.protection_overrides > 0,
+        "the max-current protection must override the myopic predictor"
+    );
+    let ivr_time = report.time_in_mode[&PdnMode::IvrMode];
+    assert!(
+        ivr_time.get() > 0.9 * report.total_time.get(),
+        "overridden runtime must spend its time in IVR-Mode"
+    );
+}
+
+#[test]
+fn protection_can_be_disabled_for_what_if_studies() {
+    let params = ModelParams::paper_defaults();
+    let myopic = ModePredictor::train(&params, &[4.0, 6.0], &[0.4, 0.8]).unwrap();
+    let soc = client_soc(Watts::new(50.0));
+    let runtime = FlexWattsRuntime::new(
+        soc,
+        params,
+        myopic,
+        RuntimeConfig {
+            initial_mode: PdnMode::LdoMode,
+            max_current_protection: false,
+            ..RuntimeConfig::default()
+        },
+    );
+    let trace = Trace::new(
+        "virus-pressure",
+        vec![TraceInterval::active(
+            Seconds::from_millis(40.0),
+            WorkloadType::MultiThread,
+            ApplicationRatio::new(1.0).unwrap(),
+        )],
+    );
+    let report = runtime.run(&trace).unwrap();
+    assert_eq!(report.protection_overrides, 0);
+    assert!(report.time_in_mode[&PdnMode::LdoMode].get() > 0.0);
+}

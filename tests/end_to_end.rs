@@ -1,0 +1,150 @@
+//! Cross-crate end-to-end tests: workload traces → PMU estimation →
+//! mode prediction → switch flow → PDNspot energy accounting.
+
+use flexwatts::{FlexWattsRuntime, ModePredictor, PdnMode, RuntimeConfig};
+use pdn_proc::client_soc;
+use pdn_units::{Seconds, Watts};
+use pdn_workload::{BatteryLifeWorkload, TraceGenerator, WorkloadType};
+use pdnspot::ModelParams;
+
+fn predictor(params: &ModelParams) -> ModePredictor {
+    ModePredictor::train(params, &[4.0, 10.0, 18.0, 25.0, 36.0, 50.0], &[0.4, 0.6, 0.8])
+        .unwrap()
+}
+
+#[test]
+fn random_trace_families_run_cleanly_at_every_tdp() {
+    let params = ModelParams::paper_defaults();
+    let predictor = predictor(&params);
+    for tdp in [4.0, 18.0, 50.0] {
+        let runtime = FlexWattsRuntime::new(
+            client_soc(Watts::new(tdp)),
+            params.clone(),
+            predictor.clone(),
+            RuntimeConfig::default(),
+        );
+        for trace in TraceGenerator::new(2026).generate_family("e2e", 3, 30) {
+            let report = runtime.run(&trace).unwrap();
+            // Time accounting closes.
+            let mode_time: Seconds = report.time_in_mode.values().copied().sum();
+            assert!(
+                (mode_time + report.switch_overhead() - report.total_time).abs().get() < 1e-9,
+                "time must be fully attributed ({tdp} W, {})",
+                trace.name()
+            );
+            // Energy is bounded below by the oracle.
+            assert!(report.oracle_energy_joules <= report.energy_joules + 1e-9);
+            // The oracle gap stays small: the predictor works.
+            assert!(
+                report.energy_efficiency_vs_oracle() > 0.95,
+                "{tdp} W {}: oracle efficiency {:.3}",
+                trace.name(),
+                report.energy_efficiency_vs_oracle()
+            );
+            // Power must be physically plausible for the TDP class.
+            let avg = report.average_power().get();
+            assert!(avg > 0.05 && avg < tdp * 1.5, "{tdp} W: average power {avg:.2}");
+        }
+    }
+}
+
+#[test]
+fn battery_life_workloads_favour_ldo_mode_time() {
+    let params = ModelParams::paper_defaults();
+    let runtime = FlexWattsRuntime::new(
+        client_soc(Watts::new(18.0)),
+        params.clone(),
+        predictor(&params),
+        RuntimeConfig::default(),
+    );
+    for wl in BatteryLifeWorkload::ALL {
+        let report = runtime.run(&wl.as_trace(30)).unwrap();
+        let ldo_time = report.time_in_mode[&PdnMode::LdoMode].get();
+        let ivr_time = report.time_in_mode[&PdnMode::IvrMode].get();
+        assert!(
+            ldo_time > ivr_time,
+            "{wl}: LDO-Mode should dominate ({ldo_time:.3}s vs {ivr_time:.3}s)"
+        );
+    }
+}
+
+#[test]
+fn sensor_noise_does_not_derail_the_predictor() {
+    let params = ModelParams::paper_defaults();
+    let p = predictor(&params);
+    // Three differently-calibrated sensor banks must reach the same
+    // steady-state decisions on a clear-cut workload.
+    let mut switch_counts = Vec::new();
+    for seed in [1, 2, 3] {
+        let runtime = FlexWattsRuntime::new(
+            client_soc(Watts::new(4.0)),
+            params.clone(),
+            p.clone(),
+            RuntimeConfig {
+                sensor_seed: seed,
+                initial_mode: PdnMode::IvrMode,
+                ..RuntimeConfig::default()
+            },
+        );
+        let trace = TraceGenerator::new(77)
+            .with_type(WorkloadType::SingleThread)
+            .with_active_probability(1.0)
+            .generate("steady", 40);
+        let report = runtime.run(&trace).unwrap();
+        switch_counts.push(report.switches.len());
+        assert!(
+            report.time_in_mode[&PdnMode::LdoMode].get()
+                > 0.9 * report.total_time.get(),
+            "4 W single-thread must settle in LDO-Mode (seed {seed})"
+        );
+    }
+    // One boot switch each, regardless of sensor calibration.
+    assert!(switch_counts.iter().all(|&c| c == 1), "{switch_counts:?}");
+}
+
+#[test]
+fn ctdp_reconfiguration_flips_the_decision() {
+    // The same workload on the same silicon, but reconfigured from 10 W
+    // to 36 W cTDP: the predictor's best mode flips from LDO to IVR.
+    let params = ModelParams::paper_defaults();
+    let p = predictor(&params);
+    let inputs = |tdp: f64| flexwatts::PredictorInputs {
+        tdp: Watts::new(tdp),
+        ar: pdn_units::ApplicationRatio::new(0.7).unwrap(),
+        workload_type: WorkloadType::MultiThread,
+        power_state: None,
+    };
+    assert_eq!(p.predict(inputs(10.0)), PdnMode::LdoMode);
+    assert_eq!(p.predict(inputs(36.0)), PdnMode::IvrMode);
+}
+
+#[test]
+fn spec_trace_through_runtime_matches_static_evaluation() {
+    // Running a steady SPEC benchmark through the runtime must converge
+    // to the same power PDNspot computes statically for the chosen mode.
+    let params = ModelParams::paper_defaults();
+    let soc = client_soc(Watts::new(4.0));
+    let runtime =
+        FlexWattsRuntime::new(soc.clone(), params.clone(), predictor(&params), RuntimeConfig::default());
+    let bench = &pdn_workload::spec::spec_cpu2006()[10];
+    let trace = bench.as_trace(Seconds::from_millis(200.0));
+    let report = runtime.run(&trace).unwrap();
+
+    let scenario = pdnspot::Scenario::active_fixed_tdp_frequency(
+        &soc,
+        WorkloadType::SingleThread,
+        bench.ar,
+    )
+    .unwrap();
+    let static_power = pdnspot::Pdn::evaluate(
+        &flexwatts::FlexWattsPdn::new(params, PdnMode::LdoMode),
+        &scenario,
+    )
+    .unwrap()
+    .input_power;
+    let avg = report.average_power().get();
+    assert!(
+        (avg - static_power.get()).abs() / static_power.get() < 0.02,
+        "runtime avg {avg:.3} vs static {static_power}"
+    );
+}

@@ -1,0 +1,192 @@
+//! The paper's qualitative results, pinned as integration tests.
+//!
+//! Each assertion corresponds to a claim in §5/§7 of the FlexWatts paper.
+//! Two known reproduction deviations are pinned with their own
+//! (documented) tolerances — see EXPERIMENTS.md:
+//!
+//! 1. the ETEE-vs-AR trend of MBVR/LDO at fixed TDP is flat-to-slightly-
+//!    falling here, where the paper measures mildly rising;
+//! 2. the 36–50 W performance rows are frequency-limited in our model, so
+//!    the high-TDP performance separation appears at 18–25 W instead.
+
+use flexwatts::{FlexWattsAuto, FlexWattsPdn, PdnMode};
+use pdn_proc::{client_soc, PackageCState};
+use pdn_units::{ApplicationRatio, Watts};
+use pdn_workload::{BatteryLifeWorkload, WorkloadType};
+use pdnspot::perf::battery_life_average_power;
+use pdnspot::{IPlusMbvrPdn, IvrPdn, LdoPdn, MbvrPdn, ModelParams, Pdn, Scenario};
+
+fn ar(v: f64) -> ApplicationRatio {
+    ApplicationRatio::new(v).unwrap()
+}
+
+fn etee_at(pdn: &dyn Pdn, tdp: f64, wl: WorkloadType, a: f64) -> f64 {
+    let soc = client_soc(Watts::new(tdp));
+    let s = Scenario::active_fixed_tdp_frequency(&soc, wl, ar(a)).unwrap();
+    pdn.evaluate(&s).unwrap().etee.get()
+}
+
+#[test]
+fn observation_1_low_tdp_favours_single_stage_high_tdp_favours_ivr() {
+    let params = ModelParams::paper_defaults();
+    let ivr = IvrPdn::new(params.clone());
+    let mbvr = MbvrPdn::new(params.clone());
+    let ldo = LdoPdn::new(params);
+    let wl = WorkloadType::MultiThread;
+
+    // 4 W: MBVR and LDO clearly beat IVR (gap ≈ 7-9 % ETEE).
+    let gap = etee_at(&mbvr, 4.0, wl, 0.56) - etee_at(&ivr, 4.0, wl, 0.56);
+    assert!((0.05..=0.10).contains(&gap), "4 W MBVR-IVR gap {gap:.3}");
+    assert!(etee_at(&ldo, 4.0, wl, 0.56) > etee_at(&ivr, 4.0, wl, 0.56) + 0.05);
+
+    // 50 W: IVR beats both across the tested AR range.
+    for a in [0.4, 0.56, 0.8] {
+        assert!(
+            etee_at(&ivr, 50.0, wl, a) > etee_at(&mbvr, 50.0, wl, a),
+            "IVR must beat MBVR at 50 W, AR {a}"
+        );
+        assert!(
+            etee_at(&ivr, 50.0, wl, a) > etee_at(&ldo, 50.0, wl, a) - 0.005,
+            "IVR must match/beat LDO at 50 W, AR {a}"
+        );
+    }
+
+    // The SPEC crossover sits near 18 W.
+    let at_18 = etee_at(&mbvr, 18.0, wl, 0.56) - etee_at(&ivr, 18.0, wl, 0.56);
+    assert!(at_18.abs() < 0.03, "18 W is the near-crossover point: {at_18:.3}");
+}
+
+#[test]
+fn observation_2_workload_type_matters() {
+    let params = ModelParams::paper_defaults();
+    let ivr = IvrPdn::new(params.clone());
+    let mbvr = MbvrPdn::new(params.clone());
+    let ldo = LdoPdn::new(params);
+
+    // LDO beats MBVR for CPU workloads but loses ground on graphics
+    // (deep regulation of the low-voltage core rail).
+    let cpu_gap = etee_at(&ldo, 18.0, WorkloadType::MultiThread, 0.6)
+        - etee_at(&mbvr, 18.0, WorkloadType::MultiThread, 0.6);
+    let gfx_gap = etee_at(&ldo, 18.0, WorkloadType::Graphics, 0.6)
+        - etee_at(&mbvr, 18.0, WorkloadType::Graphics, 0.6);
+    assert!(cpu_gap > 0.0, "LDO > MBVR for CPU workloads: {cpu_gap:.3}");
+    assert!(gfx_gap < cpu_gap, "graphics must erode LDO's edge: {gfx_gap:.3}");
+
+    // The graphics crossover sits above 18 W (paper: ≈ 21 W).
+    assert!(
+        etee_at(&mbvr, 18.0, WorkloadType::Graphics, 0.56)
+            > etee_at(&ivr, 18.0, WorkloadType::Graphics, 0.56),
+        "at 18 W graphics, IVR still loses"
+    );
+    assert!(
+        etee_at(&ivr, 25.0, WorkloadType::Graphics, 0.56)
+            > etee_at(&mbvr, 25.0, WorkloadType::Graphics, 0.56) - 0.01,
+        "by 25 W graphics, IVR catches up"
+    );
+
+    // Known deviation: the AR trend is nearly flat here (paper: rising).
+    let lo = etee_at(&mbvr, 18.0, WorkloadType::MultiThread, 0.4);
+    let hi = etee_at(&mbvr, 18.0, WorkloadType::MultiThread, 0.8);
+    assert!((hi - lo).abs() < 0.02, "AR trend must be nearly flat: {lo:.3} → {hi:.3}");
+}
+
+#[test]
+fn observation_3_idle_states_punish_the_ivr_pdn() {
+    let params = ModelParams::paper_defaults();
+    let ivr = IvrPdn::new(params.clone());
+    let mbvr = MbvrPdn::new(params.clone());
+    let soc = client_soc(Watts::new(18.0));
+    for state in PackageCState::ALL {
+        let s = Scenario::idle(&soc, state);
+        let gap = mbvr.evaluate(&s).unwrap().etee.get() - ivr.evaluate(&s).unwrap().etee.get();
+        assert!(gap > 0.0, "{state}: MBVR must beat IVR in idle");
+    }
+    // Video playback: 9-16 % lower average power on MBVR (paper: 12 %).
+    let wl = BatteryLifeWorkload::VideoPlayback;
+    let p_ivr = battery_life_average_power(&soc, &ivr, wl).unwrap();
+    let p_mbvr = battery_life_average_power(&soc, &mbvr, wl).unwrap();
+    let saving = 1.0 - p_mbvr.get() / p_ivr.get();
+    assert!((0.09..=0.16).contains(&saving), "video playback saving {saving:.3}");
+}
+
+#[test]
+fn flexwatts_tracks_the_best_static_pdn_with_shared_resources() {
+    let params = ModelParams::paper_defaults();
+    let fw = FlexWattsAuto::new(params.clone());
+    let ivr = IvrPdn::new(params.clone());
+    let mbvr = MbvrPdn::new(params.clone());
+    let ldo = LdoPdn::new(params.clone());
+    let iplus = IPlusMbvrPdn::new(params);
+    let wl = WorkloadType::MultiThread;
+
+    for tdp in pdn_proc::PAPER_TDPS {
+        let soc = client_soc(Watts::new(tdp));
+        let s = Scenario::active_fixed_tdp_frequency(&soc, wl, ar(0.6)).unwrap();
+        let fw_etee = fw.evaluate(&s).unwrap().etee.get();
+        let best = [&ivr as &dyn Pdn, &mbvr, &ldo, &iplus]
+            .iter()
+            .map(|p| p.evaluate(&s).unwrap().etee.get())
+            .fold(0.0, f64::max);
+        assert!(
+            fw_etee > best - 0.015,
+            "{tdp} W: FlexWatts {fw_etee:.3} must trail the best PDN {best:.3} by < 1.5 %"
+        );
+    }
+}
+
+#[test]
+fn flexwatts_mode_crossover_near_18w() {
+    let params = ModelParams::paper_defaults();
+    let auto = FlexWattsAuto::new(params);
+    let wl = WorkloadType::MultiThread;
+    let mode_at = |tdp: f64| {
+        let soc = client_soc(Watts::new(tdp));
+        let s = Scenario::active_fixed_tdp_frequency(&soc, wl, ar(0.6)).unwrap();
+        auto.best_mode(&s).unwrap()
+    };
+    assert_eq!(mode_at(4.0), PdnMode::LdoMode);
+    assert_eq!(mode_at(8.0), PdnMode::LdoMode);
+    assert_eq!(mode_at(36.0), PdnMode::IvrMode);
+    assert_eq!(mode_at(50.0), PdnMode::IvrMode);
+}
+
+#[test]
+fn flexwatts_battery_life_headline() {
+    // Headline: ~11 % lower video-playback power than IVR across TDPs.
+    let params = ModelParams::paper_defaults();
+    let fw = FlexWattsPdn::new(params.clone(), PdnMode::LdoMode);
+    let ivr = IvrPdn::new(params);
+    for tdp in [4.0, 18.0, 50.0] {
+        let soc = client_soc(Watts::new(tdp));
+        let p_fw =
+            battery_life_average_power(&soc, &fw, BatteryLifeWorkload::VideoPlayback).unwrap();
+        let p_ivr =
+            battery_life_average_power(&soc, &ivr, BatteryLifeWorkload::VideoPlayback).unwrap();
+        let saving = 1.0 - p_fw.get() / p_ivr.get();
+        assert!(
+            (0.07..=0.18).contains(&saving),
+            "{tdp} W: FlexWatts video-playback saving {saving:.3}"
+        );
+    }
+}
+
+#[test]
+fn bom_and_area_orderings() {
+    use pdnspot::areabom::{pdn_footprint, VrCatalog};
+    let params = ModelParams::paper_defaults();
+    let catalog = VrCatalog::paper_calibrated();
+    for tdp in [4.0, 18.0, 50.0] {
+        let soc = client_soc(Watts::new(tdp));
+        let f = |p: &dyn Pdn| pdn_footprint(p, &soc, &catalog).unwrap();
+        let ivr = f(&IvrPdn::new(params.clone()));
+        let mbvr = f(&MbvrPdn::new(params.clone()));
+        let ldo = f(&LdoPdn::new(params.clone()));
+        let fw = f(&FlexWattsPdn::new(params.clone(), PdnMode::IvrMode));
+        // Fig. 8d/e: MBVR ≫ LDO > FlexWatts ≈ IVR.
+        assert!(mbvr.cost > ldo.cost, "{tdp} W BOM ordering");
+        assert!(ldo.cost.get() > ivr.cost.get() * 1.15, "{tdp} W: LDO above IVR");
+        assert!(fw.cost.get() < ivr.cost.get() * 1.5, "{tdp} W: FlexWatts ≈ IVR BOM");
+        assert!(mbvr.area > ldo.area, "{tdp} W area ordering");
+        assert!(fw.area.get() < ivr.area.get() * 1.55, "{tdp} W: FlexWatts ≈ IVR area");
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests over the PDN models: physical invariants that must
+//! hold for *any* valid scenario, not just the paper's operating points.
+
+use flexwatts::{FlexWattsPdn, PdnMode};
+use pdn_proc::{client_soc, PackageCState};
+use pdn_units::{ApplicationRatio, Hertz, Watts};
+use pdn_workload::WorkloadType;
+use pdnspot::{IPlusMbvrPdn, IvrPdn, LdoPdn, MbvrPdn, ModelParams, Pdn, Scenario};
+use proptest::prelude::*;
+
+fn all_pdns() -> Vec<Box<dyn Pdn>> {
+    let params = ModelParams::paper_defaults();
+    vec![
+        Box::new(IvrPdn::new(params.clone())),
+        Box::new(MbvrPdn::new(params.clone())),
+        Box::new(LdoPdn::new(params.clone())),
+        Box::new(IPlusMbvrPdn::new(params.clone())),
+        Box::new(FlexWattsPdn::new(params.clone(), PdnMode::IvrMode)),
+        Box::new(FlexWattsPdn::new(params, PdnMode::LdoMode)),
+    ]
+}
+
+fn workload_type() -> impl Strategy<Value = WorkloadType> {
+    prop_oneof![
+        Just(WorkloadType::SingleThread),
+        Just(WorkloadType::MultiThread),
+        Just(WorkloadType::Graphics),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Energy conservation and ETEE bounds hold for any active scenario.
+    #[test]
+    fn any_active_scenario_conserves_power(
+        tdp in 4.0f64..50.0,
+        wl in workload_type(),
+        ar in 0.2f64..1.0,
+        t_cores in 0.0f64..1.0,
+        t_gfx in 0.0f64..1.0,
+    ) {
+        let soc = client_soc(Watts::new(tdp));
+        let cores = soc.domain(pdn_proc::DomainKind::Core0);
+        let gfx = soc.domain(pdn_proc::DomainKind::Gfx);
+        let f_cores = Hertz::new(
+            cores.fmin.get() + t_cores * (cores.fmax.get() - cores.fmin.get()),
+        );
+        let f_gfx = Hertz::new(gfx.fmin.get() + t_gfx * (gfx.fmax.get() - gfx.fmin.get()));
+        let scenario = Scenario::active(
+            &soc,
+            wl,
+            ApplicationRatio::new(ar).unwrap(),
+            f_cores,
+            f_gfx,
+        )
+        .unwrap();
+        for pdn in all_pdns() {
+            let e = pdn.evaluate(&scenario).unwrap();
+            // ETEE ∈ (0, 1]; a PDN cannot create energy.
+            prop_assert!(e.etee.get() > 0.0 && e.etee.get() <= 1.0);
+            prop_assert!(e.input_power >= e.nominal_power);
+            // The loss breakdown accounts for every lost watt.
+            let accounted = (e.nominal_power + e.breakdown.total() - e.input_power)
+                .abs()
+                .get();
+            prop_assert!(accounted < 1e-6, "{}: unaccounted {accounted}", pdn.kind());
+            // No negative loss categories.
+            prop_assert!(e.breakdown.vr_loss.get() >= -1e-12);
+            prop_assert!(e.breakdown.conduction_compute.get() >= -1e-12);
+            prop_assert!(e.breakdown.conduction_sa_io.get() >= -1e-12);
+            prop_assert!(e.breakdown.other.get() >= -1e-12);
+            // Chip input current is positive and plausible.
+            prop_assert!(e.chip_input_current.get() > 0.0);
+            prop_assert!(e.chip_input_current.get() < 100.0);
+        }
+    }
+
+    /// Idle scenarios hold the same invariants in every package state.
+    #[test]
+    fn any_idle_scenario_conserves_power(tdp in 4.0f64..50.0, state_idx in 0usize..6) {
+        let soc = client_soc(Watts::new(tdp));
+        let state = PackageCState::ALL[state_idx];
+        let scenario = Scenario::idle(&soc, state);
+        for pdn in all_pdns() {
+            let e = pdn.evaluate(&scenario).unwrap();
+            prop_assert!(e.etee.get() > 0.0 && e.etee.get() <= 1.0);
+            prop_assert!(e.input_power >= e.nominal_power);
+            let accounted = (e.nominal_power + e.breakdown.total() - e.input_power)
+                .abs()
+                .get();
+            prop_assert!(accounted < 1e-9);
+        }
+    }
+
+    /// Rail-sizing is monotone in TDP for every topology.
+    #[test]
+    fn rail_sizing_monotone_in_tdp(lo in 4.0f64..20.0, extra in 5.0f64..30.0) {
+        let hi = lo + extra;
+        for pdn in all_pdns() {
+            let small: f64 = pdn
+                .offchip_rails(&client_soc(Watts::new(lo)))
+                .unwrap()
+                .iter()
+                .map(|r| r.iccmax.get())
+                .sum();
+            let large: f64 = pdn
+                .offchip_rails(&client_soc(Watts::new(hi)))
+                .unwrap()
+                .iter()
+                .map(|r| r.iccmax.get())
+                .sum();
+            prop_assert!(
+                large >= small * 0.99,
+                "{}: Iccmax {small:.1} A at {lo:.0} W vs {large:.1} A at {hi:.0} W",
+                pdn.kind()
+            );
+        }
+    }
+
+    /// The guardbanded virus power never undershoots the running power.
+    #[test]
+    fn rail_virus_dominates_running_power(
+        tdp in 4.0f64..50.0,
+        wl in workload_type(),
+        ar in 0.2f64..1.0,
+    ) {
+        let soc = client_soc(Watts::new(tdp));
+        let scenario =
+            Scenario::active_fixed_tdp_frequency(&soc, wl, ApplicationRatio::new(ar).unwrap())
+                .unwrap();
+        let running = scenario.total_nominal_power();
+        let virus = scenario.rail_virus_power(&pdn_proc::DomainKind::ALL, running);
+        prop_assert!(virus >= running);
+    }
+
+    /// Scenario nominal power is monotone in frequency for CPU workloads.
+    #[test]
+    fn nominal_power_monotone_in_frequency(
+        tdp in 4.0f64..50.0,
+        ar in 0.3f64..1.0,
+        f_lo_t in 0.0f64..0.9,
+    ) {
+        let soc = client_soc(Watts::new(tdp));
+        let cores = soc.domain(pdn_proc::DomainKind::Core0);
+        let span = cores.fmax.get() - cores.fmin.get();
+        let f_lo = Hertz::new(cores.fmin.get() + f_lo_t * span);
+        let f_hi = Hertz::new(f_lo.get() + 0.1 * span);
+        let ar = ApplicationRatio::new(ar).unwrap();
+        let gfx_f = soc.domain(pdn_proc::DomainKind::Gfx).fmin;
+        let lo = Scenario::active(&soc, WorkloadType::MultiThread, ar, f_lo, gfx_f).unwrap();
+        let hi = Scenario::active(&soc, WorkloadType::MultiThread, ar, f_hi, gfx_f).unwrap();
+        prop_assert!(hi.total_nominal_power() >= lo.total_nominal_power());
+    }
+}
