@@ -30,8 +30,7 @@ fn oracle_agreement(predictor: &ModePredictor, params: &ModelParams) -> f64 {
             for ar_v in [0.47, 0.63, 0.77] {
                 let ar = ApplicationRatio::new(ar_v).unwrap();
                 let s = Scenario::active_fixed_tdp_frequency(&soc, wl, ar).unwrap();
-                let oracle = if ivr.evaluate(&s).unwrap().etee >= ldo.evaluate(&s).unwrap().etee
-                {
+                let oracle = if ivr.evaluate(&s).unwrap().etee >= ldo.evaluate(&s).unwrap().etee {
                     PdnMode::IvrMode
                 } else {
                     PdnMode::LdoMode

@@ -109,8 +109,7 @@ fn bench_fig8(c: &mut Criterion) {
     g.bench_function("battery_life_average", |b| {
         b.iter(|| {
             black_box(
-                battery_life_average_power(&soc, &ivr, BatteryLifeWorkload::VideoPlayback)
-                    .unwrap(),
+                battery_life_average_power(&soc, &ivr, BatteryLifeWorkload::VideoPlayback).unwrap(),
             )
         })
     });
@@ -122,9 +121,7 @@ fn bench_fig8(c: &mut Criterion) {
 
 fn bench_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("overhead");
-    g.bench_function("section6_summary", |b| {
-        b.iter(|| black_box(flexwatts::overhead::summary()))
-    });
+    g.bench_function("section6_summary", |b| b.iter(|| black_box(flexwatts::overhead::summary())));
     g.finish();
 }
 

@@ -19,8 +19,7 @@ fn bench_scenario_construction(c: &mut Criterion) {
     g.bench_function("active_fixed_tdp_frequency", |b| {
         b.iter(|| {
             black_box(
-                Scenario::active_fixed_tdp_frequency(&soc, WorkloadType::MultiThread, ar)
-                    .unwrap(),
+                Scenario::active_fixed_tdp_frequency(&soc, WorkloadType::MultiThread, ar).unwrap(),
             )
         })
     });

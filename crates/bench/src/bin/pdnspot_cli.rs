@@ -109,11 +109,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ApplicationRatio::new(args.ar)?,
         )?,
     };
-    println!(
-        "scenario: {} | nominal load {:.3}",
-        scenario.name,
-        scenario.total_nominal_power()
-    );
+    println!("scenario: {} | nominal load {:.3}", scenario.name, scenario.total_nominal_power());
     println!(
         "{:<10} {:>7} {:>9} {:>9} {:>12} {:>10} {:>8}",
         "PDN", "ETEE", "input", "VR loss", "I2R compute", "I2R SA/IO", "other"

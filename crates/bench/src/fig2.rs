@@ -76,11 +76,7 @@ pub fn render() -> Result<String, PdnError> {
         &["TDP", "CPU", "GFX"],
     );
     for r in frequency_sensitivity_rows()? {
-        a.row(vec![
-            format!("{}W", r.tdp),
-            format!("{:.1}", r.cpu_mw),
-            format!("{:.1}", r.gfx_mw),
-        ]);
+        a.row(vec![format!("{}W", r.tdp), format!("{:.1}", r.cpu_mw), format!("{:.1}", r.gfx_mw)]);
     }
     let mut b = TextTable::new(
         "Fig. 2b — power-budget breakdown (worst-loss PDN per TDP)",

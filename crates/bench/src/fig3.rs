@@ -37,10 +37,8 @@ pub fn render() -> Result<String, VrError> {
     let mut headers = vec!["series".to_string()];
     headers.extend(CURRENTS.iter().map(|i| format!("{i}A")));
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut t = TextTable::new(
-        "Fig. 3 — off-chip VR efficiency vs Iout (Vin = 7.2 V)",
-        &headers_ref,
-    );
+    let mut t =
+        TextTable::new("Fig. 3 — off-chip VR efficiency vs Iout (Vin = 7.2 V)", &headers_ref);
     for ps in [VrPowerState::Ps0, VrPowerState::Ps1] {
         for vout in VOUTS {
             let Some(curve) = surface.curve_at(Volts::new(7.2), Volts::new(vout), ps) else {
@@ -64,23 +62,15 @@ mod tests {
     fn curves_match_fig3_shapes() {
         let surface = measure_board_vr().unwrap();
         // PS0 at Vout=1.8: rising from light load toward ≈ 90+ %.
-        let c = surface
-            .curve_at(Volts::new(7.2), Volts::new(1.8), VrPowerState::Ps0)
-            .unwrap();
+        let c = surface.curve_at(Volts::new(7.2), Volts::new(1.8), VrPowerState::Ps0).unwrap();
         assert!(c.eval_logx(0.1) < c.eval_logx(5.0));
         assert!(c.eval_logx(10.0) > 0.88);
         // Higher Vout is more efficient at the same current.
-        let lo = surface
-            .curve_at(Volts::new(7.2), Volts::new(0.6), VrPowerState::Ps0)
-            .unwrap();
+        let lo = surface.curve_at(Volts::new(7.2), Volts::new(0.6), VrPowerState::Ps0).unwrap();
         assert!(lo.eval_logx(2.0) < c.eval_logx(2.0));
         // PS1 beats PS0 at 0.1 A (light-load state).
-        let ps1 = surface
-            .curve_at(Volts::new(7.2), Volts::new(1.0), VrPowerState::Ps1)
-            .unwrap();
-        let ps0 = surface
-            .curve_at(Volts::new(7.2), Volts::new(1.0), VrPowerState::Ps0)
-            .unwrap();
+        let ps1 = surface.curve_at(Volts::new(7.2), Volts::new(1.0), VrPowerState::Ps1).unwrap();
+        let ps0 = surface.curve_at(Volts::new(7.2), Volts::new(1.0), VrPowerState::Ps0).unwrap();
         assert!(ps1.eval_logx(0.1) > ps0.eval_logx(0.1));
     }
 

@@ -4,11 +4,11 @@
 
 use crate::render::TextTable;
 use crate::suite::{three_baselines, ARS};
-use pdn_proc::{client_soc, PackageCState};
-use pdn_units::{ApplicationRatio, Watts};
+use pdn_proc::PackageCState;
 use pdn_workload::WorkloadType;
-use pdnspot::validation::{validate, ReferenceSystem, ValidationReport};
-use pdnspot::{ModelParams, PdnError, Scenario};
+use pdnspot::batch::{build_scenarios, ClientSoc, SweepGrid, Workers};
+use pdnspot::validation::{validate_with, ReferenceSystem, ValidationReport};
+use pdnspot::{BatchStats, ModelParams, PdnError, Scenario};
 
 /// The TDP panels of Fig. 4 (a–i use 4, 18, 50 W).
 pub const PANEL_TDPS: [f64; 3] = [4.0, 18.0, 50.0];
@@ -26,36 +26,42 @@ pub struct ValidationPoint {
     pub measured: f64,
 }
 
+/// What [`campaign`] produces: per-PDN validation reports, the
+/// flattened points, and the batch statistics of the run.
+pub type CampaignOutput = (Vec<(String, ValidationReport)>, Vec<ValidationPoint>, BatchStats);
+
 /// Runs the full Fig. 4 campaign: panels a–i plus the C-state panel j.
 ///
-/// Returns per-PDN validation reports and the flattened points.
+/// The scenario lattice is built on the batch engine (shared cache, one
+/// build per point) and each PDN's validation fan-out runs on the same
+/// worker pool; instrument noise stays serial in lattice order, so the
+/// campaign is reproducible for a fixed seed.
+///
+/// Returns per-PDN validation reports, the flattened points, and the
+/// batch statistics of the run.
 ///
 /// # Errors
 ///
 /// Propagates evaluation errors.
-pub fn campaign(seed: u64) -> Result<(Vec<(String, ValidationReport)>, Vec<ValidationPoint>), PdnError> {
+pub fn campaign(seed: u64) -> Result<CampaignOutput, PdnError> {
     let params = ModelParams::paper_defaults();
     let reference = ReferenceSystem::new(seed);
-    let mut scenarios = Vec::new();
-    for tdp in PANEL_TDPS {
-        let soc = client_soc(Watts::new(tdp));
-        for wl in WorkloadType::ACTIVE_TYPES {
-            for ar in ARS {
-                let ar = ApplicationRatio::new(ar).expect("static AR");
-                scenarios.push(Scenario::active_fixed_tdp_frequency(&soc, wl, ar)?);
-            }
-        }
-    }
+    // Panels a-i: the active lattice, in the same TDP-major order the
+    // serial campaign used.
+    let active = SweepGrid::active(&PANEL_TDPS, &WorkloadType::ACTIVE_TYPES, &ARS)?;
+    let (active_scenarios, mut stats) = build_scenarios(&active, &ClientSoc, Workers::Auto);
     // Panel j: power states (TDP-insensitive; evaluated at 18 W).
-    let soc = client_soc(Watts::new(18.0));
-    for state in PackageCState::ALL {
-        scenarios.push(Scenario::idle(&soc, state));
-    }
+    let idle = SweepGrid::builder().tdps(&[18.0]).idle_states(&PackageCState::ALL).build()?;
+    let (idle_scenarios, idle_stats) = build_scenarios(&idle, &ClientSoc, Workers::Auto);
+    stats.absorb(&idle_stats);
+    let scenarios: Vec<Scenario> =
+        active_scenarios.into_iter().chain(idle_scenarios).collect::<Result<_, _>>()?;
 
     let mut reports = Vec::new();
     let mut points = Vec::new();
     for pdn in three_baselines(&params) {
-        let report = validate(pdn.as_ref(), &reference, &scenarios)?;
+        let report = validate_with(pdn.as_ref(), &reference, &scenarios, Workers::Auto)?;
+        stats.evaluations += 2 * scenarios.len(); // model eval + reintegration
         for (scenario, sample) in scenarios.iter().zip(&report.samples) {
             points.push(ValidationPoint {
                 pdn: pdn.kind().to_string(),
@@ -66,7 +72,7 @@ pub fn campaign(seed: u64) -> Result<(Vec<(String, ValidationReport)>, Vec<Valid
         }
         reports.push((pdn.kind().to_string(), report));
     }
-    Ok((reports, points))
+    Ok((reports, points, stats))
 }
 
 /// Renders the campaign: accuracy summary plus the panel-j rows.
@@ -75,7 +81,7 @@ pub fn campaign(seed: u64) -> Result<(Vec<(String, ValidationReport)>, Vec<Valid
 ///
 /// Propagates evaluation errors.
 pub fn render() -> Result<String, PdnError> {
-    let (reports, points) = campaign(42)?;
+    let (reports, points, stats) = campaign(42)?;
     let mut summary = TextTable::new(
         "Fig. 4 — PDNspot validation accuracy (paper: 99.1/99.4/99.2 % avg)",
         &["PDN", "mean", "min", "max", "samples"],
@@ -101,7 +107,7 @@ pub fn render() -> Result<String, PdnError> {
             format!("{:.1}%", p.measured * 100.0),
         ]);
     }
-    Ok(format!("{}\n{}", summary.render(), panel_j.render()))
+    Ok(format!("{}\n{}\n{stats}\n", summary.render(), panel_j.render()))
 }
 
 #[cfg(test)]
@@ -110,16 +116,14 @@ mod tests {
 
     #[test]
     fn campaign_covers_all_panels() {
-        let (reports, points) = campaign(7).unwrap();
+        let (reports, points, stats) = campaign(7).unwrap();
         assert_eq!(reports.len(), 3);
         // 3 TDPs × 3 types × 5 ARs + 6 C-states = 51 scenarios per PDN.
         assert_eq!(points.len(), 3 * 51);
+        // One scenario build per lattice point, shared across the PDNs.
+        assert_eq!(stats.scenario_builds, 51);
         for (name, report) in &reports {
-            assert!(
-                report.mean_accuracy() > 0.98,
-                "{name} accuracy {:.4}",
-                report.mean_accuracy()
-            );
+            assert!(report.mean_accuracy() > 0.98, "{name} accuracy {:.4}", report.mean_accuracy());
         }
     }
 

@@ -85,13 +85,21 @@ pub fn render() -> Result<String, PdnError> {
     let bars = bars()?;
     let mut t = TextTable::new(
         format!("Fig. 5 — PDN loss breakdown (CPU-intensive, AR = {:.0}%)", FIG5_AR * 100.0),
-        &["PDN", "TDP", "VR ineff.", "I2R core&gfx", "I2R SA&IO", "other", "total", "I(norm)", "RLL(norm)"],
+        &[
+            "PDN",
+            "TDP",
+            "VR ineff.",
+            "I2R core&gfx",
+            "I2R SA&IO",
+            "other",
+            "total",
+            "I(norm)",
+            "RLL(norm)",
+        ],
     );
     for b in &bars {
-        let ivr_ref = bars
-            .iter()
-            .find(|x| x.pdn == PdnKind::Ivr && x.tdp == b.tdp)
-            .expect("IVR bar exists");
+        let ivr_ref =
+            bars.iter().find(|x| x.pdn == PdnKind::Ivr && x.tdp == b.tdp).expect("IVR bar exists");
         t.row(vec![
             b.pdn.to_string(),
             format!("{}W", b.tdp),
@@ -136,7 +144,7 @@ mod tests {
     #[test]
     fn renders_nine_rows() {
         let s = render().unwrap();
-        assert_eq!(s.matches("W  ").count() >= 1, true);
+        assert!(s.matches("W  ").count() >= 1);
         assert!(s.contains("I2R core&gfx"));
     }
 }

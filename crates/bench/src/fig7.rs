@@ -7,8 +7,9 @@ use pdn_proc::client_soc;
 use pdn_units::Watts;
 use pdn_workload::spec::{spec_cpu2006, SpecBenchmark};
 use pdn_workload::WorkloadType;
+use pdnspot::batch::{par_map_stats, Workers};
 use pdnspot::perf::relative_performance;
-use pdnspot::{IvrPdn, ModelParams, PdnError};
+use pdnspot::{BatchStats, IvrPdn, ModelParams, PdnError};
 
 /// One benchmark's normalised performance under the five PDNs.
 #[derive(Debug, Clone)]
@@ -26,12 +27,26 @@ pub struct Fig7Row {
 ///
 /// Propagates solver errors.
 pub fn rows(tdp: Watts) -> Result<Vec<Fig7Row>, PdnError> {
+    rows_with_stats(tdp, Workers::Auto).map(|(rows, _)| rows)
+}
+
+/// [`rows`] on the batch engine: the per-benchmark solver fan-out runs
+/// on the worker pool (one task per benchmark, five PDNs each) and the
+/// run's [`BatchStats`] are returned alongside the rows.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn rows_with_stats(
+    tdp: Watts,
+    workers: Workers,
+) -> Result<(Vec<Fig7Row>, BatchStats), PdnError> {
     let params = ModelParams::paper_defaults();
     let soc = client_soc(tdp);
     let baseline = IvrPdn::new(params.clone());
     let pdns = five_pdns(&params);
-    let mut out = Vec::new();
-    for bench in spec_cpu2006() {
+    let benchmarks = spec_cpu2006();
+    let (results, mut stats) = par_map_stats(&benchmarks, workers, |_, bench| {
         let mut perf = [1.0f64; 5];
         for (i, pdn) in pdns.iter().enumerate() {
             perf[i] = relative_performance(
@@ -43,17 +58,19 @@ pub fn rows(tdp: Watts) -> Result<Vec<Fig7Row>, PdnError> {
                 bench.perf_scalability,
             )?;
         }
-        out.push(Fig7Row { benchmark: bench, perf });
-    }
-    Ok(out)
+        Ok::<_, PdnError>(Fig7Row { benchmark: bench.clone(), perf })
+    });
+    stats.evaluations = benchmarks.len() * pdns.len();
+    let rows = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok((rows, stats))
 }
 
 /// The average normalised performance across the suite.
 pub fn average(rows: &[Fig7Row]) -> [f64; 5] {
     let mut avg = [0.0f64; 5];
     for r in rows {
-        for i in 0..5 {
-            avg[i] += r.perf[i];
+        for (a, p) in avg.iter_mut().zip(&r.perf) {
+            *a += p;
         }
     }
     for a in &mut avg {
@@ -68,7 +85,7 @@ pub fn average(rows: &[Fig7Row]) -> [f64; 5] {
 ///
 /// Propagates solver errors.
 pub fn render() -> Result<String, PdnError> {
-    let rows = rows(Watts::new(4.0))?;
+    let (rows, stats) = rows_with_stats(Watts::new(4.0), Workers::Auto)?;
     let mut t = TextTable::new(
         "Fig. 7 — SPEC CPU2006 performance at 4 W TDP (normalised to IVR)",
         &["benchmark", "scal.", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts"],
@@ -85,7 +102,7 @@ pub fn render() -> Result<String, PdnError> {
     let mut cells = vec!["Average".to_string(), String::new()];
     cells.extend(avg.iter().map(|p| format!("{:.1}%", p * 100.0)));
     t.row(cells);
-    Ok(t.render())
+    Ok(format!("{}\n{stats}\n", t.render()))
 }
 
 #[cfg(test)]
@@ -104,10 +121,7 @@ mod tests {
         // Reproduction note (EXPERIMENTS.md): the paper reports +22 %;
         // our self-consistent frequency solver re-equilibrates the
         // operating point and lands at ≈ +11–15 %.
-        assert!(
-            flexwatts > 1.07 && flexwatts < 1.40,
-            "FlexWatts average at 4 W: {flexwatts:.3}"
-        );
+        assert!(flexwatts > 1.07 && flexwatts < 1.40, "FlexWatts average at 4 W: {flexwatts:.3}");
         assert!(mbvr > 1.05 && ldo > 1.05);
         assert!(iplus > 1.0 && iplus < flexwatts, "I+MBVR gains less than FlexWatts");
         let best = mbvr.max(ldo);

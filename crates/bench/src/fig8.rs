@@ -11,8 +11,9 @@ use pdn_workload::graphics::threedmark06;
 use pdn_workload::spec::spec_cpu2006;
 use pdn_workload::{BatteryLifeWorkload, WorkloadType};
 use pdnspot::areabom::{pdn_footprint, VrCatalog};
+use pdnspot::batch::{par_map_stats, Workers};
 use pdnspot::perf::{battery_life_average_power, relative_performance};
-use pdnspot::{IvrPdn, ModelParams, PdnError};
+use pdnspot::{BatchStats, IvrPdn, ModelParams, PdnError};
 
 /// The five-PDN series of one panel: one value per (TDP, PDN).
 #[derive(Debug, Clone)]
@@ -54,6 +55,7 @@ pub fn spec_average_panel() -> Result<Panel, PdnError> {
         "Fig. 8a — SPEC CPU2006 average performance (normalised to IVR)",
         WorkloadType::MultiThread,
     )
+    .map(|(panel, _)| panel)
 }
 
 /// Panel (b): 3DMark06 performance vs TDP.
@@ -62,15 +64,16 @@ pub fn spec_average_panel() -> Result<Panel, PdnError> {
 ///
 /// Propagates solver errors.
 pub fn graphics_panel() -> Result<Panel, PdnError> {
-    performance_panel(
-        "Fig. 8b — 3DMark06 performance (normalised to IVR)",
-        WorkloadType::Graphics,
-    )
+    performance_panel("Fig. 8b — 3DMark06 performance (normalised to IVR)", WorkloadType::Graphics)
+        .map(|(panel, _)| panel)
 }
 
 /// SPEC's Fig. 8a panel runs the suite as multi-programmed pairs (both
 /// cores busy), which is what makes the high-TDP rows power-limited.
-fn performance_panel(title: &str, wl: WorkloadType) -> Result<Panel, PdnError> {
+///
+/// The `(TDP, PDN)` cells fan out on the batch engine; each task runs
+/// the whole workload suite through the frequency solver for one cell.
+fn performance_panel(title: &str, wl: WorkloadType) -> Result<(Panel, BatchStats), PdnError> {
     let params = ModelParams::paper_defaults();
     let baseline = IvrPdn::new(params.clone());
     let pdns = five_pdns(&params);
@@ -80,22 +83,28 @@ fn performance_panel(title: &str, wl: WorkloadType) -> Result<Panel, PdnError> {
         }
         _ => spec_cpu2006().iter().map(|b| (b.ar, b.perf_scalability)).collect(),
     };
+    let cells: Vec<(usize, usize)> =
+        (0..TDPS.len()).flat_map(|t| (0..pdns.len()).map(move |p| (t, p))).collect();
+    let (results, stats) = par_map_stats(&cells, Workers::Auto, |_, &(t, p)| {
+        let soc = client_soc(Watts::new(TDPS[t]));
+        let mut sum = 0.0;
+        for &(ar, scal) in &workloads {
+            sum += relative_performance(&soc, pdns[p].as_ref(), &baseline, wl, ar, scal)?;
+        }
+        Ok::<_, PdnError>(sum / workloads.len() as f64)
+    });
     let mut labels = Vec::new();
     let mut values = Vec::new();
+    let mut results = results.into_iter();
     for &tdp in &TDPS {
-        let soc = client_soc(Watts::new(tdp));
         let mut row = [0.0f64; 5];
-        for (i, pdn) in pdns.iter().enumerate() {
-            let mut sum = 0.0;
-            for &(ar, scal) in &workloads {
-                sum += relative_performance(&soc, pdn.as_ref(), &baseline, wl, ar, scal)?;
-            }
-            row[i] = sum / workloads.len() as f64;
+        for cell in &mut row {
+            *cell = results.next().expect("one result per lattice cell")?;
         }
         labels.push(format!("{tdp}W"));
         values.push(row);
     }
-    Ok(Panel { title: title.to_string(), labels, values })
+    Ok((Panel { title: title.to_string(), labels, values }, stats))
 }
 
 /// Panel (c): battery-life average power, normalised to IVR (lower is
@@ -105,28 +114,52 @@ fn performance_panel(title: &str, wl: WorkloadType) -> Result<Panel, PdnError> {
 ///
 /// Propagates evaluation errors.
 pub fn battery_panel() -> Result<Panel, PdnError> {
+    battery_panel_with_stats().map(|(panel, _)| panel)
+}
+
+/// [`battery_panel`] plus the batch statistics of its `(workload, PDN)`
+/// fan-out; raw powers are computed in parallel and normalised to the
+/// IVR column serially.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn battery_panel_with_stats() -> Result<(Panel, BatchStats), PdnError> {
     let params = ModelParams::paper_defaults();
     let pdns = five_pdns(&params);
     // §7.1: battery-life power is TDP-insensitive; evaluated at 18 W.
     let soc = client_soc(Watts::new(18.0));
+    let cells: Vec<(BatteryLifeWorkload, usize)> = BatteryLifeWorkload::ALL
+        .into_iter()
+        .flat_map(|wl| (0..pdns.len()).map(move |p| (wl, p)))
+        .collect();
+    let (powers, stats) = par_map_stats(&cells, Workers::Auto, |_, &(wl, p)| {
+        battery_life_average_power(&soc, pdns[p].as_ref(), wl)
+    });
     let mut labels = Vec::new();
     let mut values = Vec::new();
+    let mut powers = powers.into_iter();
     for wl in BatteryLifeWorkload::ALL {
         let mut row = [0.0f64; 5];
-        let ivr_power = battery_life_average_power(&soc, pdns[0].as_ref(), wl)?;
-        for (i, pdn) in pdns.iter().enumerate() {
-            let p = battery_life_average_power(&soc, pdn.as_ref(), wl)?;
-            row[i] = p.get() / ivr_power.get();
+        for cell in &mut row {
+            *cell = powers.next().expect("one result per lattice cell")?.get();
+        }
+        let ivr_power = row[0];
+        for cell in &mut row {
+            *cell /= ivr_power;
         }
         labels.push(wl.to_string());
         values.push(row);
     }
-    Ok(Panel {
-        title: "Fig. 8c — battery-life average power (normalised to IVR; lower is better)"
-            .to_string(),
-        labels,
-        values,
-    })
+    Ok((
+        Panel {
+            title: "Fig. 8c — battery-life average power (normalised to IVR; lower is better)"
+                .to_string(),
+            labels,
+            values,
+        },
+        stats,
+    ))
 }
 
 /// Panels (d) and (e): BOM cost and board area vs TDP, normalised to IVR.
@@ -135,6 +168,16 @@ pub fn battery_panel() -> Result<Panel, PdnError> {
 ///
 /// Propagates rail-sizing errors.
 pub fn bom_area_panels() -> Result<(Panel, Panel), PdnError> {
+    bom_area_panels_with_stats().map(|(bom, area, _)| (bom, area))
+}
+
+/// [`bom_area_panels`] plus the batch statistics of the `(TDP, PDN)`
+/// rail-sizing fan-out.
+///
+/// # Errors
+///
+/// Propagates rail-sizing errors.
+pub fn bom_area_panels_with_stats() -> Result<(Panel, Panel, BatchStats), PdnError> {
     let params = ModelParams::paper_defaults();
     let catalog = VrCatalog::paper_calibrated();
     let pdns = five_pdns(&params);
@@ -148,11 +191,16 @@ pub fn bom_area_panels() -> Result<(Panel, Panel), PdnError> {
         labels: Vec::new(),
         values: Vec::new(),
     };
+    let cells: Vec<(usize, usize)> =
+        (0..TDPS.len()).flat_map(|t| (0..pdns.len()).map(move |p| (t, p))).collect();
+    let (footprints, stats) = par_map_stats(&cells, Workers::Auto, |_, &(t, p)| {
+        let soc = client_soc(Watts::new(TDPS[t]));
+        pdn_footprint(pdns[p].as_ref(), &soc, &catalog)
+    });
+    let mut remaining = footprints.into_iter();
     for &tdp in &TDPS {
-        let soc = client_soc(Watts::new(tdp));
-        let footprints: Vec<_> = pdns
-            .iter()
-            .map(|p| pdn_footprint(p.as_ref(), &soc, &catalog))
+        let footprints: Vec<_> = (0..pdns.len())
+            .map(|_| remaining.next().expect("one result per lattice cell"))
             .collect::<Result<_, _>>()?;
         let ivr = &footprints[0];
         let mut bom_row = [0.0f64; 5];
@@ -166,21 +214,30 @@ pub fn bom_area_panels() -> Result<(Panel, Panel), PdnError> {
         area.labels.push(format!("{tdp}W"));
         area.values.push(area_row);
     }
-    Ok((bom, area))
+    Ok((bom, area, stats))
 }
 
-/// Renders all five panels.
+/// Renders all five panels, with one merged batch-stats footer.
 ///
 /// # Errors
 ///
 /// Propagates evaluation errors.
 pub fn render() -> Result<String, PdnError> {
-    let a = spec_average_panel()?;
-    let b = graphics_panel()?;
-    let c = battery_panel()?;
-    let (d, e) = bom_area_panels()?;
+    let (a, mut stats) = performance_panel(
+        "Fig. 8a — SPEC CPU2006 average performance (normalised to IVR)",
+        WorkloadType::MultiThread,
+    )?;
+    let (b, b_stats) = performance_panel(
+        "Fig. 8b — 3DMark06 performance (normalised to IVR)",
+        WorkloadType::Graphics,
+    )?;
+    let (c, c_stats) = battery_panel_with_stats()?;
+    let (d, e, de_stats) = bom_area_panels_with_stats()?;
+    stats.absorb(&b_stats);
+    stats.absorb(&c_stats);
+    stats.absorb(&de_stats);
     Ok(format!(
-        "{}\n{}\n{}\n{}\n{}",
+        "{}\n{}\n{}\n{}\n{}\n{stats}\n",
         a.render("%"),
         b.render("%"),
         c.render("%"),
@@ -207,10 +264,7 @@ mod tests {
     fn fig8a_flexwatts_wins_low_tdp_and_holds_high_tdp() {
         let a = spec_average_panel().unwrap();
         let fw_4w = col(&a, "4W", 4);
-        assert!(
-            fw_4w > 1.07 && fw_4w < 1.40,
-            "SPEC average FlexWatts gain at 4 W: {fw_4w:.3}"
-        );
+        assert!(fw_4w > 1.07 && fw_4w < 1.40, "SPEC average FlexWatts gain at 4 W: {fw_4w:.3}");
         // At 50 W FlexWatts stays within ~1 % of IVR (its IVR-Mode).
         let fw_50w = col(&a, "50W", 4);
         assert!(fw_50w > 0.985, "FlexWatts at 50 W: {fw_50w:.3}");
@@ -218,10 +272,7 @@ mod tests {
         // 36-50 W rows are frequency-limited, so the gap closes to ~0 —
         // see EXPERIMENTS.md — but it shows at 18-25 W).
         let mbvr_50w = col(&a, "50W", 1);
-        assert!(
-            fw_50w >= mbvr_50w - 1e-9,
-            "FlexWatts {fw_50w:.3} vs MBVR {mbvr_50w:.3} at 50 W"
-        );
+        assert!(fw_50w >= mbvr_50w - 1e-9, "FlexWatts {fw_50w:.3} vs MBVR {mbvr_50w:.3} at 50 W");
         let fw_25w = col(&a, "25W", 4);
         let mbvr_25w = col(&a, "25W", 1);
         assert!(
@@ -234,10 +285,7 @@ mod tests {
     fn fig8b_graphics_gains_at_low_tdp() {
         let b = graphics_panel().unwrap();
         let fw_4w = col(&b, "4W", 4);
-        assert!(
-            fw_4w > 1.10 && fw_4w < 1.45,
-            "3DMark06 FlexWatts gain at 4 W: {fw_4w:.3}"
-        );
+        assert!(fw_4w > 1.10 && fw_4w < 1.45, "3DMark06 FlexWatts gain at 4 W: {fw_4w:.3}");
         let fw_50w = col(&b, "50W", 4);
         assert!(fw_50w > 0.98, "FlexWatts graphics at 50 W: {fw_50w:.3}");
     }
@@ -248,10 +296,7 @@ mod tests {
         // ≈ 11 % vs IVR (8–17 % band accepted for the reproduction).
         let c = battery_panel().unwrap();
         let fw = col(&c, "video-playback", 4);
-        assert!(
-            (0.83..=0.92).contains(&fw),
-            "FlexWatts video playback vs IVR: {fw:.3}"
-        );
+        assert!((0.83..=0.92).contains(&fw), "FlexWatts video playback vs IVR: {fw:.3}");
         // FlexWatts within ~1 % of MBVR on battery life.
         let mbvr = col(&c, "video-playback", 1);
         assert!(fw < mbvr + 0.015, "FlexWatts {fw:.3} vs MBVR {mbvr:.3}");

@@ -8,9 +8,14 @@ use flexwatts::{FlexWattsAuto, FlexWattsPdn, PdnMode};
 use pdn_proc::client_soc;
 use pdn_units::{ApplicationRatio, Ohms, Watts};
 use pdn_workload::WorkloadType;
+use pdnspot::batch::{build_scenarios, par_map_stats, ClientSoc, SweepGrid, Workers};
 use pdnspot::{ModelParams, Pdn, PdnError, Scenario};
 
 /// The ETEE of every PDN at every (TDP, workload type) point, AR = 56 %.
+///
+/// Scenarios come off the batch engine (one build per lattice point);
+/// the `(point, PDN)` ETEE cells and the FlexWatts mode column each fan
+/// out on the worker pool, and the merged stats close the report.
 ///
 /// # Errors
 ///
@@ -18,27 +23,42 @@ use pdnspot::{ModelParams, Pdn, PdnError, Scenario};
 pub fn crossover_map() -> Result<String, PdnError> {
     let params = ModelParams::paper_defaults();
     let pdns = five_pdns(&params);
-    let ar = ApplicationRatio::new(0.56).expect("static AR");
+    let grid = SweepGrid::active(&TDPS, &WorkloadType::ACTIVE_TYPES, &[0.56])?;
+    let (scenarios, mut stats) = build_scenarios(&grid, &ClientSoc, Workers::Auto);
+    let scenarios: Vec<Scenario> = scenarios.into_iter().collect::<Result<_, _>>()?;
+    let cells: Vec<(usize, usize)> =
+        (0..scenarios.len()).flat_map(|s| (0..pdns.len()).map(move |p| (s, p))).collect();
+    let (etees, etee_stats) = par_map_stats(&cells, Workers::Auto, |_, &(s, p)| {
+        pdns[p].evaluate(&scenarios[s]).map(|e| e.etee)
+    });
+    let etees: Vec<_> = etees.into_iter().collect::<Result<_, _>>()?;
+    let auto = FlexWattsAuto::new(params.clone());
+    let (modes, mode_stats) = par_map_stats(&scenarios, Workers::Auto, |_, s| auto.best_mode(s));
+    let modes: Vec<_> = modes.into_iter().collect::<Result<_, _>>()?;
+    stats.absorb(&etee_stats);
+    stats.absorb(&mode_stats);
+
+    let n_wl = WorkloadType::ACTIVE_TYPES.len();
     let mut out = String::new();
-    for wl in WorkloadType::ACTIVE_TYPES {
+    for (wl_idx, wl) in WorkloadType::ACTIVE_TYPES.into_iter().enumerate() {
         let mut t = TextTable::new(
             format!("Observation 1/2 — ETEE vs TDP ({wl}, AR = 56%)"),
             &["TDP", "IVR", "MBVR", "LDO", "I+MBVR", "FlexWatts", "FlexWatts mode"],
         );
-        let auto = FlexWattsAuto::new(params.clone());
-        for &tdp in &TDPS {
-            let soc = client_soc(Watts::new(tdp));
-            let s = Scenario::active_fixed_tdp_frequency(&soc, wl, ar)?;
+        for (tdp_idx, &tdp) in TDPS.iter().enumerate() {
+            let point_idx = tdp_idx * n_wl + wl_idx;
             let mut cells = vec![format!("{tdp}W")];
-            for pdn in &pdns {
-                cells.push(format!("{:.1}%", pdn.evaluate(&s)?.etee.percent()));
+            for pdn_idx in 0..pdns.len() {
+                let etee = etees[point_idx * pdns.len() + pdn_idx];
+                cells.push(format!("{:.1}%", etee.percent()));
             }
-            cells.push(auto.best_mode(&s)?.to_string());
+            cells.push(modes[point_idx].to_string());
             t.row(cells);
         }
         out.push_str(&t.render());
         out.push('\n');
     }
+    out.push_str(&format!("{stats}\n"));
     Ok(out)
 }
 

@@ -9,10 +9,8 @@ use flexwatts::ModeSwitchFlow;
 pub fn render() -> String {
     let s = summary();
     let t = ModeSwitchFlow::new().reference_transition();
-    let mut latency = TextTable::new(
-        "FlexWatts mode-switch latency (paper: ~94 us total)",
-        &["step", "latency"],
-    );
+    let mut latency =
+        TextTable::new("FlexWatts mode-switch latency (paper: ~94 us total)", &["step", "latency"]);
     latency.row(vec!["package C6 entry".into(), format!("{:.0} us", t.c6_entry.micros())]);
     latency.row(vec!["VR reconfiguration".into(), format!("{:.0} us", t.vr_adjust.micros())]);
     latency.row(vec!["package C6 exit".into(), format!("{:.0} us", t.c6_exit.micros())]);

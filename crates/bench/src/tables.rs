@@ -35,7 +35,8 @@ pub fn table1() -> String {
 /// Renders Table 2: the PDNspot model parameters.
 pub fn table2() -> String {
     let p = ModelParams::paper_defaults();
-    let mut t = TextTable::new("Table 2 — PDNspot model parameters", &["parameter", "IVR", "MBVR", "LDO"]);
+    let mut t =
+        TextTable::new("Table 2 — PDNspot model parameters", &["parameter", "IVR", "MBVR", "LDO"]);
     t.row(vec![
         "load-line RLL (mOhm)".into(),
         format!("IN={}", p.ivr_loadlines.vin.milliohms()),
@@ -87,10 +88,7 @@ pub fn table2() -> String {
 
 /// Renders Table 3: the validation-system configurations.
 pub fn table3() -> String {
-    let mut t = TextTable::new(
-        "Table 3 — validation systems",
-        &["system", "TDP", "node", "PDN"],
-    );
+    let mut t = TextTable::new("Table 3 — validation systems", &["system", "TDP", "node", "PDN"]);
     for (soc, pdn) in [(broadwell_ult(), "IVR"), (skylake_ult(), "MBVR")] {
         t.row(vec![
             soc.name.clone(),
@@ -99,12 +97,7 @@ pub fn table3() -> String {
             pdn.to_string(),
         ]);
     }
-    t.row(vec![
-        "i7-6600U + emulated LDO".into(),
-        "15 W".into(),
-        "14 nm".into(),
-        "LDO".into(),
-    ]);
+    t.row(vec!["i7-6600U + emulated LDO".into(), "15 W".into(), "14 nm".into(), "LDO".into()]);
     t.render()
 }
 

@@ -9,7 +9,9 @@
 
 use crate::topology::PdnMode;
 use pdn_units::{Amps, Efficiency, Volts};
-use pdn_vr::{presets, BuckConverter, LdoRegulator, OperatingPoint, Placement, VoltageRegulator, VrError};
+use pdn_vr::{
+    presets, BuckConverter, LdoRegulator, OperatingPoint, Placement, VoltageRegulator, VrError,
+};
 use serde::{Deserialize, Serialize};
 
 /// The resources a hybrid VR shares between its two modes (§6, Fig. 6).
@@ -62,12 +64,7 @@ impl HybridVr {
     /// Creates a hybrid VR in IVR-Mode.
     pub fn new(name: impl Into<String>) -> Self {
         let name = name.into();
-        Self {
-            ivr: presets::ivr(&name),
-            ldo: presets::ldo(&name),
-            mode: PdnMode::IvrMode,
-            name,
-        }
+        Self { ivr: presets::ivr(&name), ldo: presets::ldo(&name), mode: PdnMode::IvrMode, name }
     }
 
     /// The active mode.

@@ -125,10 +125,7 @@ impl ModePredictor {
     /// # Errors
     ///
     /// Returns a [`FirmwareError`] if either image is malformed.
-    pub fn from_firmware(
-        ivr_image: &[u8],
-        ldo_image: &[u8],
-    ) -> Result<Self, FirmwareError> {
+    pub fn from_firmware(ivr_image: &[u8], ldo_image: &[u8]) -> Result<Self, FirmwareError> {
         Ok(Self {
             ivr_tables: FirmwareImage::parse(ivr_image)?,
             ldo_tables: FirmwareImage::parse(ldo_image)?,
@@ -164,11 +161,7 @@ impl ModePredictor {
     /// Algorithm 1 with hysteresis: only leaves `current` when the other
     /// mode's predicted advantage exceeds the margin (mode switches cost
     /// ≈ 94 µs of idleness, §6).
-    pub fn predict_with_hysteresis(
-        &self,
-        inputs: PredictorInputs,
-        current: PdnMode,
-    ) -> PdnMode {
+    pub fn predict_with_hysteresis(&self, inputs: PredictorInputs, current: PdnMode) -> PdnMode {
         let ivr = self.predicted_etee(PdnMode::IvrMode, inputs).get();
         let ldo = self.predicted_etee(PdnMode::LdoMode, inputs).get();
         let (current_etee, other, other_etee) = match current {
@@ -239,8 +232,7 @@ mod tests {
                 for ar_v in [0.45, 0.65] {
                     let ar = ApplicationRatio::new(ar_v).unwrap();
                     let s = Scenario::active_fixed_tdp_frequency(&soc, wl, ar).unwrap();
-                    let oracle = if ivr.evaluate(&s).unwrap().etee
-                        >= ldo.evaluate(&s).unwrap().etee
+                    let oracle = if ivr.evaluate(&s).unwrap().etee >= ldo.evaluate(&s).unwrap().etee
                     {
                         PdnMode::IvrMode
                     } else {
@@ -296,12 +288,9 @@ mod tests {
 
     #[test]
     fn table_footprint_scales_with_resolution() {
-        let coarse = ModePredictor::train(
-            &ModelParams::paper_defaults(),
-            &[4.0, 50.0],
-            &[0.4, 0.8],
-        )
-        .unwrap();
+        let coarse =
+            ModePredictor::train(&ModelParams::paper_defaults(), &[4.0, 50.0], &[0.4, 0.8])
+                .unwrap();
         let fine = trained();
         assert!(fine.table_entries() > coarse.table_entries());
         assert_eq!(fine.evaluation_interval(), ModePredictor::DEFAULT_INTERVAL);

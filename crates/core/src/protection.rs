@@ -38,10 +38,7 @@ impl MaxCurrentProtection {
     /// # Errors
     ///
     /// Propagates rail-sizing errors.
-    pub fn from_rail_sizing(
-        pdn: &FlexWattsPdn,
-        soc: &pdn_proc::SocSpec,
-    ) -> Result<Self, PdnError> {
+    pub fn from_rail_sizing(pdn: &FlexWattsPdn, soc: &pdn_proc::SocSpec) -> Result<Self, PdnError> {
         let vin = pdn.vin_protection_limit(soc)? * 1.05;
         Ok(Self { vin_iccmax: vin, threshold: 0.95 })
     }
@@ -72,12 +69,8 @@ impl MaxCurrentProtection {
             return Ok((decided, false));
         }
         let eval = ldo_mode.evaluate(scenario)?;
-        let vin_current = eval
-            .rails
-            .iter()
-            .find(|r| r.name == "V_IN")
-            .map(|r| r.current)
-            .unwrap_or(Amps::ZERO);
+        let vin_current =
+            eval.rails.iter().find(|r| r.name == "V_IN").map(|r| r.current).unwrap_or(Amps::ZERO);
         if vin_current > self.trip_current() {
             Ok((PdnMode::IvrMode, true))
         } else {

@@ -15,7 +15,8 @@ use crate::topology::{FlexWattsPdn, PdnMode};
 use pdn_pmu::{classify_workload, ActivitySensorBank, CStateDriver};
 use pdn_proc::{DomainKind, PackageCState, SocSpec};
 use pdn_units::{Seconds, Volts, Watts};
-use pdn_workload::{Phase, Trace};
+use pdn_workload::{Phase, Trace, WorkloadType};
+use pdnspot::batch::{par_map, Workers};
 use pdnspot::{ModelParams, Pdn, PdnError, Scenario};
 use std::collections::BTreeMap;
 
@@ -90,6 +91,16 @@ impl RuntimeReport {
     }
 }
 
+/// The pure (order-insensitive) part of one trace interval: the
+/// ground-truth scenario, both modes' input powers, and the PMU's
+/// domain-state workload classification.
+struct PreparedInterval {
+    scenario: Scenario,
+    power_ivr: Watts,
+    power_ldo: Watts,
+    estimated_type: WorkloadType,
+}
+
 /// The FlexWatts runtime simulator.
 #[derive(Debug)]
 pub struct FlexWattsRuntime {
@@ -137,18 +148,62 @@ impl FlexWattsRuntime {
     fn vin_level(&self, mode: PdnMode, scenario: &Scenario) -> Volts {
         match mode {
             PdnMode::IvrMode => self.ivr_mode.params().vin_level,
-            PdnMode::LdoMode => scenario
-                .max_voltage_among(&DomainKind::WIDE_RANGE)
-                .unwrap_or(Volts::new(0.85)),
+            PdnMode::LdoMode => {
+                scenario.max_voltage_among(&DomainKind::WIDE_RANGE).unwrap_or(Volts::new(0.85))
+            }
         }
     }
 
+    /// Builds the pure per-interval state: the scenario and both modes'
+    /// evaluations (the expensive part of an interval, reused across
+    /// its evaluation chunks).
+    fn prepare_interval(&self, phase: Phase) -> Result<PreparedInterval, PdnError> {
+        let (scenario, estimated_type) = match phase {
+            Phase::Active { workload_type, ar } => {
+                let scenario = Scenario::active_fixed_tdp_frequency(&self.soc, workload_type, ar)?;
+                let powered: BTreeMap<DomainKind, bool> =
+                    DomainKind::ALL.iter().map(|&k| (k, scenario.load(k).powered)).collect();
+                let estimated_type = classify_workload(&powered, None);
+                (scenario, estimated_type)
+            }
+            Phase::Idle(state) => (Scenario::idle(&self.soc, state), WorkloadType::BatteryLife),
+        };
+        let power_ivr = self.ivr_mode.evaluate(&scenario)?.input_power;
+        let power_ldo = self.ldo_mode.evaluate(&scenario)?.input_power;
+        Ok(PreparedInterval { scenario, power_ivr, power_ldo, estimated_type })
+    }
+
     /// Simulates a trace, returning the energy/switch report.
+    ///
+    /// Equivalent to [`run_with`](Self::run_with) on the full worker
+    /// pool.
     ///
     /// # Errors
     ///
     /// Propagates PDNspot evaluation errors.
     pub fn run(&self, trace: &Trace) -> Result<RuntimeReport, PdnError> {
+        self.run_with(trace, Workers::Auto)
+    }
+
+    /// Simulates a trace, batching the pure per-interval work on the
+    /// batch engine's worker pool.
+    ///
+    /// Scenario construction and the two per-interval mode evaluations
+    /// are pure, so they fan out in parallel; the stateful pass —
+    /// activity-sensor estimates (an ordered jitter stream), predictor
+    /// hysteresis, and mode-switch accounting — then replays serially
+    /// in trace order, which keeps the report bit-identical for any
+    /// [`Workers`] choice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PDNspot evaluation errors.
+    pub fn run_with(&self, trace: &Trace, workers: Workers) -> Result<RuntimeReport, PdnError> {
+        let prepared = par_map(trace.intervals(), workers, |_, interval| {
+            self.prepare_interval(interval.phase)
+        });
+        let prepared: Vec<PreparedInterval> = prepared.into_iter().collect::<Result<_, _>>()?;
+
         let mut mode = self.config.initial_mode;
         let mut energy = 0.0;
         let mut oracle_energy = 0.0;
@@ -163,45 +218,25 @@ impl FlexWattsRuntime {
         let eval_interval = self.predictor.evaluation_interval();
         let mut since_eval = eval_interval; // evaluate at trace start
 
-        for interval in trace.intervals() {
-            // Build the ground-truth scenario and the PMU's view of it.
-            let (scenario, pmu_inputs) = match interval.phase {
-                Phase::Active { workload_type, ar } => {
-                    let scenario = Scenario::active_fixed_tdp_frequency(
-                        &self.soc,
-                        workload_type,
-                        ar,
-                    )?;
-                    let powered: BTreeMap<DomainKind, bool> = DomainKind::ALL
-                        .iter()
-                        .map(|&k| (k, scenario.load(k).powered))
-                        .collect();
-                    let estimated_type = classify_workload(&powered, None);
-                    let estimated_ar = self.sensors.estimate(DomainKind::Core0, ar);
-                    (
-                        scenario,
-                        PredictorInputs {
-                            tdp: self.soc.tdp,
-                            ar: estimated_ar,
-                            workload_type: estimated_type,
-                            power_state: None,
-                        },
-                    )
-                }
-                Phase::Idle(state) => (
-                    Scenario::idle(&self.soc, state),
-                    PredictorInputs {
-                        tdp: self.soc.tdp,
-                        ar: interval.phase.ar(),
-                        workload_type: pdn_workload::WorkloadType::BatteryLife,
-                        power_state: Some(state),
-                    },
-                ),
+        for (interval, prep) in trace.intervals().iter().zip(prepared) {
+            let PreparedInterval { scenario, power_ivr, power_ldo, estimated_type } = prep;
+            // The PMU's view of the interval; the sensor estimate is an
+            // ordered stream, so it is drawn here, not in the fan-out.
+            let pmu_inputs = match interval.phase {
+                Phase::Active { ar, .. } => PredictorInputs {
+                    tdp: self.soc.tdp,
+                    ar: self.sensors.estimate(DomainKind::Core0, ar),
+                    workload_type: estimated_type,
+                    power_state: None,
+                },
+                Phase::Idle(state) => PredictorInputs {
+                    tdp: self.soc.tdp,
+                    ar: interval.phase.ar(),
+                    workload_type: WorkloadType::BatteryLife,
+                    power_state: Some(state),
+                },
             };
 
-            // Evaluate both modes once per interval; reuse across chunks.
-            let power_ivr = self.ivr_mode.evaluate(&scenario)?.input_power;
-            let power_ldo = self.ldo_mode.evaluate(&scenario)?.input_power;
             let oracle_power = power_ivr.min(power_ldo);
             let oracle_mode =
                 if power_ivr <= power_ldo { PdnMode::IvrMode } else { PdnMode::LdoMode };
@@ -374,10 +409,7 @@ mod tests {
         let rt = runtime(36.0);
         let trace = Trace::new(
             "deep-idle",
-            vec![TraceInterval::idle(
-                Seconds::from_millis(200.0),
-                pdn_proc::PackageCState::C8,
-            )],
+            vec![TraceInterval::idle(Seconds::from_millis(200.0), pdn_proc::PackageCState::C8)],
         );
         let report = rt.run(&trace).unwrap();
         assert!(report.switches.len() <= 1, "C8 must not toggle modes");
@@ -394,6 +426,19 @@ mod tests {
             report.energy_efficiency_vs_oracle()
         );
         assert!(report.average_power().get() > 0.1 && report.average_power().get() < 2.0);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_bitwise() {
+        // Fresh runtimes so both runs see the same sensor-jitter stream.
+        let trace = BatteryLifeWorkload::VideoPlayback.as_trace(10);
+        let serial = runtime(18.0).run_with(&trace, Workers::Serial).unwrap();
+        let parallel = runtime(18.0).run_with(&trace, Workers::Fixed(4)).unwrap();
+        assert_eq!(serial.energy_joules.to_bits(), parallel.energy_joules.to_bits());
+        assert_eq!(serial.oracle_energy_joules.to_bits(), parallel.oracle_energy_joules.to_bits());
+        assert_eq!(serial.switches.len(), parallel.switches.len());
+        assert_eq!(serial.predictor_evaluations, parallel.predictor_evaluations);
+        assert_eq!(serial.prediction_accuracy, parallel.prediction_accuracy);
     }
 
     #[test]

@@ -135,8 +135,7 @@ impl FlexWattsPdn {
         }
         if p_in.get() > 0.0 {
             // The shared-resource load line (1.4 mΩ > the IVR PDN's 1.0).
-            let step =
-                load_line_stage(p_in, p.vin_level, scenario.ar, p.flexwatts_loadlines.vin);
+            let step = load_line_stage(p_in, p.vin_level, scenario.ar, p.flexwatts_loadlines.vin);
             breakdown.conduction_compute += step.extra;
             chip_current += p_in / p.vin_level;
             let (pin, rail) = board_vr_stage(
@@ -169,9 +168,7 @@ impl FlexWattsPdn {
         let mut p_batt = Watts::ZERO;
         let mut chip_current = Amps::ZERO;
 
-        let vin_rail = scenario
-            .max_voltage_among(&DomainKind::WIDE_RANGE)
-            .map(|v| v + tob);
+        let vin_rail = scenario.max_voltage_among(&DomainKind::WIDE_RANGE).map(|v| v + tob);
         let mut p_in = Watts::ZERO;
         let mut fl_weighted = 0.0;
         if let Some(vin_rail) = vin_rail {
@@ -286,10 +283,7 @@ impl Pdn for FlexWattsPdn {
     /// switch/input-side rating is unchanged — up to the limit returned by
     /// [`FlexWattsPdn::vin_protection_limit`], beyond which the PMU's
     /// maximum-current protection forces IVR-Mode.
-    fn offchip_rails(
-        &self,
-        soc: &pdn_proc::SocSpec,
-    ) -> Result<Vec<OffchipRail>, PdnError> {
+    fn offchip_rails(&self, soc: &pdn_proc::SocSpec) -> Result<Vec<OffchipRail>, PdnError> {
         let mut merged: BTreeMap<String, OffchipRail> = BTreeMap::new();
         let pdn = FlexWattsPdn::new(self.params.clone(), PdnMode::IvrMode);
         for wl in [pdn_workload::WorkloadType::MultiThread, pdn_workload::WorkloadType::Graphics] {
@@ -402,10 +396,7 @@ impl Pdn for FlexWattsAuto {
         Ok(if ivr.etee >= ldo.etee { ivr } else { ldo })
     }
 
-    fn offchip_rails(
-        &self,
-        soc: &pdn_proc::SocSpec,
-    ) -> Result<Vec<OffchipRail>, PdnError> {
+    fn offchip_rails(&self, soc: &pdn_proc::SocSpec) -> Result<Vec<OffchipRail>, PdnError> {
         // The fixed-mode implementation already merges both modes.
         self.ivr.offchip_rails(soc)
     }
@@ -470,10 +461,7 @@ mod tests {
         let high = scenario(50.0, WorkloadType::MultiThread, 0.6);
         let best_high = pure_ivr.evaluate(&high).unwrap().etee.get();
         let fw_high = fw_ivr.evaluate(&high).unwrap().etee.get();
-        assert!(
-            fw_high > best_high - 0.012,
-            "50 W: FlexWatts {fw_high:.3} vs IVR {best_high:.3}"
-        );
+        assert!(fw_high > best_high - 0.012, "50 W: FlexWatts {fw_high:.3} vs IVR {best_high:.3}");
     }
 
     #[test]

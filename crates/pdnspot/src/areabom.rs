@@ -107,14 +107,10 @@ pub fn pdn_footprint(
         // A PMIC integrates the controllers of all rails into one package,
         // so only the current-dependent parts (inductors, bulk capacitors)
         // are summed, at the consolidation factor.
-        let area_sum: f64 = rails
-            .iter()
-            .map(|r| catalog.rail_area(r).get() - catalog.area_base_mm2)
-            .sum();
-        let cost_sum: f64 = rails
-            .iter()
-            .map(|r| catalog.rail_cost(r).get() - catalog.cost_base_usd)
-            .sum();
+        let area_sum: f64 =
+            rails.iter().map(|r| catalog.rail_area(r).get() - catalog.area_base_mm2).sum();
+        let cost_sum: f64 =
+            rails.iter().map(|r| catalog.rail_cost(r).get() - catalog.cost_base_usd).sum();
         (
             catalog.pmic_area_base_mm2 + catalog.pmic_area_factor * area_sum,
             catalog.pmic_cost_base_usd + catalog.pmic_cost_factor * cost_sum,
@@ -124,12 +120,7 @@ pub fn pdn_footprint(
         let cost_sum: f64 = rails.iter().map(|r| catalog.rail_cost(r).get()).sum();
         (area_sum, cost_sum)
     };
-    Ok(Footprint {
-        area: SquareMillimeters::new(area),
-        cost: Usd::new(cost),
-        pmic,
-        rails,
-    })
+    Ok(Footprint { area: SquareMillimeters::new(area), cost: Usd::new(cost), pmic, rails })
 }
 
 #[cfg(test)]

@@ -1,0 +1,871 @@
+//! Deterministic parallel evaluation of PDN design-space lattices.
+//!
+//! Every figure in the paper is a fan-out: the same scenario lattice
+//! (TDP × workload type × AR, plus idle power states) evaluated across
+//! several PDN topologies. Building one scenario is expensive — the
+//! Fig. 4 fixed-TDP-frequency operating point runs a 48-step bisection
+//! whose every probe constructs a full [`Scenario`] — while each PDN
+//! evaluation of a finished scenario is cheap. This module exploits both
+//! facts:
+//!
+//! * a shared [scenario cache](ScenarioCache) guarantees each lattice
+//!   point's scenario is built **exactly once** no matter how many PDNs
+//!   or threads consume it;
+//! * a scoped-thread worker pool (sized from
+//!   [`std::thread::available_parallelism`]) fans the `pdn × point`
+//!   task lattice out and merges results back into **stable lattice
+//!   order**, so parallel and serial runs return bit-identical values;
+//! * failures are captured **per point** — a scenario the solver cannot
+//!   bracket or a regulator that rejects an operating point records its
+//!   lattice coordinates ([`PdnError::Lattice`]) instead of aborting the
+//!   campaign;
+//! * [`BatchStats`] reports points evaluated, scenario-cache hit rate,
+//!   and per-worker wall time, and is printed by the figure binaries.
+//!
+//! # Determinism contract
+//!
+//! For a fixed grid, PDN set, and provider, [`evaluate_grid_with`]
+//! returns the same [`BatchOutcome::evaluations`] (same order, same
+//! floating-point bits) for every [`Workers`] choice. Scheduling only
+//! changes *which thread* computes a task, never the arithmetic: tasks
+//! share no mutable state besides the write-once scenario cache, and
+//! results are merged by task index. Only [`BatchStats`] (timings,
+//! worker count) varies between runs.
+
+use crate::error::PdnError;
+use crate::etee::PdnEvaluation;
+use crate::scenario::Scenario;
+use crate::topology::Pdn;
+use pdn_proc::{PackageCState, SocSpec};
+use pdn_units::{ApplicationRatio, Watts};
+use pdn_workload::WorkloadType;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// A source of SoC specifications, one per TDP design point.
+///
+/// The sweep and batch APIs previously took ad-hoc
+/// `impl Fn(Watts) -> SocSpec` closures; this trait names that contract
+/// once. A blanket impl covers plain closures and functions (so
+/// `pdn_proc::client_soc` still works verbatim), and [`ClientSoc`] is
+/// the named provider for the paper's client SoC family.
+///
+/// Providers must be [`Sync`]: the batch engine shares one provider
+/// across its worker threads.
+pub trait SocProvider: Sync {
+    /// Builds the SoC specification of the `tdp` design point.
+    fn soc_for(&self, tdp: Watts) -> SocSpec;
+}
+
+impl<F: Fn(Watts) -> SocSpec + Sync> SocProvider for F {
+    fn soc_for(&self, tdp: Watts) -> SocSpec {
+        self(tdp)
+    }
+}
+
+/// The paper's client SoC family ([`pdn_proc::client_soc`]) as a named
+/// provider.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientSoc;
+
+impl SocProvider for ClientSoc {
+    fn soc_for(&self, tdp: Watts) -> SocSpec {
+        pdn_proc::client_soc(tdp)
+    }
+}
+
+/// A design-space lattice: the cartesian axes every batch campaign
+/// sweeps.
+///
+/// Active points span TDP × workload type × AR at the Fig. 4
+/// fixed-TDP-frequency operating points; idle points span TDP × package
+/// C-state. Build one with [`SweepGrid::active`] or
+/// [`SweepGrid::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepGrid {
+    tdps: Vec<f64>,
+    workload_types: Vec<WorkloadType>,
+    ars: Vec<f64>,
+    idle_states: Vec<PackageCState>,
+}
+
+/// Incremental constructor for [`SweepGrid`] (see
+/// [`SweepGrid::builder`]).
+#[derive(Debug, Clone, Default)]
+pub struct SweepGridBuilder {
+    tdps: Vec<f64>,
+    workload_types: Vec<WorkloadType>,
+    ars: Vec<f64>,
+    idle_states: Vec<PackageCState>,
+}
+
+impl SweepGridBuilder {
+    /// Sets the TDP axis (watts).
+    #[must_use]
+    pub fn tdps(mut self, tdps: &[f64]) -> Self {
+        self.tdps = tdps.to_vec();
+        self
+    }
+
+    /// Sets the workload-type axis of the active sub-lattice.
+    #[must_use]
+    pub fn workload_types(mut self, types: &[WorkloadType]) -> Self {
+        self.workload_types = types.to_vec();
+        self
+    }
+
+    /// Sets the AR axis of the active sub-lattice (fractions).
+    #[must_use]
+    pub fn ars(mut self, ars: &[f64]) -> Self {
+        self.ars = ars.to_vec();
+        self
+    }
+
+    /// Sets the package power-state axis of the idle sub-lattice.
+    #[must_use]
+    pub fn idle_states(mut self, states: &[PackageCState]) -> Self {
+        self.idle_states = states.to_vec();
+        self
+    }
+
+    /// Validates the axes and builds the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::Scenario`] if the TDP axis is empty or
+    /// non-positive/non-finite, an AR is invalid, or the grid contains
+    /// no point at all (no workload × AR pair and no idle state).
+    pub fn build(self) -> Result<SweepGrid, PdnError> {
+        if self.tdps.is_empty() {
+            return Err(PdnError::Scenario("sweep grid needs at least one TDP".into()));
+        }
+        for &tdp in &self.tdps {
+            if !tdp.is_finite() || tdp <= 0.0 {
+                return Err(PdnError::Scenario(format!("invalid TDP {tdp} in sweep grid")));
+            }
+        }
+        for &ar in &self.ars {
+            ApplicationRatio::new(ar).map_err(PdnError::Units)?;
+        }
+        let has_active = !self.workload_types.is_empty() && !self.ars.is_empty();
+        if !has_active && self.idle_states.is_empty() {
+            return Err(PdnError::Scenario(
+                "sweep grid is empty: provide workload types and ARs, or idle states".into(),
+            ));
+        }
+        Ok(SweepGrid {
+            tdps: self.tdps,
+            workload_types: self.workload_types,
+            ars: self.ars,
+            idle_states: self.idle_states,
+        })
+    }
+}
+
+impl SweepGrid {
+    /// Starts an empty builder.
+    pub fn builder() -> SweepGridBuilder {
+        SweepGridBuilder::default()
+    }
+
+    /// An active-only grid over TDP × workload type × AR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::Scenario`] on empty or invalid axes.
+    pub fn active(
+        tdps: &[f64],
+        workload_types: &[WorkloadType],
+        ars: &[f64],
+    ) -> Result<Self, PdnError> {
+        Self::builder().tdps(tdps).workload_types(workload_types).ars(ars).build()
+    }
+
+    /// The TDP axis (watts).
+    pub fn tdps(&self) -> &[f64] {
+        &self.tdps
+    }
+
+    /// The workload-type axis.
+    pub fn workload_types(&self) -> &[WorkloadType] {
+        &self.workload_types
+    }
+
+    /// The AR axis (fractions).
+    pub fn ars(&self) -> &[f64] {
+        &self.ars
+    }
+
+    /// The idle power-state axis.
+    pub fn idle_states(&self) -> &[PackageCState] {
+        &self.idle_states
+    }
+
+    /// Number of points in the active sub-lattice.
+    pub fn n_active(&self) -> usize {
+        self.tdps.len() * self.workload_types.len() * self.ars.len()
+    }
+
+    /// Total number of lattice points.
+    pub fn n_points(&self) -> usize {
+        self.n_active() + self.tdps.len() * self.idle_states.len()
+    }
+
+    /// Enumerates the lattice in its canonical order: active points
+    /// TDP-major (TDP, then workload type, then AR), followed by idle
+    /// points (TDP, then power state). Batch results follow this order.
+    pub fn points(&self) -> Vec<LatticePoint> {
+        let mut out = Vec::with_capacity(self.n_points());
+        for t in 0..self.tdps.len() {
+            for w in 0..self.workload_types.len() {
+                for a in 0..self.ars.len() {
+                    out.push(LatticePoint::Active { tdp_idx: t, wl_idx: w, ar_idx: a });
+                }
+            }
+        }
+        for t in 0..self.tdps.len() {
+            for s in 0..self.idle_states.len() {
+                out.push(LatticePoint::Idle { tdp_idx: t, state_idx: s });
+            }
+        }
+        out
+    }
+
+    /// Human-readable coordinates of a point (used in
+    /// [`PdnError::Lattice`]).
+    pub fn describe(&self, point: LatticePoint) -> String {
+        match point {
+            LatticePoint::Active { tdp_idx, wl_idx, ar_idx } => format!(
+                "tdp={}W wl={} ar={:.2}",
+                self.tdps[tdp_idx], self.workload_types[wl_idx], self.ars[ar_idx]
+            ),
+            LatticePoint::Idle { tdp_idx, state_idx } => {
+                format!("tdp={}W state={}", self.tdps[tdp_idx], self.idle_states[state_idx])
+            }
+        }
+    }
+
+    /// Builds the scenario of one lattice point from an already-built
+    /// SoC.
+    fn build_scenario(&self, soc: &SocSpec, point: LatticePoint) -> Result<Scenario, PdnError> {
+        match point {
+            LatticePoint::Active { wl_idx, ar_idx, .. } => {
+                let ar = ApplicationRatio::new(self.ars[ar_idx]).map_err(PdnError::Units)?;
+                Scenario::active_fixed_tdp_frequency(soc, self.workload_types[wl_idx], ar)
+            }
+            LatticePoint::Idle { state_idx, .. } => {
+                Ok(Scenario::idle(soc, self.idle_states[state_idx]))
+            }
+        }
+    }
+}
+
+/// Coordinates of one point in a [`SweepGrid`] lattice (indices into the
+/// grid's axes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatticePoint {
+    /// An active operating point.
+    Active {
+        /// Index into [`SweepGrid::tdps`].
+        tdp_idx: usize,
+        /// Index into [`SweepGrid::workload_types`].
+        wl_idx: usize,
+        /// Index into [`SweepGrid::ars`].
+        ar_idx: usize,
+    },
+    /// An idle (package C-state) point.
+    Idle {
+        /// Index into [`SweepGrid::tdps`].
+        tdp_idx: usize,
+        /// Index into [`SweepGrid::idle_states`].
+        state_idx: usize,
+    },
+}
+
+impl LatticePoint {
+    /// The TDP-axis index of the point.
+    pub fn tdp_idx(self) -> usize {
+        match self {
+            LatticePoint::Active { tdp_idx, .. } | LatticePoint::Idle { tdp_idx, .. } => tdp_idx,
+        }
+    }
+}
+
+/// Worker-pool sizing for batch runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Workers {
+    /// One worker per available hardware thread (capped at the task
+    /// count).
+    #[default]
+    Auto,
+    /// Single-threaded execution on the calling thread (the reference
+    /// path of the determinism contract).
+    Serial,
+    /// Exactly this many workers (clamped to at least 1, at most the
+    /// task count).
+    Fixed(usize),
+}
+
+impl Workers {
+    /// Resolves the worker count for `tasks` work items.
+    pub fn count(self, tasks: usize) -> usize {
+        let want = match self {
+            Workers::Serial => 1,
+            Workers::Fixed(n) => n.max(1),
+            Workers::Auto => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        };
+        want.min(tasks.max(1))
+    }
+}
+
+/// Applies `f` to every item of `items` on a scoped worker pool,
+/// returning results in item order.
+///
+/// This is the engine's scheduling primitive, exposed for other fan-outs
+/// (the figure kernels and the runtime interval simulator use it
+/// directly). Work is pulled from a shared atomic cursor, so uneven item
+/// costs balance automatically; each worker collects `(index, result)`
+/// pairs locally and the pairs are merged and sorted at the end, which
+/// restores deterministic ordering regardless of scheduling. `f` runs
+/// exactly once per item.
+pub fn par_map<T, R, F>(items: &[T], workers: Workers, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_timed(items, workers, f).results
+}
+
+/// [`par_map`] plus a [`BatchStats`] record of the run — the
+/// instrumented primitive for fan-outs with no scenario lattice (the
+/// figure kernels and benches). Scenario-cache counters stay zero.
+pub fn par_map_stats<T, R, F>(items: &[T], workers: Workers, f: F) -> (Vec<R>, BatchStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let start = Instant::now();
+    let run = par_map_timed(items, workers, f);
+    let stats = BatchStats {
+        points: items.len(),
+        evaluations: items.len(),
+        failed: 0,
+        scenario_builds: 0,
+        scenario_lookups: 0,
+        workers: run.worker_wall.len(),
+        worker_wall: run.worker_wall,
+        wall: start.elapsed(),
+    };
+    (run.results, stats)
+}
+
+/// The outcome of [`par_map_timed`]: ordered results plus scheduling
+/// telemetry.
+struct ParMapRun<R> {
+    results: Vec<R>,
+    worker_wall: Vec<Duration>,
+}
+
+/// [`par_map`] plus per-worker wall-time measurements (the engine's
+/// instrumented path).
+fn par_map_timed<T, R, F>(items: &[T], workers: Workers, f: F) -> ParMapRun<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n_workers = workers.count(items.len());
+    if n_workers <= 1 {
+        let start = Instant::now();
+        let results = items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return ParMapRun { results, worker_wall: vec![start.elapsed()] };
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (mut pairs, worker_wall) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let start = Instant::now();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(i, item)));
+                    }
+                    (local, start.elapsed())
+                })
+            })
+            .collect();
+        let mut pairs = Vec::with_capacity(items.len());
+        let mut walls = Vec::with_capacity(n_workers);
+        for handle in handles {
+            let (local, wall) = handle.join().expect("batch worker panicked");
+            pairs.extend(local);
+            walls.push(wall);
+        }
+        (pairs, walls)
+    });
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    ParMapRun { results: pairs.into_iter().map(|(_, r)| r).collect(), worker_wall }
+}
+
+/// The write-once scenario store shared by all workers of a batch run.
+///
+/// Indexed by lattice-point position (not floating-point keys), with a
+/// per-TDP SoC sub-cache. [`OnceLock`] gives build-exactly-once
+/// semantics: the first worker to need a point builds it, concurrent
+/// requesters block until the value is ready, and every later lookup is
+/// a hit.
+struct ScenarioCache<'g, P: ?Sized> {
+    grid: &'g SweepGrid,
+    provider: &'g P,
+    socs: Vec<OnceLock<SocSpec>>,
+    scenarios: Vec<OnceLock<Result<Scenario, PdnError>>>,
+    lookups: AtomicUsize,
+    builds: AtomicUsize,
+}
+
+impl<'g, P: SocProvider + ?Sized> ScenarioCache<'g, P> {
+    fn new(grid: &'g SweepGrid, provider: &'g P, n_points: usize) -> Self {
+        Self {
+            grid,
+            provider,
+            socs: (0..grid.tdps.len()).map(|_| OnceLock::new()).collect(),
+            scenarios: (0..n_points).map(|_| OnceLock::new()).collect(),
+            lookups: AtomicUsize::new(0),
+            builds: AtomicUsize::new(0),
+        }
+    }
+
+    fn soc(&self, tdp_idx: usize) -> &SocSpec {
+        self.socs[tdp_idx]
+            .get_or_init(|| self.provider.soc_for(Watts::new(self.grid.tdps[tdp_idx])))
+    }
+
+    fn scenario(&self, point_idx: usize, point: LatticePoint) -> &Result<Scenario, PdnError> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.scenarios[point_idx].get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            self.grid.build_scenario(self.soc(point.tdp_idx()), point).map_err(|e| {
+                PdnError::Lattice {
+                    pdn: None,
+                    point: self.grid.describe(point),
+                    source: Box::new(e),
+                }
+            })
+        })
+    }
+
+    /// Consumes the cache, yielding the scenarios in lattice order
+    /// (unvisited points stay unbuilt and come back as `None`).
+    fn into_scenarios(self) -> Vec<Option<Result<Scenario, PdnError>>> {
+        self.scenarios.into_iter().map(OnceLock::into_inner).collect()
+    }
+}
+
+/// Instrumentation of one batch run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Lattice points in the grid.
+    pub points: usize,
+    /// `pdn × point` evaluations performed.
+    pub evaluations: usize,
+    /// Evaluations that ended in a captured per-point error.
+    pub failed: usize,
+    /// Scenarios built (cache misses).
+    pub scenario_builds: usize,
+    /// Scenario-cache lookups.
+    pub scenario_lookups: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall time each worker spent inside the run.
+    pub worker_wall: Vec<Duration>,
+    /// End-to-end wall time of the run.
+    pub wall: Duration,
+}
+
+impl BatchStats {
+    /// Fraction of scenario lookups served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.scenario_lookups == 0 {
+            return 0.0;
+        }
+        (self.scenario_lookups - self.scenario_builds) as f64 / self.scenario_lookups as f64
+    }
+
+    /// The busiest worker's wall time.
+    pub fn max_worker_wall(&self) -> Duration {
+        self.worker_wall.iter().copied().max().unwrap_or_default()
+    }
+
+    /// Folds another run's counters into this one — used by figure
+    /// binaries that combine several batch calls under a single printed
+    /// footer. Wall times add (the runs happened one after the other);
+    /// the worker count keeps the larger pool.
+    pub fn absorb(&mut self, other: &BatchStats) {
+        self.points += other.points;
+        self.evaluations += other.evaluations;
+        self.failed += other.failed;
+        self.scenario_builds += other.scenario_builds;
+        self.scenario_lookups += other.scenario_lookups;
+        self.workers = self.workers.max(other.workers);
+        self.worker_wall.extend(other.worker_wall.iter().copied());
+        self.wall += other.wall;
+    }
+}
+
+impl fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[batch] {} evaluations over {} points ({} failed); scenario cache {:.1}% hits \
+             ({} builds / {} lookups); {} workers, wall {:.1} ms (busiest worker {:.1} ms)",
+            self.evaluations,
+            self.points,
+            self.failed,
+            100.0 * self.cache_hit_rate(),
+            self.scenario_builds,
+            self.scenario_lookups,
+            self.workers,
+            self.wall.as_secs_f64() * 1e3,
+            self.max_worker_wall().as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// One `pdn × point` evaluation of a batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointEvaluation {
+    /// Index into the PDN set the run was given.
+    pub pdn_idx: usize,
+    /// The lattice point evaluated.
+    pub point: LatticePoint,
+    /// The evaluation, or the captured per-point failure.
+    pub result: Result<PdnEvaluation, PdnError>,
+}
+
+/// The result of [`evaluate_grid`]: ordered evaluations plus run
+/// statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Evaluations in stable order: PDN-major, each PDN's block in
+    /// [`SweepGrid::points`] order.
+    pub evaluations: Vec<PointEvaluation>,
+    /// Run instrumentation.
+    pub stats: BatchStats,
+    n_points: usize,
+}
+
+impl BatchOutcome {
+    /// The evaluations of one PDN, in lattice order.
+    pub fn for_pdn(&self, pdn_idx: usize) -> &[PointEvaluation] {
+        &self.evaluations[pdn_idx * self.n_points..(pdn_idx + 1) * self.n_points]
+    }
+
+    /// The first captured error, if any point failed.
+    pub fn first_error(&self) -> Option<&PdnError> {
+        self.evaluations.iter().find_map(|e| e.result.as_ref().err())
+    }
+}
+
+/// Evaluates every PDN over every lattice point with an automatically
+/// sized worker pool (see [`evaluate_grid_with`]).
+pub fn evaluate_grid(
+    pdns: &[&dyn Pdn],
+    grid: &SweepGrid,
+    provider: &(impl SocProvider + ?Sized),
+) -> BatchOutcome {
+    evaluate_grid_with(pdns, grid, provider, Workers::Auto)
+}
+
+/// Evaluates every PDN over every lattice point of `grid`.
+///
+/// Scenarios are built at most once each through the shared cache and
+/// reused across PDNs and workers. Per-point failures are captured in
+/// the corresponding [`PointEvaluation::result`] with their lattice
+/// coordinates; the rest of the campaign always completes. The
+/// evaluations come back PDN-major in [`SweepGrid::points`] order — the
+/// same values and order for every `workers` choice (see the module-
+/// level determinism contract).
+pub fn evaluate_grid_with(
+    pdns: &[&dyn Pdn],
+    grid: &SweepGrid,
+    provider: &(impl SocProvider + ?Sized),
+    workers: Workers,
+) -> BatchOutcome {
+    let start = Instant::now();
+    let points = grid.points();
+    let cache = ScenarioCache::new(grid, provider, points.len());
+    let tasks: Vec<(usize, LatticePoint)> = pdns
+        .iter()
+        .enumerate()
+        .flat_map(|(pdn_idx, _)| points.iter().map(move |&p| (pdn_idx, p)))
+        .collect();
+    let n_points = points.len();
+
+    let run = par_map_timed(&tasks, workers, |task_idx, &(pdn_idx, point)| {
+        let point_idx = task_idx % n_points.max(1);
+        match cache.scenario(point_idx, point) {
+            Ok(scenario) => pdns[pdn_idx].evaluate(scenario).map_err(|e| PdnError::Lattice {
+                pdn: Some(pdns[pdn_idx].kind().to_string()),
+                point: grid.describe(point),
+                source: Box::new(e),
+            }),
+            Err(e) => Err(e.clone()),
+        }
+    });
+
+    let evaluations: Vec<PointEvaluation> = tasks
+        .iter()
+        .zip(run.results)
+        .map(|(&(pdn_idx, point), result)| PointEvaluation { pdn_idx, point, result })
+        .collect();
+    let failed = evaluations.iter().filter(|e| e.result.is_err()).count();
+    let stats = BatchStats {
+        points: n_points,
+        evaluations: evaluations.len(),
+        failed,
+        scenario_builds: cache.builds.load(Ordering::Relaxed),
+        scenario_lookups: cache.lookups.load(Ordering::Relaxed),
+        workers: run.worker_wall.len(),
+        worker_wall: run.worker_wall,
+        wall: start.elapsed(),
+    };
+    BatchOutcome { evaluations, stats, n_points }
+}
+
+/// Builds every scenario of `grid` in parallel (no PDN evaluation) —
+/// the campaign front half, used when the scenarios themselves are the
+/// product (e.g. the Fig. 4 validation traces).
+///
+/// Returns the scenarios in [`SweepGrid::points`] order, each a
+/// `Result` carrying lattice coordinates on failure, plus run
+/// statistics.
+pub fn build_scenarios(
+    grid: &SweepGrid,
+    provider: &(impl SocProvider + ?Sized),
+    workers: Workers,
+) -> (Vec<Result<Scenario, PdnError>>, BatchStats) {
+    let start = Instant::now();
+    let points = grid.points();
+    let cache = ScenarioCache::new(grid, provider, points.len());
+    let run = par_map_timed(&points, workers, |point_idx, &point| {
+        cache.scenario(point_idx, point).is_ok()
+    });
+    let builds = cache.builds.load(Ordering::Relaxed);
+    let lookups = cache.lookups.load(Ordering::Relaxed);
+    let scenarios: Vec<Result<Scenario, PdnError>> = cache
+        .into_scenarios()
+        .into_iter()
+        .map(|slot| slot.expect("every point was visited"))
+        .collect();
+    let failed = scenarios.iter().filter(|s| s.is_err()).count();
+    let stats = BatchStats {
+        points: points.len(),
+        evaluations: points.len(),
+        failed,
+        scenario_builds: builds,
+        scenario_lookups: lookups,
+        workers: run.worker_wall.len(),
+        worker_wall: run.worker_wall,
+        wall: start.elapsed(),
+    };
+    (scenarios, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ModelParams;
+    use crate::topology::{IvrPdn, MbvrPdn, PdnKind};
+    use pdn_proc::client_soc;
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::builder()
+            .tdps(&[4.0, 18.0])
+            .workload_types(&[WorkloadType::MultiThread, WorkloadType::SingleThread])
+            .ars(&[0.4, 0.8])
+            .idle_states(&[PackageCState::C2, PackageCState::C8])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_bad_axes() {
+        assert!(SweepGrid::builder().build().is_err(), "no TDPs");
+        assert!(SweepGrid::builder().tdps(&[18.0]).build().is_err(), "no points");
+        assert!(SweepGrid::builder().tdps(&[-1.0]).build().is_err(), "negative TDP");
+        assert!(
+            SweepGrid::active(&[18.0], &[WorkloadType::MultiThread], &[1.7]).is_err(),
+            "AR above 1"
+        );
+        assert!(SweepGrid::builder()
+            .tdps(&[18.0])
+            .idle_states(&[PackageCState::C8])
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn lattice_order_is_tdp_major_then_idle() {
+        let grid = small_grid();
+        assert_eq!(grid.n_active(), 8);
+        assert_eq!(grid.n_points(), 12);
+        let points = grid.points();
+        assert_eq!(points[0], LatticePoint::Active { tdp_idx: 0, wl_idx: 0, ar_idx: 0 });
+        assert_eq!(points[1], LatticePoint::Active { tdp_idx: 0, wl_idx: 0, ar_idx: 1 });
+        assert_eq!(points[2], LatticePoint::Active { tdp_idx: 0, wl_idx: 1, ar_idx: 0 });
+        assert_eq!(points[4], LatticePoint::Active { tdp_idx: 1, wl_idx: 0, ar_idx: 0 });
+        assert_eq!(points[8], LatticePoint::Idle { tdp_idx: 0, state_idx: 0 });
+        assert_eq!(points[11], LatticePoint::Idle { tdp_idx: 1, state_idx: 1 });
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
+        let grid = small_grid();
+        let serial = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Serial);
+        let parallel = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Fixed(4));
+        assert_eq!(serial.evaluations, parallel.evaluations);
+        assert_eq!(serial.stats.workers, 1);
+        assert_eq!(parallel.stats.workers, 4.min(serial.stats.evaluations));
+    }
+
+    #[test]
+    fn scenarios_build_once_across_pdns() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
+        let grid = small_grid();
+        let outcome = evaluate_grid(&pdns, &grid, &ClientSoc);
+        let stats = &outcome.stats;
+        assert_eq!(stats.points, 12);
+        assert_eq!(stats.evaluations, 24);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.scenario_builds, 12, "one build per point");
+        assert_eq!(stats.scenario_lookups, 24, "one lookup per evaluation");
+        assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-12);
+        let footer = stats.to_string();
+        assert!(footer.contains("24 evaluations over 12 points"), "{footer}");
+        assert!(footer.contains("50.0% hits"), "{footer}");
+    }
+
+    #[test]
+    fn for_pdn_slices_the_lattice_blocks() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
+        let grid = small_grid();
+        let outcome = evaluate_grid(&pdns, &grid, &ClientSoc);
+        let block = outcome.for_pdn(1);
+        assert_eq!(block.len(), 12);
+        assert!(block.iter().all(|e| e.pdn_idx == 1));
+        assert_eq!(block[0].point, LatticePoint::Active { tdp_idx: 0, wl_idx: 0, ar_idx: 0 });
+        assert!(outcome.first_error().is_none());
+    }
+
+    /// A PDN that fails above a TDP threshold — exercises per-point
+    /// error capture.
+    #[derive(Debug)]
+    struct FailsAbove {
+        inner: IvrPdn,
+        threshold: f64,
+    }
+
+    impl Pdn for FailsAbove {
+        fn kind(&self) -> PdnKind {
+            self.inner.kind()
+        }
+
+        fn params(&self) -> &ModelParams {
+            self.inner.params()
+        }
+
+        fn evaluate(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
+            if scenario.tdp.get() > self.threshold {
+                return Err(PdnError::Scenario("synthetic failure".into()));
+            }
+            self.inner.evaluate(scenario)
+        }
+    }
+
+    #[test]
+    fn failing_point_is_reported_with_coordinates_and_rest_completes() {
+        let flaky =
+            FailsAbove { inner: IvrPdn::new(ModelParams::paper_defaults()), threshold: 10.0 };
+        let pdns: [&dyn Pdn; 1] = [&flaky];
+        let grid = SweepGrid::active(&[4.0, 18.0], &[WorkloadType::MultiThread], &[0.56]).unwrap();
+        let outcome = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Fixed(2));
+        assert_eq!(outcome.stats.failed, 1);
+        assert!(outcome.evaluations[0].result.is_ok(), "4 W point completes");
+        let err = outcome.evaluations[1].result.as_ref().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("tdp=18W"), "coordinates in {msg}");
+        assert!(msg.contains("wl=multi-thread"), "workload in {msg}");
+        assert!(msg.contains("synthetic failure"), "source in {msg}");
+        assert!(std::error::Error::source(err).is_some());
+    }
+
+    #[test]
+    fn build_scenarios_returns_lattice_order() {
+        let grid = small_grid();
+        let (scenarios, stats) = build_scenarios(&grid, &ClientSoc, Workers::Auto);
+        assert_eq!(scenarios.len(), 12);
+        assert_eq!(stats.scenario_builds, 12);
+        assert_eq!(stats.failed, 0);
+        // Spot-check against a direct construction.
+        let soc = client_soc(Watts::new(4.0));
+        let direct = Scenario::active_fixed_tdp_frequency(
+            &soc,
+            WorkloadType::MultiThread,
+            ApplicationRatio::new(0.4).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(*scenarios[0].as_ref().unwrap(), direct);
+        assert!(scenarios[8].as_ref().unwrap().is_idle());
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_visits_once() {
+        let items: Vec<usize> = (0..97).collect();
+        let visits = AtomicUsize::new(0);
+        let out = par_map(&items, Workers::Fixed(5), |i, &x| {
+            visits.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, (0..97).map(|x| x * 3).collect::<Vec<_>>());
+        assert_eq!(visits.load(Ordering::Relaxed), 97);
+    }
+
+    #[test]
+    fn workers_resolution() {
+        assert_eq!(Workers::Serial.count(100), 1);
+        assert_eq!(Workers::Fixed(4).count(100), 4);
+        assert_eq!(Workers::Fixed(0).count(100), 1);
+        assert_eq!(Workers::Fixed(8).count(3), 3, "never more workers than tasks");
+        assert!(Workers::Auto.count(1000) >= 1);
+    }
+
+    #[test]
+    fn client_soc_provider_matches_the_free_function() {
+        let a = ClientSoc.soc_for(Watts::new(18.0));
+        let b = client_soc(Watts::new(18.0));
+        assert_eq!(a.tdp, b.tdp);
+        // The closure blanket impl accepts the free function directly.
+        fn takes_provider(p: &impl SocProvider) -> SocSpec {
+            p.soc_for(Watts::new(4.0))
+        }
+        assert_eq!(takes_provider(&client_soc).tdp, Watts::new(4.0));
+    }
+}

@@ -12,6 +12,19 @@ pub enum PdnError {
     /// The scenario is inconsistent (e.g. no powered domain, or a solver
     /// could not bracket a solution).
     Scenario(String),
+    /// A batch campaign failed at a specific lattice point (see
+    /// [`crate::batch`]); carries the failing coordinates so a single bad
+    /// point can be located inside a large sweep.
+    Lattice {
+        /// Display name of the PDN being evaluated, or `None` when
+        /// scenario construction itself failed (before any PDN ran).
+        pdn: Option<String>,
+        /// Human-readable lattice coordinates (e.g. `tdp=18W wl=MT
+        /// ar=0.56`).
+        point: String,
+        /// The underlying failure.
+        source: Box<PdnError>,
+    },
 }
 
 impl fmt::Display for PdnError {
@@ -20,6 +33,12 @@ impl fmt::Display for PdnError {
             PdnError::Vr(e) => write!(f, "regulator error: {e}"),
             PdnError::Units(e) => write!(f, "units error: {e}"),
             PdnError::Scenario(msg) => write!(f, "scenario error: {msg}"),
+            PdnError::Lattice { pdn: Some(pdn), point, source } => {
+                write!(f, "evaluation of {pdn} failed at lattice point [{point}]: {source}")
+            }
+            PdnError::Lattice { pdn: None, point, source } => {
+                write!(f, "scenario construction failed at lattice point [{point}]: {source}")
+            }
         }
     }
 }
@@ -30,6 +49,7 @@ impl std::error::Error for PdnError {
             PdnError::Vr(e) => Some(e),
             PdnError::Units(e) => Some(e),
             PdnError::Scenario(_) => None,
+            PdnError::Lattice { source, .. } => Some(source.as_ref()),
         }
     }
 }
@@ -58,5 +78,25 @@ mod tests {
         let s = PdnError::Scenario("no powered domain".into());
         assert!(s.to_string().contains("no powered domain"));
         assert!(std::error::Error::source(&s).is_none());
+    }
+
+    #[test]
+    fn lattice_errors_carry_coordinates_and_chain() {
+        let inner = PdnError::Scenario("no powered domain".into());
+        let e = PdnError::Lattice {
+            pdn: Some("IVR".into()),
+            point: "tdp=18W wl=MT ar=0.56".into(),
+            source: Box::new(inner.clone()),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("IVR") && msg.contains("tdp=18W"), "{msg}");
+        assert!(msg.contains("no powered domain"), "{msg}");
+        assert_eq!(std::error::Error::source(&e).map(ToString::to_string), Some(inner.to_string()));
+        let build = PdnError::Lattice {
+            pdn: None,
+            point: "tdp=4W state=C8".into(),
+            source: Box::new(inner),
+        };
+        assert!(build.to_string().contains("scenario construction"), "{build}");
     }
 }

@@ -71,7 +71,12 @@ pub struct LoadLineStep {
 /// load-line impedance: `V_LL = V + (Ppeak/V)·R_LL`, `Ppeak = P/AR`
 /// (the paper's Eqs. 3–4 / 7–8, a constant-current load model). Used for
 /// the `V_IN` rails whose load is downstream converters.
-pub fn load_line_stage(power: Watts, voltage: Volts, ar: ApplicationRatio, r_ll: Ohms) -> LoadLineStep {
+pub fn load_line_stage(
+    power: Watts,
+    voltage: Volts,
+    ar: ApplicationRatio,
+    r_ll: Ohms,
+) -> LoadLineStep {
     if power.get() <= 0.0 {
         return LoadLineStep { v_ll: voltage, p_ll: power, extra: Watts::ZERO };
     }
@@ -311,10 +316,7 @@ mod tests {
         let r = Ohms::from_milliohms(2.5);
         let high_ar = load_line_stage(p, v, ApplicationRatio::new(0.8).unwrap(), r);
         let low_ar = load_line_stage(p, v, ApplicationRatio::new(0.4).unwrap(), r);
-        assert!(
-            low_ar.extra > high_ar.extra,
-            "Observation 2: lower AR needs more virus headroom"
-        );
+        assert!(low_ar.extra > high_ar.extra, "Observation 2: lower AR needs more virus headroom");
         // Closed form at AR = 0.4: Ppeak = 25 W → Ipeak = 25 A → ΔV = 62.5 mV.
         assert!((low_ar.v_ll.millivolts() - 1062.5).abs() < 1e-6);
         assert!((low_ar.p_ll.get() - 10.625).abs() < 1e-9);
@@ -399,16 +401,11 @@ mod tests {
     #[test]
     fn assemble_rejects_energy_creation() {
         let bd = LossBreakdown::default();
-        assert!(PdnEvaluation::assemble(
-            Watts::new(2.0),
-            Watts::new(1.9),
-            bd,
-            Amps::ZERO,
-            vec![]
-        )
-        .is_err());
-        assert!(PdnEvaluation::assemble(Watts::ZERO, Watts::new(1.0), bd, Amps::ZERO, vec![])
+        assert!(PdnEvaluation::assemble(Watts::new(2.0), Watts::new(1.9), bd, Amps::ZERO, vec![])
             .is_err());
+        assert!(
+            PdnEvaluation::assemble(Watts::ZERO, Watts::new(1.0), bd, Amps::ZERO, vec![]).is_err()
+        );
     }
 
     #[test]
@@ -419,8 +416,9 @@ mod tests {
             conduction_sa_io: Watts::new(0.05),
             other: Watts::new(0.1),
         };
-        let e = PdnEvaluation::assemble(Watts::new(3.0), Watts::new(4.0), bd, Amps::new(2.0), vec![])
-            .unwrap();
+        let e =
+            PdnEvaluation::assemble(Watts::new(3.0), Watts::new(4.0), bd, Amps::new(2.0), vec![])
+                .unwrap();
         assert!((e.etee.get() - 0.75).abs() < 1e-12);
         assert!((e.total_loss().get() - 1.0).abs() < 1e-12);
         assert!((bd.total().get() - 1.0).abs() < 1e-12);

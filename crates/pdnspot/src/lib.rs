@@ -51,16 +51,19 @@
 #![warn(missing_debug_implementations)]
 
 pub mod areabom;
+pub mod batch;
 pub mod error;
 pub mod etee;
 pub mod params;
 pub mod perf;
+pub mod prelude;
 pub mod scenario;
 pub mod sweep;
 pub mod topology;
 pub mod transient;
 pub mod validation;
 
+pub use batch::{BatchStats, ClientSoc, SocProvider, SweepGrid, Workers};
 pub use error::PdnError;
 pub use etee::{LossBreakdown, PdnEvaluation, RailReport};
 pub use params::ModelParams;

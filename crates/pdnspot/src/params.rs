@@ -8,9 +8,9 @@
 //! global state.
 
 use pdn_proc::power::LEAKAGE_VOLTAGE_EXPONENT;
+use pdn_units::{Ohms, Volts};
 use pdn_vr::{ToleranceBand, VrPowerState};
 use serde::{Deserialize, Serialize};
-use pdn_units::{Ohms, Volts};
 
 /// Load-line impedances of one PDN topology (Table 2, "Load-line
 /// Impedance" row; milliohm values).

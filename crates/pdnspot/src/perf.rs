@@ -74,9 +74,7 @@ pub fn solve_operating_point(
         let eval = pdn.evaluate(&scenario)?;
         Ok((scenario, eval))
     };
-    let fits = |t: f64| -> Result<bool, PdnError> {
-        Ok(build(t)?.1.input_power <= soc.tdp)
-    };
+    let fits = |t: f64| -> Result<bool, PdnError> { Ok(build(t)?.1.input_power <= soc.tdp) };
 
     let t = if fits(1.0)? {
         1.0
@@ -351,10 +349,7 @@ mod tests {
             ar(0.7),
         )
         .unwrap();
-        assert!(
-            small.milliwatts() > 1.0 && small.milliwatts() < 60.0,
-            "4 W sensitivity = {small}"
-        );
+        assert!(small.milliwatts() > 1.0 && small.milliwatts() < 60.0, "4 W sensitivity = {small}");
         assert!(
             large.milliwatts() > 100.0 && large.milliwatts() < 1500.0,
             "50 W sensitivity = {large}"
@@ -378,9 +373,8 @@ mod tests {
         assert!(low.sa_io > high.sa_io);
         // PDN loss is a noticeable chunk everywhere (≥ 15 %).
         assert!(low.pdn_loss.get() > 0.15 && high.pdn_loss.get() > 0.15);
-        let sum = |b: &BudgetBreakdown| {
-            b.sa_io.get() + b.cpu.get() + b.llc_gfx.get() + b.pdn_loss.get()
-        };
+        let sum =
+            |b: &BudgetBreakdown| b.sa_io.get() + b.cpu.get() + b.llc_gfx.get() + b.pdn_loss.get();
         assert!((sum(&low) - 1.0).abs() < 0.02);
         assert!((sum(&high) - 1.0).abs() < 0.02);
     }

@@ -1,0 +1,29 @@
+//! The one-line import for PDNspot campaigns.
+//!
+//! ```
+//! use pdnspot::prelude::*;
+//!
+//! let params = ModelParams::paper_defaults();
+//! let ivr = IvrPdn::new(params.clone());
+//! let mbvr = MbvrPdn::new(params);
+//! let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
+//! let grid = SweepGrid::active(&[4.0, 18.0], &[WorkloadType::MultiThread], &[0.56])?;
+//! let outcome = evaluate_grid(&pdns, &grid, &ClientSoc);
+//! assert_eq!(outcome.stats.failed, 0);
+//! # Ok::<(), pdnspot::PdnError>(())
+//! ```
+
+pub use crate::batch::{
+    build_scenarios, evaluate_grid, evaluate_grid_with, par_map, par_map_stats, BatchOutcome,
+    BatchStats, ClientSoc, LatticePoint, PointEvaluation, SocProvider, SweepGrid, SweepGridBuilder,
+    Workers,
+};
+pub use crate::error::PdnError;
+pub use crate::etee::{LossBreakdown, PdnEvaluation, RailReport};
+pub use crate::params::ModelParams;
+pub use crate::scenario::{DomainLoad, Scenario};
+pub use crate::sweep::{etee_surfaces, Crossover, EteeSurface};
+pub use crate::topology::{IPlusMbvrPdn, IvrPdn, LdoPdn, MbvrPdn, Pdn, PdnKind};
+pub use crate::validation::{validate, validate_with, ReferenceSystem, ValidationReport};
+pub use pdn_units::{ApplicationRatio, Watts};
+pub use pdn_workload::WorkloadType;

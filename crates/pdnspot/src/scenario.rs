@@ -197,17 +197,11 @@ impl Scenario {
     fn solve_t_for_nominal(soc: &SocSpec, workload_type: WorkloadType, budget: Watts) -> f64 {
         let nominal_at = |t: f64| -> Watts {
             let (f_cores, f_gfx) = Self::frequency_point(soc, workload_type, t);
-            Self::domain_loads_at(
-                soc,
-                workload_type,
-                ApplicationRatio::POWER_VIRUS,
-                f_cores,
-                f_gfx,
-            )
-            .values()
-            .filter(|l| l.powered)
-            .map(|l| l.nominal_power)
-            .sum()
+            Self::domain_loads_at(soc, workload_type, ApplicationRatio::POWER_VIRUS, f_cores, f_gfx)
+                .values()
+                .filter(|l| l.powered)
+                .map(|l| l.nominal_power)
+                .sum()
         };
         if nominal_at(1.0) <= budget {
             return 1.0;
@@ -316,12 +310,8 @@ impl Scenario {
         workload_type: WorkloadType,
         ar: ApplicationRatio,
     ) -> Result<Self, PdnError> {
-        let t = Self::solve_t_for_budget(
-            soc,
-            workload_type,
-            ApplicationRatio::POWER_VIRUS,
-            soc.tdp,
-        )?;
+        let t =
+            Self::solve_t_for_budget(soc, workload_type, ApplicationRatio::POWER_VIRUS, soc.tdp)?;
         let (f_cores, f_gfx) = Self::frequency_point(soc, workload_type, t);
         Scenario::active(soc, workload_type, ar, f_cores, f_gfx)
     }
@@ -367,10 +357,9 @@ impl Scenario {
         let gfx = soc.domain(DomainKind::Gfx);
         let lerp = |lo: Hertz, hi: Hertz, x: f64| Hertz::new(lo.get() + x * (hi.get() - lo.get()));
         match workload_type {
-            WorkloadType::Graphics => (
-                lerp(cores.fmin, cores.fmax, t * 0.18),
-                lerp(gfx.fmin, gfx.fmax, t),
-            ),
+            WorkloadType::Graphics => {
+                (lerp(cores.fmin, cores.fmax, t * 0.18), lerp(gfx.fmin, gfx.fmax, t))
+            }
             WorkloadType::BatteryLife => (cores.fmin, gfx.fmin),
             _ => (lerp(cores.fmin, cores.fmax, t), gfx.fmin),
         }
@@ -430,13 +419,7 @@ impl Scenario {
             .map(|wl| {
                 let cores = soc.domain(DomainKind::Core0);
                 let gfx = soc.domain(DomainKind::Gfx);
-                Self::domain_loads_at(
-                    soc,
-                    wl,
-                    ApplicationRatio::POWER_VIRUS,
-                    cores.fmin,
-                    gfx.fmin,
-                )
+                Self::domain_loads_at(soc, wl, ApplicationRatio::POWER_VIRUS, cores.fmin, gfx.fmin)
             })
             .collect()
     }
@@ -450,13 +433,7 @@ impl Scenario {
     pub fn power_virus(soc: &SocSpec, workload_type: WorkloadType) -> Result<Self, PdnError> {
         let cores = soc.domain(DomainKind::Core0);
         let gfx = soc.domain(DomainKind::Gfx);
-        Scenario::active(
-            soc,
-            workload_type,
-            ApplicationRatio::POWER_VIRUS,
-            cores.fmax,
-            gfx.fmax,
-        )
+        Scenario::active(soc, workload_type, ApplicationRatio::POWER_VIRUS, cores.fmax, gfx.fmax)
     }
 
     /// Builds the TDP-limited power-virus scenario used to size off-chip
@@ -626,9 +603,7 @@ mod tests {
             Hertz::from_gigahertz(1.2),
         )
         .unwrap();
-        let vmax = s
-            .max_voltage_among(&[DomainKind::Core0, DomainKind::Gfx])
-            .unwrap();
+        let vmax = s.max_voltage_among(&[DomainKind::Core0, DomainKind::Gfx]).unwrap();
         // GFX is gated in single-thread, so the max is the core voltage.
         assert_eq!(vmax, s.load(DomainKind::Core0).voltage);
         assert!(s.max_voltage_among(&[DomainKind::Gfx]).is_none());

@@ -7,11 +7,16 @@
 //! finder that locates the TDP at which one PDN overtakes another
 //! (§5 Observation 1: "the ETEE crossover point ... exists at some TDP
 //! between 4 W and 50 W").
+//!
+//! Surfaces are produced by the [`crate::batch`] engine: one
+//! [`SweepGrid`] evaluation shared across all requested PDNs, scenarios
+//! built once and reused, workers fanned out over the lattice. The old
+//! closure-parameter free functions remain as deprecated wrappers.
 
+use crate::batch::{evaluate_grid_with, SocProvider, SweepGrid, Workers};
 use crate::error::PdnError;
 use crate::scenario::Scenario;
 use crate::topology::Pdn;
-use pdn_proc::SocSpec;
 use pdn_units::{ApplicationRatio, Watts};
 use pdn_workload::WorkloadType;
 use serde::{Deserialize, Serialize};
@@ -33,13 +38,32 @@ pub struct EteeSurface {
 }
 
 impl EteeSurface {
+    /// The ETEE at a lattice point, or `None` when either index is out
+    /// of range.
+    pub fn get(&self, tdp_idx: usize, ar_idx: usize) -> Option<f64> {
+        if tdp_idx >= self.tdps.len() || ar_idx >= self.ars.len() {
+            return None;
+        }
+        self.values.get(tdp_idx * self.ars.len() + ar_idx).copied()
+    }
+
     /// The ETEE at a lattice point.
+    ///
+    /// Prefer [`EteeSurface::get`] when the indices are not known to be
+    /// in range (e.g. when they come from user input or another
+    /// surface's axes).
     ///
     /// # Panics
     ///
     /// Panics if the indices are out of range.
     pub fn at(&self, tdp_idx: usize, ar_idx: usize) -> f64 {
-        self.values[tdp_idx * self.ars.len() + ar_idx]
+        self.get(tdp_idx, ar_idx).unwrap_or_else(|| {
+            panic!(
+                "ETEE surface index ({tdp_idx}, {ar_idx}) out of range for {}x{} lattice",
+                self.tdps.len(),
+                self.ars.len()
+            )
+        })
     }
 
     /// The fixed-AR series over TDP (one Fig. 8-style line).
@@ -47,7 +71,7 @@ impl EteeSurface {
         self.tdps
             .iter()
             .enumerate()
-            .map(|(i, &tdp)| (tdp, self.at(i, ar_idx)))
+            .filter_map(|(i, &tdp)| self.get(i, ar_idx).map(|e| (tdp, e)))
             .collect()
     }
 
@@ -56,42 +80,63 @@ impl EteeSurface {
         self.ars
             .iter()
             .enumerate()
-            .map(|(j, &ar)| (ar, self.at(tdp_idx, j)))
+            .filter_map(|(j, &ar)| self.get(tdp_idx, j).map(|e| (ar, e)))
             .collect()
     }
 }
 
-/// Sweeps a PDN's ETEE over a (TDP × AR) lattice at the fixed-TDP-frequency
-/// operating points (the Fig. 4 methodology).
+/// Sweeps every PDN's ETEE over the active lattice of `grid` at the
+/// fixed-TDP-frequency operating points (the Fig. 4 methodology), on the
+/// batch engine.
 ///
-/// `soc_for` builds the SoC at each TDP (normally `pdn_proc::client_soc`).
+/// Returns one surface per `(pdn, workload type)` pair, PDN-major, plus
+/// the run's [`crate::batch::BatchStats`]. The grid must be active-only
+/// (no idle states): an idle point has no (AR, TDP) surface position.
 ///
 /// # Errors
 ///
-/// Propagates evaluation errors.
-pub fn etee_surface(
-    pdn: &dyn Pdn,
-    workload_type: WorkloadType,
-    tdps: &[f64],
-    ars: &[f64],
-    soc_for: impl Fn(Watts) -> SocSpec,
-) -> Result<EteeSurface, PdnError> {
-    let mut values = Vec::with_capacity(tdps.len() * ars.len());
-    for &tdp in tdps {
-        let soc = soc_for(Watts::new(tdp));
-        for &ar in ars {
-            let ar = ApplicationRatio::new(ar).map_err(PdnError::Units)?;
-            let scenario = Scenario::active_fixed_tdp_frequency(&soc, workload_type, ar)?;
-            values.push(pdn.evaluate(&scenario)?.etee.get());
+/// Returns the first captured per-point error (with lattice
+/// coordinates), or [`PdnError::Scenario`] if the grid has idle states.
+pub fn etee_surfaces(
+    pdns: &[&dyn Pdn],
+    grid: &SweepGrid,
+    provider: &(impl SocProvider + ?Sized),
+    workers: Workers,
+) -> Result<(Vec<EteeSurface>, crate::batch::BatchStats), PdnError> {
+    if !grid.idle_states().is_empty() {
+        return Err(PdnError::Scenario(
+            "ETEE surfaces are defined on active lattices only; build the grid without \
+             idle states"
+                .into(),
+        ));
+    }
+    let outcome = evaluate_grid_with(pdns, grid, provider, workers);
+    let (n_wl, n_ars) = (grid.workload_types().len(), grid.ars().len());
+    let mut surfaces = Vec::with_capacity(pdns.len() * n_wl);
+    for (pdn_idx, pdn) in pdns.iter().enumerate() {
+        let block = outcome.for_pdn(pdn_idx);
+        for (wl_idx, &workload_type) in grid.workload_types().iter().enumerate() {
+            let mut values = Vec::with_capacity(grid.tdps().len() * n_ars);
+            for tdp_idx in 0..grid.tdps().len() {
+                for ar_idx in 0..n_ars {
+                    // Active lattice order is TDP-major: (t, w, a).
+                    let point_idx = (tdp_idx * n_wl + wl_idx) * n_ars + ar_idx;
+                    match &block[point_idx].result {
+                        Ok(eval) => values.push(eval.etee.get()),
+                        Err(e) => return Err(e.clone()),
+                    }
+                }
+            }
+            surfaces.push(EteeSurface {
+                pdn: pdn.kind().to_string(),
+                workload_type,
+                tdps: grid.tdps().to_vec(),
+                ars: grid.ars().to_vec(),
+                values,
+            });
         }
     }
-    Ok(EteeSurface {
-        pdn: pdn.kind().to_string(),
-        workload_type,
-        tdps: tdps.to_vec(),
-        ars: ars.to_vec(),
-        values,
-    })
+    Ok((surfaces, outcome.stats))
 }
 
 /// The result of a crossover search between two PDNs.
@@ -105,76 +150,216 @@ pub enum Crossover {
     At(Watts),
 }
 
+/// How many TDP samples the parallel bracketing scan of
+/// [`crossover_tdp_with`] evaluates before bisecting.
+const CROSSOVER_SCAN_POINTS: usize = 9;
+
 /// Finds the TDP at which `a` overtakes `b` (or vice versa) for a workload
-/// type and AR, by bisection over `[lo, hi]` watts.
+/// type and AR over `[lo, hi]` watts.
 ///
 /// The comparison uses the Fig. 4 fixed-TDP-frequency operating points.
-/// The search assumes a single crossover in the range, which holds for the
+/// A coarse [`CROSSOVER_SCAN_POINTS`]-sample scan runs on the batch
+/// engine (both PDNs share each scan scenario through the cache); the
+/// sign change it brackets is then polished by serial bisection. The
+/// search assumes a single crossover in the range, which holds for the
 /// paper's PDN pairs (the ETEE difference is monotone in TDP).
 ///
 /// # Errors
 ///
-/// Propagates evaluation errors.
-pub fn crossover_tdp(
+/// Propagates evaluation errors (with lattice coordinates for scan
+/// failures).
+pub fn crossover_tdp_with(
     a: &dyn Pdn,
     b: &dyn Pdn,
     workload_type: WorkloadType,
     ar: ApplicationRatio,
     range: (f64, f64),
-    soc_for: impl Fn(Watts) -> SocSpec,
+    provider: &(impl SocProvider + ?Sized),
+    workers: Workers,
 ) -> Result<Crossover, PdnError> {
-    let advantage = |tdp: f64| -> Result<f64, PdnError> {
-        let soc = soc_for(Watts::new(tdp));
-        let s = Scenario::active_fixed_tdp_frequency(&soc, workload_type, ar)?;
-        Ok(a.evaluate(&s)?.etee.get() - b.evaluate(&s)?.etee.get())
+    let (lo, hi) = range;
+    let scan_tdps: Vec<f64> = (0..CROSSOVER_SCAN_POINTS)
+        .map(|i| lo + (hi - lo) * i as f64 / (CROSSOVER_SCAN_POINTS - 1) as f64)
+        .collect();
+    let grid = SweepGrid::active(&scan_tdps, &[workload_type], &[ar.get()])?;
+    let pdns: [&dyn Pdn; 2] = [a, b];
+    let outcome = evaluate_grid_with(&pdns, &grid, provider, workers);
+    let advantage_at = |idx: usize| -> Result<f64, PdnError> {
+        let etee = |pdn_idx: usize| -> Result<f64, PdnError> {
+            match &outcome.for_pdn(pdn_idx)[idx].result {
+                Ok(eval) => Ok(eval.etee.get()),
+                Err(e) => Err(e.clone()),
+            }
+        };
+        Ok(etee(0)? - etee(1)?)
     };
-    let (mut lo, mut hi) = range;
-    let at_lo = advantage(lo)?;
-    let at_hi = advantage(hi)?;
+
+    // Dominance is judged at the endpoints, as the bisection always did.
+    let at_lo = advantage_at(0)?;
+    let at_hi = advantage_at(CROSSOVER_SCAN_POINTS - 1)?;
     if at_lo >= 0.0 && at_hi >= 0.0 {
         return Ok(Crossover::AlwaysFirst);
     }
     if at_lo <= 0.0 && at_hi <= 0.0 {
         return Ok(Crossover::AlwaysSecond);
     }
-    let rising = at_hi > at_lo;
+
+    // The scan brackets the sign change; bisection polishes it.
+    let mut bracket = (0, CROSSOVER_SCAN_POINTS - 1);
+    let mut prev = at_lo;
+    for i in 1..CROSSOVER_SCAN_POINTS {
+        let here = advantage_at(i)?;
+        if (prev > 0.0) != (here > 0.0) {
+            bracket = (i - 1, i);
+            break;
+        }
+        prev = here;
+    }
+    let advantage = |tdp: f64| -> Result<f64, PdnError> {
+        let soc = provider.soc_for(Watts::new(tdp));
+        let s = Scenario::active_fixed_tdp_frequency(&soc, workload_type, ar)?;
+        Ok(a.evaluate(&s)?.etee.get() - b.evaluate(&s)?.etee.get())
+    };
+    let (mut blo, mut bhi) = (scan_tdps[bracket.0], scan_tdps[bracket.1]);
+    let rising = advantage_at(bracket.1)? > advantage_at(bracket.0)?;
     for _ in 0..32 {
-        let mid = 0.5 * (lo + hi);
+        let mid = 0.5 * (blo + bhi);
         let v = advantage(mid)?;
         if (v > 0.0) == rising {
-            hi = mid;
+            bhi = mid;
         } else {
-            lo = mid;
+            blo = mid;
         }
     }
-    Ok(Crossover::At(Watts::new(0.5 * (lo + hi))))
+    Ok(Crossover::At(Watts::new(0.5 * (blo + bhi))))
+}
+
+/// Sweeps a PDN's ETEE over a (TDP × AR) lattice at the fixed-TDP-frequency
+/// operating points (the Fig. 4 methodology).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `etee_surfaces` with a `SweepGrid` and `SocProvider`; this wrapper runs \
+            the batch engine serially for one PDN"
+)]
+pub fn etee_surface(
+    pdn: &dyn Pdn,
+    workload_type: WorkloadType,
+    tdps: &[f64],
+    ars: &[f64],
+    soc_for: impl Fn(Watts) -> pdn_proc::SocSpec + Sync,
+) -> Result<EteeSurface, PdnError> {
+    let grid = SweepGrid::active(tdps, &[workload_type], ars)?;
+    let (mut surfaces, _) = etee_surfaces(&[pdn], &grid, &soc_for, Workers::Serial)?;
+    Ok(surfaces.remove(0))
+}
+
+/// Finds the TDP at which `a` overtakes `b` (or vice versa) for a workload
+/// type and AR, over `[lo, hi]` watts.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `crossover_tdp_with` with a `SocProvider`; this wrapper runs the \
+            bracketing scan serially"
+)]
+pub fn crossover_tdp(
+    a: &dyn Pdn,
+    b: &dyn Pdn,
+    workload_type: WorkloadType,
+    ar: ApplicationRatio,
+    range: (f64, f64),
+    soc_for: impl Fn(Watts) -> pdn_proc::SocSpec + Sync,
+) -> Result<Crossover, PdnError> {
+    crossover_tdp_with(a, b, workload_type, ar, range, &soc_for, Workers::Serial)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::ClientSoc;
     use crate::params::ModelParams;
     use crate::topology::{IvrPdn, MbvrPdn};
     use pdn_proc::client_soc;
 
     #[test]
     fn surface_series_extraction() {
-        let pdn = IvrPdn::new(ModelParams::paper_defaults());
-        let surface = etee_surface(
-            &pdn,
-            WorkloadType::MultiThread,
-            &[4.0, 18.0, 50.0],
-            &[0.4, 0.8],
-            client_soc,
-        )
-        .unwrap();
+        let ivr = IvrPdn::new(ModelParams::paper_defaults());
+        let pdns: [&dyn Pdn; 1] = [&ivr];
+        let grid = SweepGrid::active(&[4.0, 18.0, 50.0], &[WorkloadType::MultiThread], &[0.4, 0.8])
+            .unwrap();
+        let (surfaces, stats) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Auto).unwrap();
+        assert_eq!(surfaces.len(), 1);
+        let surface = &surfaces[0];
         assert_eq!(surface.values.len(), 6);
+        assert_eq!(stats.scenario_builds, 6);
         let series = surface.tdp_series(0);
         assert_eq!(series.len(), 3);
         assert_eq!(series[0].0, 4.0);
         let ar_series = surface.ar_series(1);
         assert_eq!(ar_series.len(), 2);
         assert!(ar_series.iter().all(|&(_, e)| (0.0..=1.0).contains(&e)));
+    }
+
+    #[test]
+    fn get_is_checked_and_at_panics_out_of_range() {
+        let surface = EteeSurface {
+            pdn: "IVR".into(),
+            workload_type: WorkloadType::MultiThread,
+            tdps: vec![4.0, 18.0],
+            ars: vec![0.4],
+            values: vec![0.6, 0.7],
+        };
+        assert_eq!(surface.get(1, 0), Some(0.7));
+        assert_eq!(surface.get(2, 0), None);
+        assert_eq!(surface.get(0, 1), None);
+        assert_eq!(surface.at(1, 0), 0.7);
+        assert!(std::panic::catch_unwind(|| surface.at(2, 0)).is_err());
+        // Out-of-range series are empty rather than panicking.
+        assert!(surface.tdp_series(3).is_empty());
+        assert!(surface.ar_series(9).is_empty());
+    }
+
+    #[test]
+    fn surfaces_cover_pdn_and_workload_axes_pdn_major() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
+        let grid = SweepGrid::active(
+            &[4.0, 18.0],
+            &[WorkloadType::MultiThread, WorkloadType::Graphics],
+            &[0.56],
+        )
+        .unwrap();
+        let (surfaces, stats) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Auto).unwrap();
+        assert_eq!(surfaces.len(), 4);
+        assert_eq!(surfaces[0].pdn, "IVR");
+        assert_eq!(surfaces[0].workload_type, WorkloadType::MultiThread);
+        assert_eq!(surfaces[1].workload_type, WorkloadType::Graphics);
+        assert_eq!(surfaces[2].pdn, "MBVR");
+        // 2 PDNs × 4 points share 4 scenario builds.
+        assert_eq!(stats.scenario_builds, 4);
+        assert_eq!(stats.scenario_lookups, 8);
+    }
+
+    #[test]
+    fn surfaces_reject_idle_grids() {
+        let ivr = IvrPdn::new(ModelParams::paper_defaults());
+        let pdns: [&dyn Pdn; 1] = [&ivr];
+        let grid = SweepGrid::builder()
+            .tdps(&[18.0])
+            .workload_types(&[WorkloadType::MultiThread])
+            .ars(&[0.5])
+            .idle_states(&[pdn_proc::PackageCState::C8])
+            .build()
+            .unwrap();
+        assert!(etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Auto).is_err());
     }
 
     #[test]
@@ -185,8 +370,16 @@ mod tests {
         let ivr = IvrPdn::new(params.clone());
         let mbvr = MbvrPdn::new(params);
         let ar = ApplicationRatio::new(0.56).unwrap();
-        match crossover_tdp(&ivr, &mbvr, WorkloadType::MultiThread, ar, (4.0, 50.0), client_soc)
-            .unwrap()
+        match crossover_tdp_with(
+            &ivr,
+            &mbvr,
+            WorkloadType::MultiThread,
+            ar,
+            (4.0, 50.0),
+            &ClientSoc,
+            Workers::Auto,
+        )
+        .unwrap()
         {
             Crossover::At(tdp) => {
                 assert!(
@@ -204,22 +397,24 @@ mod tests {
         let ivr = IvrPdn::new(params.clone());
         let mbvr = MbvrPdn::new(params);
         let ar = ApplicationRatio::new(0.56).unwrap();
-        let spec = crossover_tdp(
+        let spec = crossover_tdp_with(
             &ivr,
             &mbvr,
             WorkloadType::MultiThread,
             ar,
             (4.0, 50.0),
-            client_soc,
+            &ClientSoc,
+            Workers::Auto,
         )
         .unwrap();
-        let gfx = crossover_tdp(
+        let gfx = crossover_tdp_with(
             &ivr,
             &mbvr,
             WorkloadType::Graphics,
             ar,
             (4.0, 50.0),
-            client_soc,
+            &ClientSoc,
+            Workers::Auto,
         )
         .unwrap();
         let (Crossover::At(spec), Crossover::At(gfx)) = (spec, gfx) else {
@@ -238,11 +433,59 @@ mod tests {
         let mbvr = MbvrPdn::new(params);
         let ar = ApplicationRatio::new(0.56).unwrap();
         // Restricted to low TDPs, MBVR dominates outright.
-        let c = crossover_tdp(&mbvr, &ivr, WorkloadType::MultiThread, ar, (4.0, 10.0), client_soc)
-            .unwrap();
+        let c = crossover_tdp_with(
+            &mbvr,
+            &ivr,
+            WorkloadType::MultiThread,
+            ar,
+            (4.0, 10.0),
+            &ClientSoc,
+            Workers::Auto,
+        )
+        .unwrap();
         assert_eq!(c, Crossover::AlwaysFirst);
-        let c = crossover_tdp(&ivr, &mbvr, WorkloadType::MultiThread, ar, (4.0, 10.0), client_soc)
-            .unwrap();
+        let c = crossover_tdp_with(
+            &ivr,
+            &mbvr,
+            WorkloadType::MultiThread,
+            ar,
+            (4.0, 10.0),
+            &ClientSoc,
+            Workers::Auto,
+        )
+        .unwrap();
         assert_eq!(c, Crossover::AlwaysSecond);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_engine() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let tdps = [4.0, 18.0];
+        let ars = [0.56];
+        let legacy =
+            etee_surface(&ivr, WorkloadType::MultiThread, &tdps, &ars, client_soc).unwrap();
+        let grid = SweepGrid::active(&tdps, &[WorkloadType::MultiThread], &ars).unwrap();
+        let pdns: [&dyn Pdn; 1] = [&ivr];
+        let (engine, _) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Auto).unwrap();
+        assert_eq!(legacy, engine[0], "wrapper and engine must agree bit-for-bit");
+
+        let ar = ApplicationRatio::new(0.56).unwrap();
+        let legacy_cross =
+            crossover_tdp(&ivr, &mbvr, WorkloadType::MultiThread, ar, (4.0, 50.0), client_soc)
+                .unwrap();
+        let engine_cross = crossover_tdp_with(
+            &ivr,
+            &mbvr,
+            WorkloadType::MultiThread,
+            ar,
+            (4.0, 50.0),
+            &ClientSoc,
+            Workers::Auto,
+        )
+        .unwrap();
+        assert_eq!(legacy_cross, engine_cross);
     }
 }

@@ -170,10 +170,7 @@ mod tests {
                     .unwrap();
             let e_iplus = iplus.evaluate(&s).unwrap().etee.get();
             let e_ivr = ivr.evaluate(&s).unwrap().etee.get();
-            assert!(
-                e_iplus > e_ivr,
-                "I+MBVR must beat IVR at {tdp} W: {e_iplus:.3} vs {e_ivr:.3}"
-            );
+            assert!(e_iplus > e_ivr, "I+MBVR must beat IVR at {tdp} W: {e_iplus:.3} vs {e_ivr:.3}");
         }
     }
 
@@ -181,8 +178,8 @@ mod tests {
     fn power_is_conserved() {
         let pdn = IPlusMbvrPdn::new(ModelParams::paper_defaults());
         let soc = client_soc(Watts::new(25.0));
-        let s = Scenario::active_budget(&soc, WorkloadType::Graphics, ar(0.7), pdn.params())
-            .unwrap();
+        let s =
+            Scenario::active_budget(&soc, WorkloadType::Graphics, ar(0.7), pdn.params()).unwrap();
         let e = pdn.evaluate(&s).unwrap();
         let accounted = e.nominal_power + e.breakdown.total();
         assert!((accounted.get() - e.input_power.get()).abs() < 1e-6);

@@ -99,11 +99,8 @@ impl Pdn for IvrPdn {
         )?;
         breakdown.vr_loss += p_batt - step.p_ll;
 
-        let chip_input_current = if p_in.get() > 0.0 {
-            p_in / p.vin_level
-        } else {
-            pdn_units::Amps::ZERO
-        };
+        let chip_input_current =
+            if p_in.get() > 0.0 { p_in / p.vin_level } else { pdn_units::Amps::ZERO };
         PdnEvaluation::assemble(
             scenario.total_nominal_power(),
             p_batt,
@@ -138,13 +135,8 @@ mod tests {
     fn power_is_conserved() {
         let pdn = IvrPdn::new(ModelParams::paper_defaults());
         let soc = client_soc(Watts::new(18.0));
-        let s = Scenario::active_budget(
-            &soc,
-            WorkloadType::MultiThread,
-            ar(0.6),
-            pdn.params(),
-        )
-        .unwrap();
+        let s = Scenario::active_budget(&soc, WorkloadType::MultiThread, ar(0.6), pdn.params())
+            .unwrap();
         let e = pdn.evaluate(&s).unwrap();
         let accounted = e.nominal_power + e.breakdown.total();
         assert!(

@@ -85,9 +85,7 @@ impl Pdn for LdoPdn {
         let mut chip_current = Amps::ZERO;
 
         // The PMU raises V_IN to the highest guardbanded compute voltage.
-        let vin_rail = scenario
-            .max_voltage_among(&DomainKind::WIDE_RANGE)
-            .map(|v| v + tob);
+        let vin_rail = scenario.max_voltage_among(&DomainKind::WIDE_RANGE).map(|v| v + tob);
 
         let mut p_in = Watts::ZERO;
         let mut fl_weighted = 0.0;
@@ -215,10 +213,12 @@ mod tests {
         let soc = client_soc(Watts::new(18.0));
         let cpu = Scenario::active_budget(&soc, WorkloadType::MultiThread, ar(0.6), ldo.params())
             .unwrap();
-        let gfx = Scenario::active_budget(&soc, WorkloadType::Graphics, ar(0.6), ldo.params())
-            .unwrap();
-        let gap_cpu = ldo.evaluate(&cpu).unwrap().etee.get() - mbvr.evaluate(&cpu).unwrap().etee.get();
-        let gap_gfx = ldo.evaluate(&gfx).unwrap().etee.get() - mbvr.evaluate(&gfx).unwrap().etee.get();
+        let gfx =
+            Scenario::active_budget(&soc, WorkloadType::Graphics, ar(0.6), ldo.params()).unwrap();
+        let gap_cpu =
+            ldo.evaluate(&cpu).unwrap().etee.get() - mbvr.evaluate(&cpu).unwrap().etee.get();
+        let gap_gfx =
+            ldo.evaluate(&gfx).unwrap().etee.get() - mbvr.evaluate(&gfx).unwrap().etee.get();
         assert!(
             gap_gfx < gap_cpu,
             "LDO should lose more ground to MBVR on graphics: CPU gap {gap_cpu:.3}, GFX gap {gap_gfx:.3}"

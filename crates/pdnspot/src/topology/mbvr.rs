@@ -3,7 +3,9 @@
 
 use super::{gated_domain_stage, power_gate_impedance, Pdn, PdnKind};
 use crate::error::PdnError;
-use crate::etee::{board_vr_stage, load_line_domain_stage, LossBreakdown, PdnEvaluation, RailReport};
+use crate::etee::{
+    board_vr_stage, load_line_domain_stage, LossBreakdown, PdnEvaluation, RailReport,
+};
 use crate::params::ModelParams;
 use crate::scenario::Scenario;
 use pdn_proc::DomainKind;
@@ -196,8 +198,8 @@ mod tests {
     fn power_is_conserved() {
         let pdn = MbvrPdn::new(ModelParams::paper_defaults());
         let soc = client_soc(Watts::new(50.0));
-        let s = Scenario::active_budget(&soc, WorkloadType::Graphics, ar(0.7), pdn.params())
-            .unwrap();
+        let s =
+            Scenario::active_budget(&soc, WorkloadType::Graphics, ar(0.7), pdn.params()).unwrap();
         let e = pdn.evaluate(&s).unwrap();
         let accounted = e.nominal_power + e.breakdown.total();
         assert!((accounted.get() - e.input_power.get()).abs() < 1e-6);

@@ -151,7 +151,11 @@ pub fn ivr_domain_stage(
 ) -> Result<DomainStage, PdnError> {
     let load = scenario.load(kind);
     if !load.powered || load.nominal_power.get() <= 0.0 {
-        return Ok(DomainStage { input_power: Watts::ZERO, overhead: Watts::ZERO, vr_loss: Watts::ZERO });
+        return Ok(DomainStage {
+            input_power: Watts::ZERO,
+            overhead: Watts::ZERO,
+            vr_loss: Watts::ZERO,
+        });
     }
     let gb = guardband_stage(load, params.ivr_tob.total(), params.leakage_exponent);
     let iout = gb.power / gb.voltage;

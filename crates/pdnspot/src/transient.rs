@@ -141,10 +141,7 @@ mod tests {
         for kind in [PdnKind::Ivr, PdnKind::Mbvr, PdnKind::Ldo, PdnKind::FlexWatts] {
             let m = TransientModel::paper_calibrated(kind);
             let droop = m.first_droop(Amps::new(6.0));
-            assert!(
-                m.within_noise_budget(droop, rail),
-                "{kind}: droop {droop} exceeds the budget"
-            );
+            assert!(m.within_noise_budget(droop, rail), "{kind}: droop {droop} exceeds the budget");
         }
     }
 

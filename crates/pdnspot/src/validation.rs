@@ -20,6 +20,7 @@
 //! Validation then compares model-predicted ETEE against the reference
 //! measurement, exactly as §4.3 does.
 
+use crate::batch::{par_map, Workers};
 use crate::error::PdnError;
 use crate::scenario::Scenario;
 use crate::topology::Pdn;
@@ -28,10 +29,15 @@ use pdn_vr::{EfficiencySurface, OperatingPoint, Placement, VoltageRegulator, VrP
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// A reference system standing in for a lab unit on the bench.
+///
+/// The instrument-noise generator sits behind a [`Mutex`] so a reference
+/// unit can be shared across batch workers; measurement noise is still
+/// drawn strictly in measurement order (see [`validate_with`]), keeping
+/// campaigns reproducible for a fixed seed.
 #[derive(Debug)]
 pub struct ReferenceSystem {
     /// Per-rail tabulated efficiency surfaces with unit variation baked in.
@@ -41,7 +47,7 @@ pub struct ReferenceSystem {
     unit_bias: f64,
     /// Standard deviation of per-measurement instrument noise.
     noise_sd: f64,
-    rng: RefCell<StdRng>,
+    rng: Mutex<StdRng>,
 }
 
 impl ReferenceSystem {
@@ -55,8 +61,13 @@ impl ReferenceSystem {
             .iter()
             .map(|&v| Volts::new(v))
             .collect();
-        let states = [VrPowerState::Ps0, VrPowerState::Ps1, VrPowerState::Ps2,
-                      VrPowerState::Ps3, VrPowerState::Ps4];
+        let states = [
+            VrPowerState::Ps0,
+            VrPowerState::Ps1,
+            VrPowerState::Ps2,
+            VrPowerState::Ps3,
+            VrPowerState::Ps4,
+        ];
         let devices: Vec<pdn_vr::BuckConverter> = vec![
             pdn_vr::presets::vin_board_vr(),
             pdn_vr::presets::compute_board_vr("V_Cores"),
@@ -88,7 +99,7 @@ impl ReferenceSystem {
             surfaces,
             unit_bias,
             noise_sd: 0.00025, // Keysight N6781A: 99.975 % accuracy
-            rng: RefCell::new(StdRng::seed_from_u64(seed.wrapping_add(0x5EED))),
+            rng: Mutex::new(StdRng::seed_from_u64(seed.wrapping_add(0x5EED))),
         }
     }
 
@@ -96,6 +107,11 @@ impl ReferenceSystem {
     /// the rail structure comes from the model, but each rail's input
     /// power is re-integrated through the unit's tabulated surfaces, with
     /// bias and instrument noise applied.
+    ///
+    /// Equivalent to [`ReferenceSystem::reintegrate`] followed by one
+    /// noise draw; batch campaigns use the two halves separately so the
+    /// pure reintegration can fan out across workers while noise is
+    /// drawn serially in measurement order.
     ///
     /// # Errors
     ///
@@ -106,6 +122,19 @@ impl ReferenceSystem {
         pdn: &dyn Pdn,
         scenario: &Scenario,
     ) -> Result<Watts, PdnError> {
+        Ok(self.reintegrate(pdn, scenario)? * self.noise_factor())
+    }
+
+    /// The deterministic half of a measurement: evaluates `pdn`, then
+    /// re-integrates each rail's input power through the unit's tabulated
+    /// surfaces with the per-unit bias applied — everything except the
+    /// per-measurement instrument noise. Pure: safe to fan out across
+    /// batch workers in any order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model evaluation errors.
+    pub fn reintegrate(&self, pdn: &dyn Pdn, scenario: &Scenario) -> Result<Watts, PdnError> {
         let eval = pdn.evaluate(scenario)?;
         let supply = pdn.params().supply_voltage;
         let mut measured = Watts::ZERO;
@@ -130,8 +159,7 @@ impl ReferenceSystem {
                     // load.
                     let mut ps = VrPowerState::Ps0;
                     for candidate in VrPowerState::ALL {
-                        let capability =
-                            surface.iccmax() * candidate.current_capability_factor();
+                        let capability = surface.iccmax() * candidate.current_capability_factor();
                         if rail.current <= capability {
                             ps = candidate;
                         } else {
@@ -147,8 +175,15 @@ impl ReferenceSystem {
             };
             measured += remeasured;
         }
-        let noise = 1.0 + self.rng.borrow_mut().random_range(-self.noise_sd..self.noise_sd);
-        Ok(measured * (self.unit_bias * noise))
+        Ok(measured * self.unit_bias)
+    }
+
+    /// Draws one multiplicative instrument-noise factor. Stateful: the
+    /// draw order defines the measurement sequence, so callers must
+    /// apply noise serially in a stable order.
+    fn noise_factor(&self) -> f64 {
+        let mut rng = self.rng.lock().expect("noise rng poisoned");
+        1.0 + rng.random_range(-self.noise_sd..self.noise_sd)
     }
 }
 
@@ -204,30 +239,22 @@ impl ValidationReport {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(ValidationSample::accuracy).sum::<f64>()
-            / self.samples.len() as f64
+        self.samples.iter().map(ValidationSample::accuracy).sum::<f64>() / self.samples.len() as f64
     }
 
     /// Minimum accuracy across samples.
     pub fn min_accuracy(&self) -> f64 {
-        self.samples
-            .iter()
-            .map(ValidationSample::accuracy)
-            .fold(f64::INFINITY, f64::min)
+        self.samples.iter().map(ValidationSample::accuracy).fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum accuracy across samples.
     pub fn max_accuracy(&self) -> f64 {
-        self.samples
-            .iter()
-            .map(ValidationSample::accuracy)
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.samples.iter().map(ValidationSample::accuracy).fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
-/// Runs a validation campaign: evaluates `pdn` on every scenario both
-/// analytically and on the reference system, collecting predicted vs
-/// measured ETEE pairs.
+/// Runs a validation campaign with an automatically sized worker pool
+/// (see [`validate_with`]).
 ///
 /// # Errors
 ///
@@ -237,10 +264,37 @@ pub fn validate(
     reference: &ReferenceSystem,
     scenarios: &[Scenario],
 ) -> Result<ValidationReport, PdnError> {
-    let mut samples = Vec::with_capacity(scenarios.len());
-    for scenario in scenarios {
+    validate_with(pdn, reference, scenarios, Workers::Auto)
+}
+
+/// Runs a validation campaign: evaluates `pdn` on every scenario both
+/// analytically and on the reference system, collecting predicted vs
+/// measured ETEE pairs.
+///
+/// The deterministic work — model evaluation and surface reintegration —
+/// fans out over the batch worker pool; the per-measurement instrument
+/// noise is then drawn serially in scenario order, so the report is
+/// identical (same floating-point bits) for every [`Workers`] choice and
+/// matches the historical serial campaign exactly.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn validate_with(
+    pdn: &dyn Pdn,
+    reference: &ReferenceSystem,
+    scenarios: &[Scenario],
+    workers: Workers,
+) -> Result<ValidationReport, PdnError> {
+    let measured = par_map(scenarios, workers, |_, scenario| {
         let eval = pdn.evaluate(scenario)?;
-        let measured_input = reference.measure_input_power(pdn, scenario)?;
+        let reintegrated = reference.reintegrate(pdn, scenario)?;
+        Ok::<_, PdnError>((eval, reintegrated))
+    });
+    let mut samples = Vec::with_capacity(scenarios.len());
+    for result in measured {
+        let (eval, reintegrated) = result?;
+        let measured_input = reintegrated * reference.noise_factor();
         let measured =
             Efficiency::new((eval.nominal_power.get() / measured_input.get()).clamp(1e-6, 1.0))?;
         samples.push(ValidationSample { predicted: eval.etee, measured });
@@ -329,15 +383,27 @@ mod tests {
     }
 
     #[test]
+    fn parallel_validation_matches_serial_bitwise() {
+        // The noise stream is consumed per reference unit, so compare two
+        // same-seed units: one driven serially, one on four workers.
+        let params = ModelParams::paper_defaults();
+        let pdn = MbvrPdn::new(params);
+        let scenarios = scenarios();
+        let serial =
+            validate_with(&pdn, &ReferenceSystem::new(11), &scenarios, Workers::Serial).unwrap();
+        let parallel =
+            validate_with(&pdn, &ReferenceSystem::new(11), &scenarios, Workers::Fixed(4)).unwrap();
+        assert_eq!(serial, parallel, "worker count must not change the report");
+    }
+
+    #[test]
     fn validation_covers_idle_states_too() {
         let params = ModelParams::paper_defaults();
         let pdn = MbvrPdn::new(params);
         let reference = ReferenceSystem::new(9);
         let soc = client_soc(Watts::new(18.0));
-        let scenarios: Vec<Scenario> = pdn_proc::PackageCState::ALL
-            .iter()
-            .map(|&st| Scenario::idle(&soc, st))
-            .collect();
+        let scenarios: Vec<Scenario> =
+            pdn_proc::PackageCState::ALL.iter().map(|&st| Scenario::idle(&soc, st)).collect();
         let report = validate(&pdn, &reference, &scenarios).unwrap();
         assert_eq!(report.samples.len(), 6);
         assert!(report.mean_accuracy() > 0.95, "{:.4}", report.mean_accuracy());

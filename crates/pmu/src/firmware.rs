@@ -69,7 +69,10 @@ impl fmt::Display for FirmwareError {
             FirmwareError::UnsupportedVersion(v) => write!(f, "unsupported firmware version {v}"),
             FirmwareError::Truncated => write!(f, "firmware image truncated"),
             FirmwareError::ChecksumMismatch { stored, computed } => {
-                write!(f, "firmware checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "firmware checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
             }
             FirmwareError::BadSection { tag, key } => {
                 write!(f, "unknown firmware section tag {tag}/key {key}")
@@ -161,18 +164,17 @@ impl FirmwareImage {
             if buf.remaining() < need {
                 return Err(FirmwareError::Truncated);
             }
-            let mut read_f64s = |n: usize| -> Vec<f64> {
-                (0..n).map(|_| buf.get_f64_le()).collect()
-            };
+            let mut read_f64s =
+                |n: usize| -> Vec<f64> { (0..n).map(|_| buf.get_f64_le()).collect() };
             let row_axis = read_f64s(rows);
             let col_axis = read_f64s(cols);
             let values = read_f64s(rows * cols);
-            let grid = Grid2::from_rows(row_axis, col_axis, values)
-                .map_err(FirmwareError::BadGrid)?;
+            let grid =
+                Grid2::from_rows(row_axis, col_axis, values).map_err(FirmwareError::BadGrid)?;
             match tag {
                 0 => {
-                    let wl = workload_from_key(key)
-                        .ok_or(FirmwareError::BadSection { tag, key })?;
+                    let wl =
+                        workload_from_key(key).ok_or(FirmwareError::BadSection { tag, key })?;
                     active.insert(wl, grid);
                 }
                 1 => {
@@ -305,11 +307,7 @@ mod tests {
         let image = FirmwareImage::build(&curve_set());
         assert!(!image.is_empty());
         // 3 types × 3×3 grid + 6 states × 2×2 grid, f64 payload + axes.
-        assert!(
-            image.len() > 300 && image.len() < 4096,
-            "flash footprint = {} bytes",
-            image.len()
-        );
+        assert!(image.len() > 300 && image.len() < 4096, "flash footprint = {} bytes", image.len());
     }
 
     #[test]

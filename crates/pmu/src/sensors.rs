@@ -87,10 +87,7 @@ mod tests {
         let bank = ActivitySensorBank::new(3);
         for truth in [0.2, 0.4, 0.56, 0.8, 1.0] {
             let est = bank.estimate(DomainKind::Core0, ar(truth));
-            assert!(
-                (est.get() - truth).abs() < 0.06,
-                "estimate {est} too far from truth {truth}"
-            );
+            assert!((est.get() - truth).abs() < 0.06, "estimate {est} too far from truth {truth}");
         }
     }
 
@@ -99,10 +96,8 @@ mod tests {
         let bank = ActivitySensorBank::new(5);
         // Average many samples: jitter cancels, gain bias remains.
         let truth = ar(0.5);
-        let mean: f64 = (0..256)
-            .map(|_| bank.estimate(DomainKind::Gfx, truth).get())
-            .sum::<f64>()
-            / 256.0;
+        let mean: f64 =
+            (0..256).map(|_| bank.estimate(DomainKind::Gfx, truth).get()).sum::<f64>() / 256.0;
         let bias = mean / 0.5;
         assert!((bias - 1.0).abs() < 0.025, "gain bias {bias}");
         assert!(bank.samples_taken() >= 256);

@@ -46,8 +46,7 @@ impl EteeCurveSet {
             for &tdp in tdp_axis {
                 let soc = soc_for(Watts::new(tdp));
                 for &ar in ar_axis {
-                    let ar = ApplicationRatio::new(ar)
-                        .map_err(PdnError::Units)?;
+                    let ar = ApplicationRatio::new(ar).map_err(PdnError::Units)?;
                     let scenario = Scenario::active_fixed_tdp_frequency(&soc, wl, ar)?;
                     values.push(pdn.evaluate(&scenario)?.etee.get());
                 }
@@ -103,11 +102,7 @@ impl EteeCurveSet {
     /// # Errors
     ///
     /// Returns [`UnitsError`] only if the stored value is somehow invalid.
-    pub fn lookup_idle(
-        &self,
-        state: PackageCState,
-        tdp: Watts,
-    ) -> Result<Efficiency, UnitsError> {
+    pub fn lookup_idle(&self, state: PackageCState, tdp: Watts) -> Result<Efficiency, UnitsError> {
         let grid = self.idle.get(&state).expect("tabulation fills all states");
         Efficiency::new(grid.eval(tdp.get(), 0.5).clamp(1e-6, 1.0))
     }
@@ -138,8 +133,7 @@ mod tests {
         let ar = ApplicationRatio::new(0.6).unwrap();
         let direct = pdn
             .evaluate(
-                &Scenario::active_fixed_tdp_frequency(&soc, WorkloadType::MultiThread, ar)
-                    .unwrap(),
+                &Scenario::active_fixed_tdp_frequency(&soc, WorkloadType::MultiThread, ar).unwrap(),
             )
             .unwrap()
             .etee;
@@ -152,18 +146,12 @@ mod tests {
         let pdn = MbvrPdn::new(ModelParams::paper_defaults());
         let set = small_set(&pdn);
         let ar = ApplicationRatio::new(0.5).unwrap();
-        let at_10 = set
-            .lookup_active(WorkloadType::SingleThread, Watts::new(10.0), ar)
-            .unwrap()
-            .get();
-        let at_4 = set
-            .lookup_active(WorkloadType::SingleThread, Watts::new(4.0), ar)
-            .unwrap()
-            .get();
-        let at_18 = set
-            .lookup_active(WorkloadType::SingleThread, Watts::new(18.0), ar)
-            .unwrap()
-            .get();
+        let at_10 =
+            set.lookup_active(WorkloadType::SingleThread, Watts::new(10.0), ar).unwrap().get();
+        let at_4 =
+            set.lookup_active(WorkloadType::SingleThread, Watts::new(4.0), ar).unwrap().get();
+        let at_18 =
+            set.lookup_active(WorkloadType::SingleThread, Watts::new(18.0), ar).unwrap().get();
         assert!(at_10 <= at_4.max(at_18) && at_10 >= at_4.min(at_18));
     }
 

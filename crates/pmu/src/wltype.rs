@@ -52,10 +52,7 @@ mod tests {
 
     #[test]
     fn core_count_separates_st_and_mt() {
-        assert_eq!(
-            classify_workload(&states(true, true, false), None),
-            WorkloadType::MultiThread
-        );
+        assert_eq!(classify_workload(&states(true, true, false), None), WorkloadType::MultiThread);
         assert_eq!(
             classify_workload(&states(true, false, false), None),
             WorkloadType::SingleThread
@@ -72,8 +69,10 @@ mod tests {
             classify_workload(&states(true, true, true), Some(PackageCState::C8)),
             WorkloadType::BatteryLife
         );
-        assert_eq!(classify_workload(&states(false, false, false), None),
-            WorkloadType::BatteryLife);
+        assert_eq!(
+            classify_workload(&states(false, false, false), None),
+            WorkloadType::BatteryLife
+        );
     }
 
     #[test]

@@ -66,14 +66,9 @@ impl PackageCState {
     pub fn nominal_domain_powers(self) -> BTreeMap<DomainKind, Watts> {
         use DomainKind::*;
         let entries: &[(DomainKind, f64)] = match self {
-            PackageCState::C0Min => &[
-                (Core0, 0.35),
-                (Core1, 0.35),
-                (Llc, 0.35),
-                (Gfx, 0.55),
-                (Sa, 0.60),
-                (Io, 0.30),
-            ],
+            PackageCState::C0Min => {
+                &[(Core0, 0.35), (Core1, 0.35), (Llc, 0.35), (Gfx, 0.55), (Sa, 0.60), (Io, 0.30)]
+            }
             PackageCState::C2 => &[(Llc, 0.10), (Sa, 0.75), (Io, 0.35)],
             PackageCState::C3 => &[(Llc, 0.08), (Sa, 0.55), (Io, 0.27)],
             PackageCState::C6 => &[(Sa, 0.32), (Io, 0.13)],
@@ -100,10 +95,7 @@ impl PackageCState {
             PackageCState::C7 => (60.0, 40.0),
             PackageCState::C8 => (100.0, 80.0),
         };
-        CStateLatency {
-            entry: Seconds::from_micros(entry_us),
-            exit: Seconds::from_micros(exit_us),
-        }
+        CStateLatency { entry: Seconds::from_micros(entry_us), exit: Seconds::from_micros(exit_us) }
     }
 }
 

@@ -100,11 +100,7 @@ impl DomainState {
 
     /// A power-gated (idle) domain.
     pub fn gated() -> Self {
-        Self {
-            frequency: Hertz::ZERO,
-            activity: ApplicationRatio::POWER_VIRUS,
-            powered: false,
-        }
+        Self { frequency: Hertz::ZERO, activity: ApplicationRatio::POWER_VIRUS, powered: false }
     }
 }
 

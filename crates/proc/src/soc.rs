@@ -100,15 +100,15 @@ impl SocSpec {
         states: &BTreeMap<DomainKind, DomainState>,
         tj: Celsius,
     ) -> Watts {
-        states
-            .iter()
-            .map(|(kind, state)| self.domain(*kind).nominal_power(state, tj))
-            .sum()
+        states.iter().map(|(kind, state)| self.domain(*kind).nominal_power(state, tj)).sum()
     }
 
     /// The fixed operating point of the SA and IO domains (Table 1: fixed
     /// frequencies, not scaled with load) at a given activity.
-    pub fn sa_io_states(&self, activity: pdn_units::ApplicationRatio) -> BTreeMap<DomainKind, DomainState> {
+    pub fn sa_io_states(
+        &self,
+        activity: pdn_units::ApplicationRatio,
+    ) -> BTreeMap<DomainKind, DomainState> {
         DomainKind::NARROW_RANGE
             .iter()
             .map(|&k| {
@@ -214,7 +214,7 @@ impl ClientSocBuilder {
                     leak_voltage_exp: LEAKAGE_VOLTAGE_EXPONENT,
                     leak_temp_coeff: 0.02,
                     guardband_leakage_fraction: ratio(0.22),
-                clock_fraction: DEFAULT_CLOCK_FRACTION,
+                    clock_fraction: DEFAULT_CLOCK_FRACTION,
                 },
                 vf: VfCurve::client_llc(),
                 fmin: Hertz::from_gigahertz(0.8),
@@ -255,7 +255,7 @@ impl ClientSocBuilder {
                     leak_voltage_exp: LEAKAGE_VOLTAGE_EXPONENT,
                     leak_temp_coeff: 0.02,
                     guardband_leakage_fraction: ratio(0.22),
-                clock_fraction: DEFAULT_CLOCK_FRACTION,
+                    clock_fraction: DEFAULT_CLOCK_FRACTION,
                 },
                 vf: VfCurve::fixed(Volts::new(0.85)),
                 fmin: Hertz::from_gigahertz(0.8),
@@ -274,7 +274,7 @@ impl ClientSocBuilder {
                     leak_voltage_exp: LEAKAGE_VOLTAGE_EXPONENT,
                     leak_temp_coeff: 0.02,
                     guardband_leakage_fraction: ratio(0.22),
-                clock_fraction: DEFAULT_CLOCK_FRACTION,
+                    clock_fraction: DEFAULT_CLOCK_FRACTION,
                 },
                 vf: VfCurve::fixed(Volts::new(1.10)),
                 fmin: Hertz::from_gigahertz(0.4),
@@ -283,9 +283,7 @@ impl ClientSocBuilder {
         );
 
         SocSpec {
-            name: self
-                .name
-                .unwrap_or_else(|| format!("client-soc-{}W", tdp.get())),
+            name: self.name.unwrap_or_else(|| format!("client-soc-{}W", tdp.get())),
             tdp,
             tj_active,
             process_node_nm: 14,
@@ -329,10 +327,8 @@ mod tests {
         let soc = client_soc(Watts::new(50.0));
         let tj = soc.tj_active;
         let cores = soc.domain(DomainKind::Core0);
-        let max_state = DomainState::active(
-            Hertz::from_gigahertz(4.0),
-            ApplicationRatio::POWER_VIRUS,
-        );
+        let max_state =
+            DomainState::active(Hertz::from_gigahertz(4.0), ApplicationRatio::POWER_VIRUS);
         let both_max = cores.nominal_power(&max_state, tj) * 2.0;
         assert!(
             both_max.get() > 24.0 && both_max.get() < 36.0,
@@ -340,10 +336,8 @@ mod tests {
         );
 
         let soc4 = client_soc(Watts::new(4.0));
-        let min_state = DomainState::active(
-            Hertz::from_gigahertz(0.8),
-            ApplicationRatio::new(0.5).unwrap(),
-        );
+        let min_state =
+            DomainState::active(Hertz::from_gigahertz(0.8), ApplicationRatio::new(0.5).unwrap());
         let both_min =
             soc4.domain(DomainKind::Core0).nominal_power(&min_state, soc4.tj_active) * 2.0;
         assert!(
@@ -355,10 +349,8 @@ mod tests {
     #[test]
     fn gfx_spans_table2_power_range() {
         let soc = client_soc(Watts::new(50.0));
-        let max_state = DomainState::active(
-            Hertz::from_gigahertz(1.2),
-            ApplicationRatio::POWER_VIRUS,
-        );
+        let max_state =
+            DomainState::active(Hertz::from_gigahertz(1.2), ApplicationRatio::POWER_VIRUS);
         let p = soc.domain(DomainKind::Gfx).nominal_power(&max_state, soc.tj_active);
         assert!(p.get() > 24.0 && p.get() < 34.0, "GFX at fmax should be ≈ 29.4 W, got {p}");
     }
@@ -366,10 +358,8 @@ mod tests {
     #[test]
     fn llc_spans_table2_power_range() {
         let soc = client_soc(Watts::new(50.0));
-        let max_state = DomainState::active(
-            Hertz::from_gigahertz(4.0),
-            ApplicationRatio::POWER_VIRUS,
-        );
+        let max_state =
+            DomainState::active(Hertz::from_gigahertz(4.0), ApplicationRatio::POWER_VIRUS);
         let p = soc.domain(DomainKind::Llc).nominal_power(&max_state, soc.tj_active);
         assert!(p.get() > 3.0 && p.get() < 5.0, "LLC at fmax should be ≈ 4 W, got {p}");
     }
@@ -379,9 +369,7 @@ mod tests {
         let ar = ApplicationRatio::new(0.6).unwrap();
         let lo = client_soc(Watts::new(4.0));
         let hi = client_soc(Watts::new(50.0));
-        let total = |soc: &SocSpec| {
-            soc.total_nominal_power(&soc.sa_io_states(ar), soc.tj_active)
-        };
+        let total = |soc: &SocSpec| soc.total_nominal_power(&soc.sa_io_states(ar), soc.tj_active);
         let p_lo = total(&lo);
         let p_hi = total(&hi);
         assert!(p_lo.get() > 0.8 && p_lo.get() < 2.0, "SA+IO at 4 W: {p_lo}");
@@ -409,10 +397,7 @@ mod tests {
 
     #[test]
     fn builder_overrides_apply() {
-        let soc = ClientSocBuilder::new(Watts::new(10.0))
-            .leakage_scale(1.2)
-            .name("binned")
-            .build();
+        let soc = ClientSocBuilder::new(Watts::new(10.0)).leakage_scale(1.2).name("binned").build();
         let base = client_soc(Watts::new(10.0));
         let v = Volts::new(1.0);
         let t = Celsius::new(100.0);
@@ -426,14 +411,8 @@ mod tests {
     fn domain_voltage_follows_vf_curve() {
         let soc = client_soc(Watts::new(18.0));
         let cores = soc.domain(DomainKind::Core0);
-        let slow = DomainState::active(
-            Hertz::from_gigahertz(0.9),
-            ApplicationRatio::POWER_VIRUS,
-        );
-        let fast = DomainState::active(
-            Hertz::from_gigahertz(3.8),
-            ApplicationRatio::POWER_VIRUS,
-        );
+        let slow = DomainState::active(Hertz::from_gigahertz(0.9), ApplicationRatio::POWER_VIRUS);
+        let fast = DomainState::active(Hertz::from_gigahertz(3.8), ApplicationRatio::POWER_VIRUS);
         assert!(cores.voltage_for(&slow) < cores.voltage_for(&fast));
     }
 }

@@ -62,8 +62,7 @@ impl ConfigurableTdp {
     /// Returns an error if `levels` is empty, unsorted, or `initial` is out
     /// of bounds.
     pub fn new(levels: Vec<Watts>, initial: usize) -> Result<Self, UnsupportedTdpError> {
-        if levels.is_empty() || initial >= levels.len() || levels.windows(2).any(|w| w[0] >= w[1])
-        {
+        if levels.is_empty() || initial >= levels.len() || levels.windows(2).any(|w| w[0] >= w[1]) {
             return Err(UnsupportedTdpError {
                 requested: levels.get(initial).copied().unwrap_or(Watts::ZERO),
             });
@@ -92,11 +91,7 @@ impl ConfigurableTdp {
     ///
     /// Returns [`UnsupportedTdpError`] if `tdp` is not a configured level.
     pub fn configure(&mut self, tdp: Watts) -> Result<(), UnsupportedTdpError> {
-        match self
-            .levels
-            .iter()
-            .position(|&l| (l.get() - tdp.get()).abs() < 1e-9)
-        {
+        match self.levels.iter().position(|&l| (l.get() - tdp.get()).abs() < 1e-9) {
             Some(i) => {
                 self.current = i;
                 Ok(())
@@ -153,11 +148,7 @@ mod tests {
     fn rejects_invalid_construction() {
         assert!(ConfigurableTdp::new(vec![], 0).is_err());
         assert!(ConfigurableTdp::new(levels(), 99).is_err());
-        assert!(ConfigurableTdp::new(
-            vec![Watts::new(10.0), Watts::new(10.0)],
-            0
-        )
-        .is_err());
+        assert!(ConfigurableTdp::new(vec![Watts::new(10.0), Watts::new(10.0)], 0).is_err());
     }
 
     #[test]

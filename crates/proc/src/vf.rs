@@ -36,8 +36,7 @@ impl VfCurve {
     where
         I: IntoIterator<Item = (Hertz, Volts)>,
     {
-        let curve =
-            Curve1::from_points(points.into_iter().map(|(f, v)| (f.get(), v.get())))?;
+        let curve = Curve1::from_points(points.into_iter().map(|(f, v)| (f.get(), v.get())))?;
         Ok(Self { curve })
     }
 

@@ -426,10 +426,8 @@ mod tests {
         assert!(Grid2::from_rows(vec![0.0], vec![0.0, 1.0], vec![1.0, 2.0]).is_err());
         assert!(Grid2::from_rows(vec![0.0, 1.0], vec![1.0, 0.5], vec![0.0; 4]).is_err());
         assert!(Grid2::from_rows(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0; 3]).is_err());
-        assert!(
-            Grid2::from_rows(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0, 2.0, f64::NAN])
-                .is_err()
-        );
+        assert!(Grid2::from_rows(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0, 2.0, f64::NAN])
+            .is_err());
     }
 
     #[test]

@@ -426,9 +426,7 @@ mod tests {
 
     #[test]
     fn sum_of_domain_powers() {
-        let total: Watts = [Watts::new(0.6), Watts::new(0.5), Watts::new(0.58)]
-            .into_iter()
-            .sum();
+        let total: Watts = [Watts::new(0.6), Watts::new(0.5), Watts::new(0.58)].into_iter().sum();
         assert!((total.get() - 1.68).abs() < 1e-12);
     }
 

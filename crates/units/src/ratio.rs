@@ -335,10 +335,7 @@ mod tests {
     fn ar_peak_power_scales_inverse() {
         let ar = ApplicationRatio::from_percent(40.0).unwrap();
         assert_eq!(ar.peak_power(Watts::new(2.0)), Watts::new(5.0));
-        assert_eq!(
-            ApplicationRatio::POWER_VIRUS.peak_power(Watts::new(2.0)),
-            Watts::new(2.0)
-        );
+        assert_eq!(ApplicationRatio::POWER_VIRUS.peak_power(Watts::new(2.0)), Watts::new(2.0));
     }
 
     #[test]

@@ -183,10 +183,7 @@ impl BuckConverter {
             return Err(unsupported("negative load current".into()));
         }
         if op.iout > p.iccmax {
-            return Err(unsupported(format!(
-                "load current {} above Iccmax {}",
-                op.iout, p.iccmax
-            )));
+            return Err(unsupported(format!("load current {} above Iccmax {}", op.iout, p.iccmax)));
         }
         let capability = p.iccmax * op.power_state.current_capability_factor();
         if op.iout > capability {
@@ -321,9 +318,7 @@ mod tests {
     fn light_load_power_state_recovers_efficiency() {
         let vr = presets::vin_board_vr();
         let ps0 = vr.efficiency(op(7.2, 1.8, 0.1)).unwrap();
-        let ps1 = vr
-            .efficiency(op(7.2, 1.8, 0.1).with_power_state(VrPowerState::Ps1))
-            .unwrap();
+        let ps1 = vr.efficiency(op(7.2, 1.8, 0.1).with_power_state(VrPowerState::Ps1)).unwrap();
         assert!(ps1.get() > ps0.get() + 0.05, "PS1 {ps1} should beat PS0 {ps0} at light load");
     }
 

@@ -103,13 +103,7 @@ impl LdoRegulator {
                 range: "> 0",
             });
         }
-        Ok(Self {
-            name: name.into(),
-            current_efficiency,
-            dropout,
-            switch_resistance,
-            iccmax,
-        })
+        Ok(Self { name: name.into(), current_efficiency, dropout, switch_resistance, iccmax })
     }
 
     /// The paper-default LDO: 99.1 % current efficiency (Table 2), 20 mV
@@ -269,8 +263,9 @@ mod tests {
     #[test]
     fn invalid_parameters_rejected() {
         let ie = Efficiency::new(0.99).unwrap();
-        assert!(LdoRegulator::new("x", ie, Volts::new(-0.1), Ohms::new(1e-3), Amps::new(1.0))
-            .is_err());
+        assert!(
+            LdoRegulator::new("x", ie, Volts::new(-0.1), Ohms::new(1e-3), Amps::new(1.0)).is_err()
+        );
         assert!(
             LdoRegulator::new("x", ie, Volts::new(0.02), Ohms::new(0.0), Amps::new(1.0)).is_err()
         );

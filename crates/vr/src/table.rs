@@ -122,8 +122,7 @@ impl EfficiencySurface {
                     for k in 0..points_per_curve {
                         let t = k as f64 / (points_per_curve - 1).max(1) as f64;
                         let i = lo * (hi / lo).powf(t);
-                        let op = OperatingPoint::new(vin, vout, Amps::new(i))
-                            .with_power_state(ps);
+                        let op = OperatingPoint::new(vin, vout, Amps::new(i)).with_power_state(ps);
                         if let Ok(eta) = vr.efficiency(op) {
                             points.push((i, eta.get()));
                         }
@@ -148,12 +147,7 @@ impl EfficiencySurface {
     }
 
     /// Returns the curve measured at exactly (vin, vout, ps), if any.
-    pub fn curve_at(
-        &self,
-        vin: Volts,
-        vout: Volts,
-        ps: VrPowerState,
-    ) -> Option<&Curve1> {
+    pub fn curve_at(&self, vin: Volts, vout: Volts, ps: VrPowerState) -> Option<&Curve1> {
         self.entries
             .iter()
             .find(|e| {
@@ -198,28 +192,20 @@ impl VoltageRegulator for EfficiencySurface {
         let best_vin = candidates
             .iter()
             .map(|e| e.vin.get())
-            .min_by(|a, b| {
-                (a - op.vin.get()).abs().total_cmp(&(b - op.vin.get()).abs())
-            })
+            .min_by(|a, b| (a - op.vin.get()).abs().total_cmp(&(b - op.vin.get()).abs()))
             .expect("candidates nonempty");
-        let plane: Vec<&&SurfaceEntry> = candidates
-            .iter()
-            .filter(|e| (e.vin.get() - best_vin).abs() < 1e-9)
-            .collect();
+        let plane: Vec<&&SurfaceEntry> =
+            candidates.iter().filter(|e| (e.vin.get() - best_vin).abs() < 1e-9).collect();
         let _ = vin_dist;
         // Interpolate across output voltage between the two bracketing
         // curves (clamped at the extremes).
         let mut below: Option<&SurfaceEntry> = None;
         let mut above: Option<&SurfaceEntry> = None;
         for e in &plane {
-            if e.vout <= op.vout
-                && below.map_or(true, |b| e.vout > b.vout)
-            {
+            if e.vout <= op.vout && below.is_none_or(|b| e.vout > b.vout) {
                 below = Some(e);
             }
-            if e.vout >= op.vout
-                && above.map_or(true, |a| e.vout < a.vout)
-            {
+            if e.vout >= op.vout && above.is_none_or(|a| e.vout < a.vout) {
                 above = Some(e);
             }
         }
@@ -310,8 +296,9 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_bad_construction() {
-        assert!(EfficiencySurface::new("x", Placement::Motherboard, Amps::new(1.0), vec![])
-            .is_err());
+        assert!(
+            EfficiencySurface::new("x", Placement::Motherboard, Amps::new(1.0), vec![]).is_err()
+        );
     }
 
     #[test]

@@ -61,14 +61,8 @@ impl BatteryLifeWorkload {
                     Seconds::from_millis(frame_ms * r.c0min.get()),
                     PackageCState::C0Min,
                 ),
-                TraceInterval::idle(
-                    Seconds::from_millis(frame_ms * r.c2.get()),
-                    PackageCState::C2,
-                ),
-                TraceInterval::idle(
-                    Seconds::from_millis(frame_ms * r.c8.get()),
-                    PackageCState::C8,
-                ),
+                TraceInterval::idle(Seconds::from_millis(frame_ms * r.c2.get()), PackageCState::C2),
+                TraceInterval::idle(Seconds::from_millis(frame_ms * r.c8.get()), PackageCState::C8),
             ],
         );
         let mut out = Trace::new(self.to_string(), vec![]);

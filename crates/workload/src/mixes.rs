@@ -46,10 +46,7 @@ impl MultiProgrammedMix {
 
 /// The multi-programmed trace library: every Fig. 7 pairing as a mix.
 pub fn multiprogrammed_mixes() -> Vec<MultiProgrammedMix> {
-    multiprogrammed_pairs()
-        .iter()
-        .map(|(_, a, b)| MultiProgrammedMix::of(a, b))
-        .collect()
+    multiprogrammed_pairs().iter().map(|(_, a, b)| MultiProgrammedMix::of(a, b)).collect()
 }
 
 /// A SYSmark-style office-productivity session: bursts of single-thread

@@ -31,11 +31,7 @@ pub fn idle(state: PackageCState, duration: Seconds) -> Trace {
 
 /// Evenly spaced AR sweep traces of one workload type — the Fig. 4 x-axis
 /// (AR from 40 % to 80 %).
-pub fn ar_sweep(
-    workload_type: WorkloadType,
-    ar_percents: &[f64],
-    duration: Seconds,
-) -> Vec<Trace> {
+pub fn ar_sweep(workload_type: WorkloadType, ar_percents: &[f64], duration: Seconds) -> Vec<Trace> {
     ar_percents
         .iter()
         .map(|&pct| {

@@ -214,9 +214,7 @@ impl Trace {
                 *time.entry(workload_type).or_insert(0.0) += i.duration.get();
             }
         }
-        time.into_iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(t, _)| t)
+        time.into_iter().max_by(|a, b| a.1.total_cmp(&b.1)).map(|(t, _)| t)
     }
 
     /// Appends another trace's intervals (sequential composition).

@@ -14,18 +14,13 @@ use pdnspot::{IvrPdn, MbvrPdn, ModelParams, Pdn, Scenario};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = ModelParams::paper_defaults();
     println!("Training the mode predictor...");
-    let predictor = ModePredictor::train(
-        &params,
-        &[4.0, 10.0, 18.0, 25.0, 36.0, 50.0],
-        &[0.4, 0.6, 0.8],
-    )?;
+    let predictor =
+        ModePredictor::train(&params, &[4.0, 10.0, 18.0, 25.0, 36.0, 50.0], &[0.4, 0.6, 0.8])?;
 
     // A convertible laptop-tablet: 10 W docked-quiet, 18 W nominal,
     // 25 W docked-performance.
-    let mut ctdp = ConfigurableTdp::new(
-        vec![Watts::new(10.0), Watts::new(18.0), Watts::new(25.0)],
-        1,
-    )?;
+    let mut ctdp =
+        ConfigurableTdp::new(vec![Watts::new(10.0), Watts::new(18.0), Watts::new(25.0)], 1)?;
     let ar = ApplicationRatio::new(0.65)?;
     let wl = WorkloadType::MultiThread;
 
@@ -43,12 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tdp = ctdp.current();
         let soc = client_soc(tdp);
         let scenario = Scenario::active_fixed_tdp_frequency(&soc, wl, ar)?;
-        let mode = predictor.predict(PredictorInputs {
-            tdp,
-            ar,
-            workload_type: wl,
-            power_state: None,
-        });
+        let mode =
+            predictor.predict(PredictorInputs { tdp, ar, workload_type: wl, power_state: None });
         println!(
             "{:<8} {:>10} {:>10} {:>11} {:>14}",
             format!("{tdp}"),

@@ -24,19 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             WorkloadType::MultiThread,
             ApplicationRatio::new(0.85)?,
         ));
-        intervals.push(TraceInterval::idle(
-            Seconds::from_millis(40.0),
-            PackageCState::C0Min,
-        ));
+        intervals.push(TraceInterval::idle(Seconds::from_millis(40.0), PackageCState::C0Min));
     }
     let trace = Trace::new("turbo-burst", intervals);
 
     println!("Training the mode predictor...");
-    let predictor = ModePredictor::train(
-        &params,
-        &[4.0, 10.0, 18.0, 25.0, 36.0, 50.0],
-        &[0.4, 0.6, 0.8],
-    )?;
+    let predictor =
+        ModePredictor::train(&params, &[4.0, 10.0, 18.0, 25.0, 36.0, 50.0], &[0.4, 0.6, 0.8])?;
     let runtime =
         FlexWattsRuntime::new(soc.clone(), params.clone(), predictor, RuntimeConfig::default());
 
@@ -65,10 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("time in {mode:<9}   : {:.1} ms", time.millis());
     }
     println!("average power        : {:.2}", report.average_power());
-    println!(
-        "energy vs oracle     : {:.2}%",
-        report.energy_efficiency_vs_oracle() * 100.0
-    );
+    println!("energy vs oracle     : {:.2}%", report.energy_efficiency_vs_oracle() * 100.0);
 
     // Show why the switches pay off: per-phase ETEE of the two modes.
     let burst = Scenario::active_fixed_tdp_frequency(

@@ -17,18 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let soc = client_soc(Watts::new(18.0));
 
     println!("Training the mode predictor (tabulating PMU firmware curves)...");
-    let predictor = ModePredictor::train(
-        &params,
-        &[4.0, 10.0, 18.0, 25.0, 50.0],
-        &[0.4, 0.5, 0.6, 0.7, 0.8],
-    )?;
+    let predictor =
+        ModePredictor::train(&params, &[4.0, 10.0, 18.0, 25.0, 50.0], &[0.4, 0.5, 0.6, 0.7, 0.8])?;
 
-    let runtime = FlexWattsRuntime::new(
-        soc.clone(),
-        params.clone(),
-        predictor,
-        RuntimeConfig::default(),
-    );
+    let runtime =
+        FlexWattsRuntime::new(soc.clone(), params.clone(), predictor, RuntimeConfig::default());
 
     println!("Simulating one second of 60 fps video playback...\n");
     let trace = BatteryLifeWorkload::VideoPlayback.as_trace(60);
@@ -54,12 +47,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.energy_efficiency_vs_oracle() * 100.0
     );
     // Per §5: the nominal (pre-PDN) average of the video workload.
-    let nominal: f64 = [(2.5, 0.10), (1.2, 0.05), (0.13, 0.85)]
-        .iter()
-        .map(|(p, r)| p * r)
-        .sum();
+    let nominal: f64 = [(2.5, 0.10), (1.2, 0.05), (0.13, 0.85)].iter().map(|(p, r)| p * r).sum();
     println!("\nnominal workload power  : {nominal:.3} W (ETEE turns this into the above)");
     let c8 = Scenario::idle(&soc, pdn_proc::PackageCState::C8);
-    println!("(85% of frame time sits in {}, nominal {:.2} W)", c8.name, c8.total_nominal_power().get());
+    println!(
+        "(85% of frame time sits in {}, nominal {:.2} W)",
+        c8.name,
+        c8.total_nominal_power().get()
+    );
     Ok(())
 }

@@ -73,8 +73,7 @@ fn flashed_predictor_drives_the_runtime_identically() {
     let trace = bursty_trace(4);
     let trained = base_predictor();
     let [ivr_img, ldo_img] = trained.firmware_images();
-    let flashed =
-        ModePredictor::from_firmware(ivr_img.as_bytes(), ldo_img.as_bytes()).unwrap();
+    let flashed = ModePredictor::from_firmware(ivr_img.as_bytes(), ldo_img.as_bytes()).unwrap();
 
     let run = |p: ModePredictor| {
         FlexWattsRuntime::new(soc.clone(), params.clone(), p, RuntimeConfig::default())
@@ -100,10 +99,7 @@ fn protection_fires_on_sustained_heavy_ldo_pressure() {
         soc,
         params,
         myopic,
-        RuntimeConfig {
-            initial_mode: PdnMode::LdoMode,
-            ..RuntimeConfig::default()
-        },
+        RuntimeConfig { initial_mode: PdnMode::LdoMode, ..RuntimeConfig::default() },
     );
     let trace = Trace::new(
         "virus-pressure",

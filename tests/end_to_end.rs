@@ -8,8 +8,7 @@ use pdn_workload::{BatteryLifeWorkload, TraceGenerator, WorkloadType};
 use pdnspot::ModelParams;
 
 fn predictor(params: &ModelParams) -> ModePredictor {
-    ModePredictor::train(params, &[4.0, 10.0, 18.0, 25.0, 36.0, 50.0], &[0.4, 0.6, 0.8])
-        .unwrap()
+    ModePredictor::train(params, &[4.0, 10.0, 18.0, 25.0, 36.0, 50.0], &[0.4, 0.6, 0.8]).unwrap()
 }
 
 #[test]
@@ -93,8 +92,7 @@ fn sensor_noise_does_not_derail_the_predictor() {
         let report = runtime.run(&trace).unwrap();
         switch_counts.push(report.switches.len());
         assert!(
-            report.time_in_mode[&PdnMode::LdoMode].get()
-                > 0.9 * report.total_time.get(),
+            report.time_in_mode[&PdnMode::LdoMode].get() > 0.9 * report.total_time.get(),
             "4 W single-thread must settle in LDO-Mode (seed {seed})"
         );
     }
@@ -124,24 +122,23 @@ fn spec_trace_through_runtime_matches_static_evaluation() {
     // to the same power PDNspot computes statically for the chosen mode.
     let params = ModelParams::paper_defaults();
     let soc = client_soc(Watts::new(4.0));
-    let runtime =
-        FlexWattsRuntime::new(soc.clone(), params.clone(), predictor(&params), RuntimeConfig::default());
+    let runtime = FlexWattsRuntime::new(
+        soc.clone(),
+        params.clone(),
+        predictor(&params),
+        RuntimeConfig::default(),
+    );
     let bench = &pdn_workload::spec::spec_cpu2006()[10];
     let trace = bench.as_trace(Seconds::from_millis(200.0));
     let report = runtime.run(&trace).unwrap();
 
-    let scenario = pdnspot::Scenario::active_fixed_tdp_frequency(
-        &soc,
-        WorkloadType::SingleThread,
-        bench.ar,
-    )
-    .unwrap();
-    let static_power = pdnspot::Pdn::evaluate(
-        &flexwatts::FlexWattsPdn::new(params, PdnMode::LdoMode),
-        &scenario,
-    )
-    .unwrap()
-    .input_power;
+    let scenario =
+        pdnspot::Scenario::active_fixed_tdp_frequency(&soc, WorkloadType::SingleThread, bench.ar)
+            .unwrap();
+    let static_power =
+        pdnspot::Pdn::evaluate(&flexwatts::FlexWattsPdn::new(params, PdnMode::LdoMode), &scenario)
+            .unwrap()
+            .input_power;
     let avg = report.average_power().get();
     assert!(
         (avg - static_power.get()).abs() / static_power.get() < 0.02,

@@ -1,0 +1,65 @@
+//! Property-based tests of the batch engine's determinism contract:
+//! for *any* sweep grid and *any* worker count, the parallel result is
+//! bit-identical to the serial one — scheduling may only change the
+//! timings in `BatchStats`, never a value.
+
+use pdnspot::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn workload_type() -> impl Strategy<Value = WorkloadType> {
+    prop_oneof![
+        Just(WorkloadType::SingleThread),
+        Just(WorkloadType::MultiThread),
+        Just(WorkloadType::Graphics),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// An [`EteeSurface`] computed on N workers carries exactly the same
+    /// floating-point bits as the serial one.
+    #[test]
+    fn parallel_surface_is_bit_identical_to_serial(
+        tdps in vec(4.0f64..50.0, 1..5),
+        ars in vec(0.30f64..0.95, 1..5),
+        wl in workload_type(),
+        workers in 2usize..9,
+    ) {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params.clone());
+        let ldo = LdoPdn::new(params);
+        let pdns: [&dyn Pdn; 3] = [&ivr, &mbvr, &ldo];
+        let grid = SweepGrid::active(&tdps, &[wl], &ars).map_err(|e| e.to_string())?;
+        let (serial, _) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Serial)
+            .map_err(|e| e.to_string())?;
+        let (parallel, stats) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Fixed(workers))
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(&s.pdn, &p.pdn);
+            prop_assert_eq!(s.values.len(), p.values.len());
+            for (sv, pv) in s.values.iter().zip(&p.values) {
+                prop_assert_eq!(sv.to_bits(), pv.to_bits(), "surface {} diverged", s.pdn);
+            }
+        }
+        // Every lattice point was evaluated for every PDN, none failed.
+        prop_assert_eq!(stats.failed, 0);
+        prop_assert_eq!(stats.evaluations, pdns.len() * grid.n_points());
+    }
+
+    /// The generic fan-out primitive preserves input order for any
+    /// worker count and item count.
+    #[test]
+    fn par_map_is_order_preserving(
+        items in vec(0u64..1_000_000, 0..64),
+        workers in 1usize..9,
+    ) {
+        let doubled = par_map(&items, Workers::Fixed(workers), |i, &x| (i, x * 2));
+        let expected: Vec<(usize, u64)> =
+            items.iter().enumerate().map(|(i, &x)| (i, x * 2)).collect();
+        prop_assert_eq!(doubled, expected);
+    }
+}

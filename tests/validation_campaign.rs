@@ -19,9 +19,7 @@ fn paper_scale_scenarios() -> Vec<Scenario> {
         for (j, wl) in WorkloadType::ACTIVE_TYPES.into_iter().enumerate() {
             let traces = gen.generate_family(&format!("val-{i}-{j}"), 20, 4);
             for t in traces {
-                let ar = t
-                    .mean_active_ar()
-                    .unwrap_or_else(|| ApplicationRatio::new(0.6).unwrap());
+                let ar = t.mean_active_ar().unwrap_or_else(|| ApplicationRatio::new(0.6).unwrap());
                 // Clamp into the validated 40-80 % band like the paper.
                 let ar = ApplicationRatio::new(ar.get().clamp(0.4, 0.8)).unwrap();
                 scenarios.push(Scenario::active_fixed_tdp_frequency(&soc, wl, ar).unwrap());
@@ -55,12 +53,7 @@ fn two_hundred_trace_campaign_meets_the_paper_accuracy_band() {
     for (pdn, floor) in pdns {
         let report = validate(pdn.as_ref(), &reference, &scenarios).unwrap();
         let mean = report.mean_accuracy();
-        assert!(
-            mean >= floor,
-            "{}: mean accuracy {:.4} below the paper band",
-            pdn.kind(),
-            mean
-        );
+        assert!(mean >= floor, "{}: mean accuracy {:.4} below the paper band", pdn.kind(), mean);
         assert!(
             report.min_accuracy() > 0.95,
             "{}: min accuracy {:.4}",
@@ -80,10 +73,6 @@ fn accuracy_is_stable_across_bench_units() {
     for seed in [1, 42, 777, 31337] {
         let reference = ReferenceSystem::new(seed);
         let report = validate(&pdn, &reference, &scenarios).unwrap();
-        assert!(
-            report.mean_accuracy() > 0.98,
-            "unit {seed}: {:.4}",
-            report.mean_accuracy()
-        );
+        assert!(report.mean_accuracy() > 0.98, "unit {seed}: {:.4}", report.mean_accuracy());
     }
 }

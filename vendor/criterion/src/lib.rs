@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of the criterion API its benches use: [`Criterion`],
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups with
+//! `sample_size`/`bench_function`/`bench_with_input`, and
+//! [`Bencher::iter`].
+//!
+//! It is a real measuring harness, just a simple one: each benchmark is
+//! warmed up, then timed over `sample_size` samples of an adaptively
+//! chosen iteration batch, and the per-iteration median/min/max are
+//! printed. There are no saved baselines, HTML reports, or statistical
+//! regression tests.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target wall time for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(8);
+
+/// Warmup budget per benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(40);
+
+/// The benchmark manager: hands out groups and collects results.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 30 }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&id.to_string(), 30, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{id}", self.name), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { id: format!("{function}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    measured: bool,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample of `iters_per_sample` calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        self.measured = true;
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // Warmup + batch sizing: grow the batch until one sample of it costs
+    // roughly SAMPLE_TARGET.
+    let mut iters = 1u64;
+    let warmup_start = Instant::now();
+    loop {
+        let mut b = Bencher { iters_per_sample: iters, samples: Vec::new(), measured: false };
+        f(&mut b);
+        if !b.measured {
+            println!("{label:<48} (no measurement: closure never called iter)");
+            return;
+        }
+        let cost = b.samples.iter().sum::<Duration>();
+        if cost >= SAMPLE_TARGET || warmup_start.elapsed() >= WARMUP_TARGET {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters_per_sample: iters, samples: Vec::new(), measured: false };
+        f(&mut b);
+        let total: Duration = b.samples.iter().sum();
+        samples.push(total.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{label:<48} time: [{} {} {}]  ({} samples x {} iters)",
+        format_time(min),
+        format_time(median),
+        format_time(max),
+        samples.len(),
+        iters,
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Declares a bench group function invoking each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        let mut hits = 0u32;
+        g.bench_function("trivial", |b| {
+            hits += 1;
+            b.iter(|| 1 + 1)
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        assert!(hits >= 3, "closure must run warmup + samples: {hits}");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2.5e-9).ends_with("ns"));
+        assert!(format_time(2.5e-6).ends_with("us"));
+        assert!(format_time(2.5e-3).ends_with("ms"));
+        assert!(format_time(2.5).ends_with("s"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no network access, and nothing in the
+//! workspace serialises at runtime (no `serde_json`/`bincode` backend is
+//! compiled in) — the derives exist so the model types *are* serialisable
+//! the moment a real backend is added. This stub keeps the exact consumer
+//! grammar compiling: `use serde::{Deserialize, Serialize}`, the derives,
+//! and `#[serde(...)]` attributes, with both traits blanket-implemented.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serialisable types (blanket-implemented offline stand-in).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserialisable types (blanket-implemented offline
+/// stand-in).
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialisation alias mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Types deserialisable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize)]
+    #[serde(transparent)]
+    #[allow(dead_code)]
+    struct Newtype(f64);
+
+    fn assert_bounds<T: super::Serialize + for<'de> super::Deserialize<'de>>() {}
+
+    #[test]
+    fn derive_and_blanket_impls_compose() {
+        assert_bounds::<Newtype>();
+        assert_bounds::<Vec<String>>();
+    }
+}

@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros for the vendored
+//! offline `serde` stub.
+//!
+//! The stub's `Serialize`/`Deserialize` traits are blanket-implemented
+//! for every type, so the derives only need to *accept* the attribute
+//! grammar (`#[serde(...)]` helper attributes included) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers); emits
+/// nothing — the stub trait is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers); emits
+/// nothing — the stub trait is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
