@@ -1,0 +1,10 @@
+//! Regenerates the fixed-seed fault-campaign artefact as text.
+fn main() {
+    match pdn_bench::faults::campaign_report() {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("fault campaign failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

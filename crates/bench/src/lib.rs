@@ -19,9 +19,11 @@
 //! | Fig. 8a–e (perf/battery/BOM/area) | [`fig8`] | `fig8` |
 //! | §6 overheads | [`overheads`] | `overhead` |
 //! | §5 observations / crossovers | [`observations`] | `observations` |
+//! | Fault campaign (robustness) | [`faults`] | `faults` |
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

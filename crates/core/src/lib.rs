@@ -26,6 +26,9 @@
 //! * [`runtime::FlexWattsRuntime`] — the interval simulator tying PMU
 //!   sensors, predictor, switch flow, and PDNspot energy accounting
 //!   together over workload traces;
+//! * [`faults`] — a seeded, deterministic fault-injection harness with a
+//!   graceful-degradation contract (retry/backoff, last-good sensor
+//!   fallback, safe-mode watchdog) layered over the runtime;
 //! * [`overhead`] — the §6 area/latency overhead accounting.
 //!
 //! # Examples
@@ -53,6 +56,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod faults;
 pub mod hybrid;
 pub mod overhead;
 pub mod predictor;
@@ -61,6 +65,10 @@ pub mod runtime;
 pub mod switchflow;
 pub mod topology;
 
+pub use faults::{
+    DegradationPolicy, FaultCampaignReport, FaultClass, FaultCounts, FaultEvent, FaultKind,
+    FaultMix, FaultPlan, InvariantReport,
+};
 pub use hybrid::HybridVr;
 pub use predictor::{ModePredictor, PredictorInputs};
 pub use protection::MaxCurrentProtection;

@@ -28,6 +28,34 @@ pub struct MaxCurrentProtection {
 }
 
 impl MaxCurrentProtection {
+    /// Creates a protection with explicit limits, validating them: a
+    /// non-finite or non-positive `vin_iccmax`, or a threshold outside
+    /// `(0, 1]`, would yield a protection that can never trip (or trips
+    /// above the rail's electrical limit), silently disabling the safety
+    /// net the `V_IN` sizing depends on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::Degraded`] describing the rejected value.
+    pub fn new(vin_iccmax: Amps, threshold: f64) -> Result<Self, PdnError> {
+        if !vin_iccmax.is_finite() || vin_iccmax.get() <= 0.0 {
+            return Err(PdnError::Degraded {
+                component: "MaxCurrentProtection".into(),
+                reason: format!(
+                    "vin_iccmax must be finite and positive, got {} A",
+                    vin_iccmax.get()
+                ),
+            });
+        }
+        if !threshold.is_finite() || threshold <= 0.0 || threshold > 1.0 {
+            return Err(PdnError::Degraded {
+                component: "MaxCurrentProtection".into(),
+                reason: format!("threshold must be finite and in (0, 1], got {threshold}"),
+            });
+        }
+        Ok(Self { vin_iccmax, threshold })
+    }
+
     /// Builds the protection from the FlexWatts rail sizing of a SoC: the
     /// `V_IN` rail's LDO-Mode output-current capability (the IVR-Mode
     /// rating times the duty-cycle headroom at the low output voltage,
@@ -37,15 +65,22 @@ impl MaxCurrentProtection {
     ///
     /// # Errors
     ///
-    /// Propagates rail-sizing errors.
+    /// Propagates rail-sizing errors and rejects degenerate sizings
+    /// (non-finite or non-positive limits) that would produce a
+    /// protection that can never trip.
     pub fn from_rail_sizing(pdn: &FlexWattsPdn, soc: &pdn_proc::SocSpec) -> Result<Self, PdnError> {
         let vin = pdn.vin_protection_limit(soc)? * 1.05;
-        Ok(Self { vin_iccmax: vin, threshold: 0.95 })
+        Self::new(vin, 0.95)
     }
 
     /// The current the protection allows before intervening.
     pub fn trip_current(&self) -> Amps {
         self.vin_iccmax * self.threshold
+    }
+
+    /// Whether a `V_IN` current would trip the protection.
+    pub fn would_trip(&self, vin_current: Amps) -> bool {
+        vin_current > self.trip_current()
     }
 
     /// Applies the protection to a mode decision: if running `scenario` in
@@ -71,7 +106,7 @@ impl MaxCurrentProtection {
         let eval = ldo_mode.evaluate(scenario)?;
         let vin_current =
             eval.rails.iter().find(|r| r.name == "V_IN").map(|r| r.current).unwrap_or(Amps::ZERO);
-        if vin_current > self.trip_current() {
+        if self.would_trip(vin_current) {
             Ok((PdnMode::IvrMode, true))
         } else {
             Ok((decided, false))
@@ -136,6 +171,27 @@ mod tests {
         let (prot, _, _) = protection(25.0);
         assert!(prot.trip_current() < prot.vin_iccmax);
         assert!(prot.trip_current().get() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_limits_are_rejected_with_a_descriptive_error() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -3.0] {
+            let err = MaxCurrentProtection::new(Amps::new(bad), 0.95).unwrap_err();
+            assert!(
+                matches!(&err, PdnError::Degraded { component, .. }
+                    if component == "MaxCurrentProtection"),
+                "{err}"
+            );
+            assert!(err.to_string().contains("vin_iccmax"), "{err}");
+        }
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -0.5, 1.5] {
+            let err = MaxCurrentProtection::new(Amps::new(30.0), bad).unwrap_err();
+            assert!(err.to_string().contains("threshold"), "{err}");
+        }
+        // A valid configuration still constructs and can trip.
+        let ok = MaxCurrentProtection::new(Amps::new(30.0), 0.95).unwrap();
+        assert!(ok.would_trip(Amps::new(29.0)));
+        assert!(!ok.would_trip(Amps::new(28.0)));
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::switchflow::{ModeSwitchFlow, SwitchTransition};
 use crate::topology::{FlexWattsPdn, PdnMode};
 use pdn_pmu::{classify_workload, ActivitySensorBank, CStateDriver};
 use pdn_proc::{DomainKind, PackageCState, SocSpec};
-use pdn_units::{Seconds, Volts, Watts};
+use pdn_units::{Amps, Seconds, Volts, Watts};
 use pdn_workload::{Phase, Trace, WorkloadType};
 use pdnspot::batch::{par_map, Workers};
 use pdnspot::{ModelParams, Pdn, PdnError, Scenario};
@@ -44,7 +44,7 @@ impl Default for RuntimeConfig {
 }
 
 /// The outcome of simulating a trace.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeReport {
     /// Total simulated time (including switch idleness).
     pub total_time: Seconds,
@@ -64,6 +64,15 @@ pub struct RuntimeReport {
     /// Number of times the maximum-current protection overrode an
     /// LDO-Mode decision.
     pub protection_overrides: u64,
+    /// Mode-switch attempts that failed (always 0 on a clean run; faulted
+    /// runs populate it so [`energy_efficiency_vs_oracle`] can be
+    /// compared between clean and faulted campaigns).
+    ///
+    /// [`energy_efficiency_vs_oracle`]: Self::energy_efficiency_vs_oracle
+    pub switch_failures: u64,
+    /// Retry attempts spent recovering failed mode switches (0 on a clean
+    /// run).
+    pub switch_retries: u64,
 }
 
 impl RuntimeReport {
@@ -92,26 +101,28 @@ impl RuntimeReport {
 }
 
 /// The pure (order-insensitive) part of one trace interval: the
-/// ground-truth scenario, both modes' input powers, and the PMU's
-/// domain-state workload classification.
-struct PreparedInterval {
-    scenario: Scenario,
-    power_ivr: Watts,
-    power_ldo: Watts,
-    estimated_type: WorkloadType,
+/// ground-truth scenario, both modes' input powers, the LDO-Mode `V_IN`
+/// rail current (what the maximum-current protection watches), and the
+/// PMU's domain-state workload classification.
+pub(crate) struct PreparedInterval {
+    pub(crate) scenario: Scenario,
+    pub(crate) power_ivr: Watts,
+    pub(crate) power_ldo: Watts,
+    pub(crate) vin_ldo: Amps,
+    pub(crate) estimated_type: WorkloadType,
 }
 
 /// The FlexWatts runtime simulator.
 #[derive(Debug)]
 pub struct FlexWattsRuntime {
-    soc: SocSpec,
-    ivr_mode: FlexWattsPdn,
-    ldo_mode: FlexWattsPdn,
-    predictor: ModePredictor,
+    pub(crate) soc: SocSpec,
+    pub(crate) ivr_mode: FlexWattsPdn,
+    pub(crate) ldo_mode: FlexWattsPdn,
+    pub(crate) predictor: ModePredictor,
     sensors: ActivitySensorBank,
-    switch_flow: ModeSwitchFlow,
-    protection: MaxCurrentProtection,
-    config: RuntimeConfig,
+    pub(crate) switch_flow: ModeSwitchFlow,
+    pub(crate) protection: MaxCurrentProtection,
+    pub(crate) config: RuntimeConfig,
 }
 
 impl FlexWattsRuntime {
@@ -137,7 +148,7 @@ impl FlexWattsRuntime {
         }
     }
 
-    fn pdn(&self, mode: PdnMode) -> &FlexWattsPdn {
+    pub(crate) fn pdn(&self, mode: PdnMode) -> &FlexWattsPdn {
         match mode {
             PdnMode::IvrMode => &self.ivr_mode,
             PdnMode::LdoMode => &self.ldo_mode,
@@ -145,7 +156,7 @@ impl FlexWattsRuntime {
     }
 
     /// The `V_IN` level of a mode (used for switch slew accounting).
-    fn vin_level(&self, mode: PdnMode, scenario: &Scenario) -> Volts {
+    pub(crate) fn vin_level(&self, mode: PdnMode, scenario: &Scenario) -> Volts {
         match mode {
             PdnMode::IvrMode => self.ivr_mode.params().vin_level,
             PdnMode::LdoMode => {
@@ -157,7 +168,7 @@ impl FlexWattsRuntime {
     /// Builds the pure per-interval state: the scenario and both modes'
     /// evaluations (the expensive part of an interval, reused across
     /// its evaluation chunks).
-    fn prepare_interval(&self, phase: Phase) -> Result<PreparedInterval, PdnError> {
+    pub(crate) fn prepare_interval(&self, phase: Phase) -> Result<PreparedInterval, PdnError> {
         let (scenario, estimated_type) = match phase {
             Phase::Active { workload_type, ar } => {
                 let scenario = Scenario::active_fixed_tdp_frequency(&self.soc, workload_type, ar)?;
@@ -169,8 +180,20 @@ impl FlexWattsRuntime {
             Phase::Idle(state) => (Scenario::idle(&self.soc, state), WorkloadType::BatteryLife),
         };
         let power_ivr = self.ivr_mode.evaluate(&scenario)?.input_power;
-        let power_ldo = self.ldo_mode.evaluate(&scenario)?.input_power;
-        Ok(PreparedInterval { scenario, power_ivr, power_ldo, estimated_type })
+        let ldo_eval = self.ldo_mode.evaluate(&scenario)?;
+        let vin_ldo = ldo_eval
+            .rails
+            .iter()
+            .find(|r| r.name == "V_IN")
+            .map(|r| r.current)
+            .unwrap_or(Amps::ZERO);
+        Ok(PreparedInterval {
+            scenario,
+            power_ivr,
+            power_ldo: ldo_eval.input_power,
+            vin_ldo,
+            estimated_type,
+        })
     }
 
     /// Simulates a trace, returning the energy/switch report.
@@ -219,7 +242,7 @@ impl FlexWattsRuntime {
         let mut since_eval = eval_interval; // evaluate at trace start
 
         for (interval, prep) in trace.intervals().iter().zip(prepared) {
-            let PreparedInterval { scenario, power_ivr, power_ldo, estimated_type } = prep;
+            let PreparedInterval { scenario, power_ivr, power_ldo, estimated_type, .. } = prep;
             // The PMU's view of the interval; the sensor estimate is an
             // ordered stream, so it is drawn here, not in the fan-out.
             let pmu_inputs = match interval.phase {
@@ -302,7 +325,16 @@ impl FlexWattsRuntime {
                 correct_predictions as f64 / evaluations as f64
             },
             protection_overrides,
+            switch_failures: 0,
+            switch_retries: 0,
         })
+    }
+
+    /// A fresh activity-sensor bank calibrated with this runtime's seed:
+    /// fault campaigns draw from their own sensor stream so repeated
+    /// campaigns on one runtime stay bit-identical.
+    pub(crate) fn fresh_sensor_bank(&self) -> ActivitySensorBank {
+        ActivitySensorBank::new(self.config.sensor_seed)
     }
 }
 
@@ -426,6 +458,54 @@ mod tests {
             report.energy_efficiency_vs_oracle()
         );
         assert!(report.average_power().get() > 0.1 && report.average_power().get() < 2.0);
+    }
+
+    #[test]
+    fn protection_override_forces_ivr_mode_out_of_a_greedy_ldo_runtime() {
+        // Boot a 50 W platform in LDO-Mode with a predictor whose
+        // hysteresis is so large it would never leave it voluntarily,
+        // then run a multi-thread power virus. The virus current on the
+        // shared V_IN rail exceeds the trip point in LDO-Mode, so the
+        // maximum-current protection — not the efficiency preference —
+        // must override the decision and land the platform in IVR-Mode.
+        let rt = FlexWattsRuntime::new(
+            client_soc(Watts::new(50.0)),
+            ModelParams::paper_defaults(),
+            predictor().with_hysteresis(10.0),
+            RuntimeConfig { initial_mode: PdnMode::LdoMode, ..RuntimeConfig::default() },
+        );
+        let trace = Trace::new(
+            "virus",
+            vec![TraceInterval::active(
+                Seconds::from_millis(50.0),
+                WorkloadType::MultiThread,
+                ar(1.0),
+            )],
+        );
+        let report = rt.run(&trace).unwrap();
+        assert!(report.protection_overrides >= 1, "the override must fire");
+        assert_eq!(report.switches.first().map(|s| s.to), Some(PdnMode::IvrMode));
+        let ivr_time = report.time_in_mode[&PdnMode::IvrMode];
+        assert!(
+            ivr_time.get() > 0.99 * (report.total_time - report.switch_overhead()).get(),
+            "after the override the trace must execute in IVR-Mode"
+        );
+        // Sanity: without the protection the same runtime stays in
+        // LDO-Mode (the hysteresis pins it) — the switch above really is
+        // the protection's doing.
+        let unprotected = FlexWattsRuntime::new(
+            client_soc(Watts::new(50.0)),
+            ModelParams::paper_defaults(),
+            predictor().with_hysteresis(10.0),
+            RuntimeConfig {
+                initial_mode: PdnMode::LdoMode,
+                max_current_protection: false,
+                ..RuntimeConfig::default()
+            },
+        );
+        let report = unprotected.run(&trace).unwrap();
+        assert!(report.switches.is_empty());
+        assert_eq!(report.protection_overrides, 0);
     }
 
     #[test]

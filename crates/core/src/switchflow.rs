@@ -97,6 +97,36 @@ impl ModeSwitchFlow {
         SwitchTransition { from, to, c6_entry, vr_adjust, c6_exit }
     }
 
+    /// The watchdog budget the PMU grants one VR-reconfiguration step
+    /// before declaring the attempt failed: twice the planned slew time
+    /// (the slew-rate spec plus an equal margin for settling).
+    pub fn attempt_timeout(&self, v_from: Volts, v_to: Volts) -> Seconds {
+        self.vr_adjust_latency(v_from, v_to) * 2.0
+    }
+
+    /// Executes a mode-switch attempt that *fails* (e.g. the off-chip VR
+    /// never acknowledges the new set point — an injected fault): the
+    /// package enters C6, the PMU waits out the VR watchdog, slews the
+    /// rail back to the old mode's level, and exits C6 with the mode
+    /// unchanged. Returns the total time lost to the aborted flow.
+    ///
+    /// The voltage-noise-free property survives the failure: the compute
+    /// domains stay parked in C6 for the whole abort path, so neither the
+    /// failed slew nor the roll-back injects noise.
+    pub fn execute_aborted(
+        &self,
+        v_from: Volts,
+        v_to: Volts,
+        driver: &mut CStateDriver,
+    ) -> Seconds {
+        let c6_entry = driver.enter(PackageCState::C6);
+        debug_assert_eq!(driver.current(), Some(PackageCState::C6));
+        // Wait out the watchdog, then roll the rail back.
+        let wasted = self.attempt_timeout(v_from, v_to) + self.vr_adjust_latency(v_to, v_from);
+        let c6_exit = driver.exit();
+        c6_entry + wasted + c6_exit
+    }
+
     /// The paper's reference transition: IVR-Mode (1.8 V) to LDO-Mode at a
     /// mid compute voltage, ≈ 94 µs in total.
     pub fn reference_transition(&self) -> SwitchTransition {
@@ -155,6 +185,18 @@ mod tests {
         assert!(transient.within_noise_budget(idle_droop, Volts::new(0.85)));
         let hot_droop = transient.switch_droop(Amps::new(20.0));
         assert!(!transient.within_noise_budget(hot_droop, Volts::new(0.85)));
+    }
+
+    #[test]
+    fn aborted_attempt_costs_more_than_a_clean_switch_and_restores_c0() {
+        let flow = ModeSwitchFlow::new();
+        let mut driver = CStateDriver::new();
+        let lost = flow.execute_aborted(Volts::new(1.8), Volts::new(0.85), &mut driver);
+        assert!(driver.current().is_none(), "abort path must end in C0");
+        let clean = flow.reference_transition().total();
+        assert!(lost > clean, "abort ({lost}) must cost more than a clean switch ({clean})");
+        // entry 45 + 2×19 watchdog + 19 roll-back + exit 30 = 132 µs.
+        assert!((lost.micros() - 132.0).abs() < 1e-9, "{}", lost.micros());
     }
 
     #[test]

@@ -12,6 +12,19 @@ pub enum PdnError {
     /// The scenario is inconsistent (e.g. no powered domain, or a solver
     /// could not bracket a solution).
     Scenario(String),
+    /// A component left (or refused to enter) its full-function envelope:
+    /// an invalid protection configuration, exhausted switch retries, a
+    /// latched safe-mode watchdog. Produced by validation paths and by
+    /// fault-tolerant runtimes running under a strict degradation policy,
+    /// where "carry on degraded" is not acceptable and the caller must see
+    /// the loss of service quality as an error.
+    Degraded {
+        /// The component that degraded (e.g. `MaxCurrentProtection`,
+        /// `FlexWattsRuntime`).
+        component: String,
+        /// Human-readable description of the degradation.
+        reason: String,
+    },
     /// A batch campaign failed at a specific lattice point (see
     /// [`crate::batch`]); carries the failing coordinates so a single bad
     /// point can be located inside a large sweep.
@@ -33,6 +46,9 @@ impl fmt::Display for PdnError {
             PdnError::Vr(e) => write!(f, "regulator error: {e}"),
             PdnError::Units(e) => write!(f, "units error: {e}"),
             PdnError::Scenario(msg) => write!(f, "scenario error: {msg}"),
+            PdnError::Degraded { component, reason } => {
+                write!(f, "{component} degraded: {reason}")
+            }
             PdnError::Lattice { pdn: Some(pdn), point, source } => {
                 write!(f, "evaluation of {pdn} failed at lattice point [{point}]: {source}")
             }
@@ -49,6 +65,7 @@ impl std::error::Error for PdnError {
             PdnError::Vr(e) => Some(e),
             PdnError::Units(e) => Some(e),
             PdnError::Scenario(_) => None,
+            PdnError::Degraded { .. } => None,
             PdnError::Lattice { source, .. } => Some(source.as_ref()),
         }
     }
@@ -78,6 +95,17 @@ mod tests {
         let s = PdnError::Scenario("no powered domain".into());
         assert!(s.to_string().contains("no powered domain"));
         assert!(std::error::Error::source(&s).is_none());
+    }
+
+    #[test]
+    fn degraded_errors_name_the_component() {
+        let e = PdnError::Degraded {
+            component: "MaxCurrentProtection".into(),
+            reason: "vin_iccmax must be positive".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("MaxCurrentProtection") && msg.contains("positive"), "{msg}");
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

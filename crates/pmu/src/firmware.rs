@@ -60,6 +60,13 @@ pub enum FirmwareError {
     },
     /// A section's grid failed validation.
     BadGrid(pdn_units::UnitsError),
+    /// The image carries payload bytes after the last declared section —
+    /// an oversized image whose extra content no parser field accounts
+    /// for (a build bug, or smuggled data under a recomputed CRC).
+    TrailingBytes {
+        /// Number of unaccounted payload bytes before the CRC trailer.
+        extra: usize,
+    },
 }
 
 impl fmt::Display for FirmwareError {
@@ -78,6 +85,9 @@ impl fmt::Display for FirmwareError {
                 write!(f, "unknown firmware section tag {tag}/key {key}")
             }
             FirmwareError::BadGrid(e) => write!(f, "invalid firmware grid: {e}"),
+            FirmwareError::TrailingBytes { extra } => {
+                write!(f, "firmware image carries {extra} unaccounted trailing bytes")
+            }
         }
     }
 }
@@ -184,6 +194,9 @@ impl FirmwareImage {
                 }
                 _ => return Err(FirmwareError::BadSection { tag, key }),
             }
+        }
+        if buf.remaining() > 0 {
+            return Err(FirmwareError::TrailingBytes { extra: buf.remaining() });
         }
         Ok(EteeCurveSet { active, idle })
     }
@@ -334,6 +347,22 @@ mod tests {
         let crc = super::crc32(&bad[..len - 4]);
         bad[len - 4..].copy_from_slice(&crc.to_le_bytes());
         assert!(matches!(FirmwareImage::parse(&bad), Err(FirmwareError::BadMagic(_))));
+    }
+
+    #[test]
+    fn oversized_images_are_rejected_even_with_a_valid_crc() {
+        // Padding after the last section is invisible to the section
+        // walk, so a hostile (or buggy) flasher could hide data there and
+        // recompute the CRC. The parser must account for every byte.
+        let image = FirmwareImage::build(&curve_set());
+        let mut oversized = image.as_bytes()[..image.len() - 4].to_vec();
+        oversized.extend_from_slice(&[0xAB; 7]);
+        let crc = super::crc32(&oversized);
+        oversized.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            FirmwareImage::parse(&oversized),
+            Err(FirmwareError::TrailingBytes { extra: 7 })
+        );
     }
 
     #[test]

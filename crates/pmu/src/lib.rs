@@ -42,7 +42,7 @@ pub mod wltype;
 
 pub use budget::PowerBudgetManager;
 pub use cstate::CStateDriver;
-pub use firmware::FirmwareImage;
+pub use firmware::{FirmwareError, FirmwareImage};
 pub use sensors::ActivitySensorBank;
 pub use tables::EteeCurveSet;
 pub use wltype::classify_workload;

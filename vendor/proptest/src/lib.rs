@@ -80,6 +80,59 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Types with a canonical full-range strategy (the slice of upstream
+/// `proptest::arbitrary::Arbitrary` the workspace uses).
+pub trait Arbitrary {
+    /// Draws one value spanning the type's full range.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.random_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(usize, u64, u32, u16, u8);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random_bool(0.5)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Raw-bit reinterpretation, like upstream's full f64 domain:
+        // deliberately includes NaN, infinities, and subnormals — the
+        // values robustness tests care about.
+        f64::from_bits(rng.random_range(u64::MIN..=u64::MAX))
+    }
+}
+
+/// Strategy drawing from a type's full value range.
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T` (upstream `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
 /// The [`Strategy::prop_filter`] combinator.
 #[derive(Debug, Clone)]
 pub struct Filter<S, F> {
@@ -323,8 +376,8 @@ macro_rules! prop_assert_ne {
 pub mod prelude {
     pub use crate as prop;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
-        ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
     };
 }
 
@@ -351,6 +404,15 @@ mod tests {
         #[test]
         fn oneof_draws_every_arm(choice in prop_oneof![Just(1u32), Just(2), Just(3)]) {
             prop_assert!((1..=3).contains(&choice));
+        }
+
+        #[test]
+        fn any_spans_the_domain(bytes in prop::collection::vec(any::<u8>(), 32..64)) {
+            // 32+ independent full-range bytes are all identical with
+            // probability 256^-31 per case; all-equal means `any` is
+            // broken (e.g. a constant generator).
+            prop_assert!(bytes.iter().any(|&b| b != bytes[0]));
+            prop_assert!(bytes.len() >= 32);
         }
     }
 
