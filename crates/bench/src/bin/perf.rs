@@ -1,0 +1,76 @@
+//! `perf`: the tracked performance baseline.
+//!
+//! Runs the three hot evaluation kernels (grid sweep, validation,
+//! runtime trace), writes the machine-readable `BENCH_batch.json`, and
+//! prints the deterministic result digest on stdout (committed as
+//! `results/perf.txt` and diffed by CI — timings go to the JSON and
+//! stderr only, so stdout is bit-stable across runs and machines).
+//!
+//! Usage: `perf [--quick] [--out BENCH_batch.json] [--baseline FILE]`
+//!
+//! `--baseline FILE` embeds a previous run's JSON under `"baseline"` and
+//! records per-kernel speedups — this is how before/after numbers of an
+//! optimisation land in one committed file.
+
+use pdn_bench::perf;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::Ordering;
+
+/// A pass-through allocator that counts every allocation into
+/// [`perf::ALLOC_COUNT`] — the allocations/point column measures the
+/// evaluation kernels' heap traffic, not a model.
+struct CountingAllocator;
+
+// SAFETY: defers all allocation to `System`; the counter is a relaxed
+// atomic increment with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        perf::ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        perf::ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_batch.json".to_string());
+    let baseline = flag_value(&args, "--baseline").map(|p| {
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline JSON {p}: {e}"))
+    });
+
+    let kernels = perf::run_all(quick);
+    let json = perf::render_json(&kernels, quick, baseline.as_deref());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+
+    // Deterministic digest on stdout; human-readable timings on stderr.
+    print!("{}", perf::render_digest(&kernels));
+    for k in &kernels {
+        eprintln!(
+            "{:>14}: {:>8} points in {:>8.1} ms — {:>10.0} points/s, {:>8.0} ns/point, \
+             {:.1} allocs/point",
+            k.name,
+            k.points,
+            k.wall_s * 1e3,
+            k.points_per_sec(),
+            k.ns_per_point(),
+            k.allocs_per_point(),
+        );
+    }
+    eprintln!("wrote {out_path}");
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}

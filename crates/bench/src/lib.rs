@@ -20,6 +20,7 @@
 //! | §6 overheads | [`overheads`] | `overhead` |
 //! | §5 observations / crossovers | [`observations`] | `observations` |
 //! | Fault campaign (robustness) | [`faults`] | `faults` |
+//! | Perf baseline (`BENCH_batch.json`) | [`perf`] | `perf` |
 
 #![warn(missing_docs)]
 
@@ -32,6 +33,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod observations;
 pub mod overheads;
+pub mod perf;
 pub mod render;
 pub mod suite;
 pub mod tables;

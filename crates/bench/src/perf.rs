@@ -1,0 +1,391 @@
+//! The tracked performance baseline: machine-readable throughput and
+//! allocation numbers for the three hot evaluation kernels.
+//!
+//! The paper's value proposition is that the analytical model is *fast*
+//! enough to sweep thousands of (TDP, workload, AR, C-state) points per
+//! PDN; this module turns that into a protected number. Three kernels are
+//! timed:
+//!
+//! * **batch_sweep** — the full design-space lattice sweep
+//!   ([`pdnspot::batch::evaluate_grid_with`]) over the four baseline
+//!   PDN topologies;
+//! * **validation** — the Fig. 4-style campaign: model evaluation plus
+//!   reference-system reintegration through tabulated VR surfaces;
+//! * **runtime_trace** — the FlexWatts runtime interval simulator over a
+//!   deterministic synthetic trace.
+//!
+//! Each kernel reports wall time, points/sec, ns/point, heap allocations
+//! per point (counted by the `perf` binary's instrumented global
+//! allocator — see `src/bin/perf.rs`; library users see zeros), and a
+//! *deterministic digest* of the numeric results. The digest is the
+//! regression guard: an optimisation must change the timings, never the
+//! digest.
+//!
+//! [`render_json`] emits the `BENCH_batch.json` schema documented in the
+//! README; [`render_digest`] emits the deterministic text committed as
+//! `results/perf.txt` and diffed by CI.
+
+use pdn_proc::PackageCState;
+use pdn_units::{ApplicationRatio, Seconds, Watts};
+use pdn_workload::{Trace, TraceInterval, WorkloadType};
+use pdnspot::batch::{evaluate_grid_with, ClientSoc, SweepGrid, Workers};
+use pdnspot::prelude::*;
+use pdnspot::validation::{validate_with, ReferenceSystem};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Heap-allocation counter. The `perf` binary installs a counting global
+/// allocator that increments this on every `alloc`/`realloc`; the library
+/// itself never writes it, so embedding callers that skip the allocator
+/// simply read zeros.
+pub static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Measurement of one kernel.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Kernel name (stable identifier used in the JSON schema).
+    pub name: &'static str,
+    /// Work items processed (evaluations, samples, or intervals).
+    pub points: usize,
+    /// Wall time of the timed run, in seconds.
+    pub wall_s: f64,
+    /// Heap allocations during the timed run (0 without the counting
+    /// allocator).
+    pub allocations: u64,
+    /// Deterministic digest of the numeric results.
+    pub digest: String,
+}
+
+impl KernelReport {
+    /// Throughput in points per second.
+    pub fn points_per_sec(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.points as f64 / self.wall_s
+    }
+
+    /// Mean cost per point in nanoseconds.
+    pub fn ns_per_point(&self) -> f64 {
+        if self.points == 0 {
+            return 0.0;
+        }
+        self.wall_s * 1e9 / self.points as f64
+    }
+
+    /// Mean heap allocations per point.
+    pub fn allocs_per_point(&self) -> f64 {
+        if self.points == 0 {
+            return 0.0;
+        }
+        self.allocations as f64 / self.points as f64
+    }
+}
+
+/// Times `f`, returning its result plus `(wall_s, allocations)`.
+fn measure<R>(f: impl FnOnce() -> R) -> (R, f64, u64) {
+    let allocs_before = ALLOC_COUNT.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let out = f();
+    let wall = start.elapsed().as_secs_f64();
+    let allocs = ALLOC_COUNT.load(Ordering::Relaxed) - allocs_before;
+    (out, wall, allocs)
+}
+
+/// Formats a digest float: enough digits to pin every bit of a double.
+fn digest_f64(x: f64) -> String {
+    format!("{x:.17e}")
+}
+
+/// The batch-sweep lattice (the `benches/batch_sweep.rs` lattice; `quick`
+/// trims the axes for the CI smoke job).
+fn sweep_grid(quick: bool) -> SweepGrid {
+    let tdps: &[f64] =
+        if quick { &[4.0, 18.0, 50.0] } else { &[4.0, 10.0, 18.0, 25.0, 36.0, 44.0, 50.0] };
+    let ars: &[f64] = if quick {
+        &[0.40, 0.60, 0.80]
+    } else {
+        &[0.40, 0.45, 0.50, 0.56, 0.60, 0.65, 0.70, 0.75, 0.80]
+    };
+    SweepGrid::builder()
+        .tdps(tdps)
+        .workload_types(&WorkloadType::ACTIVE_TYPES)
+        .ars(ars)
+        .idle_states(&PackageCState::ALL)
+        .build()
+        .expect("static lattice is valid")
+}
+
+/// Kernel 1: the design-space grid sweep over the four PDN topologies.
+pub fn batch_kernel(quick: bool) -> KernelReport {
+    let params = ModelParams::paper_defaults();
+    let ivr = IvrPdn::new(params.clone());
+    let mbvr = MbvrPdn::new(params.clone());
+    let ldo = LdoPdn::new(params.clone());
+    let iplus = IPlusMbvrPdn::new(params);
+    let pdns: [&dyn Pdn; 4] = [&ivr, &mbvr, &ldo, &iplus];
+    let grid = sweep_grid(quick);
+    // Warm up (allocator pools, curve segment hints); the scenario cache
+    // itself is per-call, so the timed run still pays every build.
+    let _ = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Serial);
+    let (outcome, wall_s, allocations) =
+        measure(|| evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Serial));
+    assert_eq!(outcome.stats.failed, 0, "sweep lattice must evaluate cleanly");
+    let mut etee_sum = 0.0;
+    let mut input_sum = 0.0;
+    for eval in &outcome.evaluations {
+        let e = eval.result.as_ref().expect("no failures");
+        etee_sum += e.etee.get();
+        input_sum += e.input_power.get();
+    }
+    KernelReport {
+        name: "batch_sweep",
+        points: outcome.stats.evaluations,
+        wall_s,
+        allocations,
+        digest: format!(
+            "evals={} etee_sum={} input_sum={}",
+            outcome.stats.evaluations,
+            digest_f64(etee_sum),
+            digest_f64(input_sum)
+        ),
+    }
+}
+
+/// Kernel 2: the Fig. 4-style validation campaign (model evaluation plus
+/// reference-system reintegration and noise).
+pub fn validation_kernel(quick: bool) -> KernelReport {
+    let params = ModelParams::paper_defaults();
+    let pdn = MbvrPdn::new(params);
+    let tdps: &[f64] = if quick { &[4.0, 18.0] } else { &[4.0, 18.0, 50.0] };
+    let ars: &[f64] = if quick { &[0.4, 0.8] } else { &[0.4, 0.5, 0.6, 0.7, 0.8] };
+    let mut scenarios = Vec::new();
+    for &tdp in tdps {
+        let soc = pdn_proc::client_soc(Watts::new(tdp));
+        for wl in WorkloadType::ACTIVE_TYPES {
+            for &ar in ars {
+                let ar = ApplicationRatio::new(ar).expect("static ARs are valid");
+                scenarios.push(
+                    Scenario::active_fixed_tdp_frequency(&soc, wl, ar)
+                        .expect("static lattice is valid"),
+                );
+            }
+        }
+    }
+    // Separate same-seed units for warmup and the timed run: the noise
+    // stream is per-unit state, so this keeps the digest deterministic.
+    let warm = ReferenceSystem::new(42);
+    let _ = validate_with(&pdn, &warm, &scenarios, Workers::Serial);
+    let reference = ReferenceSystem::new(42);
+    let (report, wall_s, allocations) =
+        measure(|| validate_with(&pdn, &reference, &scenarios, Workers::Serial));
+    let report = report.expect("validation campaign succeeds");
+    KernelReport {
+        name: "validation",
+        points: report.samples.len(),
+        wall_s,
+        allocations,
+        digest: format!(
+            "samples={} mean_acc={}",
+            report.samples.len(),
+            digest_f64(report.mean_accuracy())
+        ),
+    }
+}
+
+/// The deterministic synthetic trace of the runtime kernel: a bursty
+/// phase mix cycling through every workload type and two idle depths.
+fn runtime_trace(quick: bool) -> Trace {
+    let reps = if quick { 4 } else { 20 };
+    let mut intervals = Vec::new();
+    let ar = |v: f64| ApplicationRatio::new(v).expect("static AR is valid");
+    for i in 0..reps {
+        let t = Seconds::new(0.03);
+        intervals.push(TraceInterval::active(t, WorkloadType::MultiThread, ar(0.7)));
+        intervals.push(TraceInterval::active(t, WorkloadType::SingleThread, ar(0.45)));
+        intervals.push(TraceInterval::idle(t, PackageCState::C6));
+        intervals.push(TraceInterval::active(t, WorkloadType::Graphics, ar(0.6)));
+        if i % 2 == 0 {
+            intervals.push(TraceInterval::idle(t, PackageCState::C8));
+        }
+    }
+    Trace::new("perf-kernel", intervals)
+}
+
+/// Kernel 3: the FlexWatts runtime interval simulator.
+pub fn runtime_kernel(quick: bool) -> KernelReport {
+    let predictor = flexwatts::ModePredictor::train(
+        &ModelParams::paper_defaults(),
+        &[4.0, 10.0, 18.0, 25.0, 50.0],
+        &[0.4, 0.6, 0.8],
+    )
+    .expect("predictor training lattice is valid");
+    let runtime = flexwatts::FlexWattsRuntime::new(
+        pdn_proc::client_soc(Watts::new(18.0)),
+        ModelParams::paper_defaults(),
+        predictor,
+        flexwatts::RuntimeConfig::default(),
+    );
+    let trace = runtime_trace(quick);
+    let _ = runtime.run_with(&trace, Workers::Serial);
+    let (report, wall_s, allocations) = measure(|| runtime.run_with(&trace, Workers::Serial));
+    let report = report.expect("runtime trace simulates cleanly");
+    KernelReport {
+        name: "runtime_trace",
+        points: trace.intervals().len(),
+        wall_s,
+        allocations,
+        digest: format!(
+            "intervals={} energy_j={} accuracy={}",
+            trace.intervals().len(),
+            digest_f64(report.energy_joules),
+            digest_f64(report.prediction_accuracy)
+        ),
+    }
+}
+
+/// Runs all three kernels.
+pub fn run_all(quick: bool) -> Vec<KernelReport> {
+    vec![batch_kernel(quick), validation_kernel(quick), runtime_kernel(quick)]
+}
+
+/// Renders the deterministic digest text (committed as
+/// `results/perf.txt`): numeric results only, no timings.
+pub fn render_digest(kernels: &[KernelReport]) -> String {
+    let mut out = String::from("Perf kernels — deterministic result digests\n");
+    for k in kernels {
+        out.push_str(&format!("[perf] kernel={} {}\n", k.name, k.digest));
+    }
+    out
+}
+
+/// Renders one kernel as a single JSON object **on one line** — the
+/// baseline extractor ([`extract_baseline_ns`]) depends on this shape.
+fn kernel_json(k: &KernelReport) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"points\": {}, \"wall_s\": {:.6}, \"points_per_sec\": {:.1}, \
+         \"ns_per_point\": {:.1}, \"allocations\": {}, \"allocations_per_point\": {:.2}, \
+         \"digest\": \"{}\"}}",
+        k.name,
+        k.points,
+        k.wall_s,
+        k.points_per_sec(),
+        k.ns_per_point(),
+        k.allocations,
+        k.allocs_per_point(),
+        k.digest
+    )
+}
+
+/// Pulls `(name, ns_per_point)` pairs out of a previously emitted
+/// `BENCH_batch.json` (naive line scan over the stable one-kernel-per-line
+/// format; no JSON parser is vendored).
+pub fn extract_baseline_ns(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = field_str(line, "\"name\": \"") else { continue };
+        let Some(ns) = field_f64(line, "\"ns_per_point\": ") else { continue };
+        out.push((name, ns));
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end =
+        rest.find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Renders the full `BENCH_batch.json` document. `baseline` is the raw
+/// text of a previous run's JSON; when present its kernel lines are
+/// embedded under `"baseline"` and per-kernel speedups are computed.
+pub fn render_json(kernels: &[KernelReport], quick: bool, baseline: Option<&str>) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"pdnspot-bench/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    out.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let sep = if i + 1 < kernels.len() { "," } else { "" };
+        out.push_str(&format!("    {}{sep}\n", kernel_json(k)));
+    }
+    out.push_str("  ]");
+    if let Some(base) = baseline {
+        let pairs = extract_baseline_ns(base);
+        out.push_str(",\n  \"baseline\": [\n");
+        let base_lines: Vec<&str> =
+            base.lines().filter(|l| l.contains("\"ns_per_point\"")).collect();
+        for (i, line) in base_lines.iter().enumerate() {
+            let sep = if i + 1 < base_lines.len() { "," } else { "" };
+            out.push_str(&format!("    {}{sep}\n", line.trim().trim_end_matches(',')));
+        }
+        out.push_str("  ],\n  \"speedup_vs_baseline\": {\n");
+        let mut entries = Vec::new();
+        for k in kernels {
+            if let Some((_, base_ns)) = pairs.iter().find(|(n, _)| n == k.name) {
+                if k.ns_per_point() > 0.0 {
+                    entries.push(format!("    \"{}\": {:.2}", k.name, base_ns / k.ns_per_point()));
+                }
+            }
+        }
+        out.push_str(&entries.join(",\n"));
+        out.push_str("\n  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_kernels_produce_nonzero_throughput_and_stable_digests() {
+        let a = batch_kernel(true);
+        assert!(a.points > 0);
+        assert!(a.points_per_sec() > 0.0);
+        assert!(a.ns_per_point() > 0.0);
+        let b = batch_kernel(true);
+        assert_eq!(a.digest, b.digest, "digest must be run-to-run deterministic");
+    }
+
+    #[test]
+    fn digest_render_is_timing_free() {
+        let k = KernelReport {
+            name: "batch_sweep",
+            points: 10,
+            wall_s: 1.0,
+            allocations: 5,
+            digest: "evals=10".into(),
+        };
+        let text = render_digest(&[k]);
+        assert!(text.contains("kernel=batch_sweep evals=10"));
+        assert!(!text.contains("wall"), "digests must not embed timings");
+    }
+
+    #[test]
+    fn json_round_trips_baseline_speedup() {
+        let before = KernelReport {
+            name: "batch_sweep",
+            points: 100,
+            wall_s: 2.0,
+            allocations: 0,
+            digest: "x".into(),
+        };
+        let base_json = render_json(std::slice::from_ref(&before), true, None);
+        let after = KernelReport { wall_s: 1.0, ..before };
+        let merged = render_json(&[after], true, Some(&base_json));
+        assert!(merged.contains("\"speedup_vs_baseline\""));
+        assert!(merged.contains("\"batch_sweep\": 2.00"), "{merged}");
+        let pairs = extract_baseline_ns(&base_json);
+        assert_eq!(pairs.len(), 1);
+        assert!((pairs[0].1 - 2e7).abs() < 1e3, "{}", pairs[0].1);
+    }
+}

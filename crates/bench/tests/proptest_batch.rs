@@ -1,0 +1,94 @@
+//! Property tests for the batch engine's determinism contract: the
+//! work-stealing scheduler must produce bit-identical results for every
+//! worker count, on the grids the figure binaries actually sweep.
+
+use pdn_bench::fig4::PANEL_TDPS;
+use pdn_bench::suite::{five_pdns, ARS, TDPS};
+use pdn_proc::PackageCState;
+use pdn_workload::WorkloadType;
+use pdnspot::batch::{evaluate_grid_with, BatchOutcome, ClientSoc};
+use pdnspot::{ModelParams, Pdn, SweepGrid, Workers};
+use proptest::prelude::*;
+
+fn fig4_grid() -> SweepGrid {
+    SweepGrid::builder()
+        .tdps(&PANEL_TDPS)
+        .workload_types(&WorkloadType::ACTIVE_TYPES)
+        .ars(&ARS)
+        .idle_states(&PackageCState::ALL)
+        .build()
+        .unwrap()
+}
+
+fn fig8_grid() -> SweepGrid {
+    SweepGrid::builder()
+        .tdps(&TDPS)
+        .workload_types(&[WorkloadType::MultiThread])
+        .ars(&[0.56])
+        .build()
+        .unwrap()
+}
+
+/// Asserts every evaluation of `run` is bit-identical to `baseline`.
+fn assert_bit_identical(baseline: &BatchOutcome, run: &BatchOutcome, label: &str) {
+    assert_eq!(baseline.evaluations.len(), run.evaluations.len(), "{label}: length");
+    for (a, b) in baseline.evaluations.iter().zip(&run.evaluations) {
+        assert_eq!(a.pdn_idx, b.pdn_idx, "{label}: pdn order");
+        assert_eq!(a.point, b.point, "{label}: lattice order");
+        match (&a.result, &b.result) {
+            (Ok(ea), Ok(eb)) => {
+                assert_eq!(
+                    ea.input_power.get().to_bits(),
+                    eb.input_power.get().to_bits(),
+                    "{label}: input power bits at {:?}",
+                    a.point
+                );
+                assert_eq!(
+                    ea.etee.get().to_bits(),
+                    eb.etee.get().to_bits(),
+                    "{label}: EtEE bits at {:?}",
+                    a.point
+                );
+            }
+            (Err(ea), Err(eb)) => assert_eq!(ea.to_string(), eb.to_string(), "{label}: errors"),
+            _ => panic!("{label}: Ok/Err mismatch at {:?}", a.point),
+        }
+    }
+}
+
+/// The fixed worker counts the issue calls out: serial, small, odd, and
+/// the machine's own pool.
+#[test]
+fn named_worker_counts_are_bit_identical_on_figure_grids() {
+    let params = ModelParams::paper_defaults();
+    let pdns_boxed = five_pdns(&params);
+    let pdns: Vec<&dyn Pdn> = pdns_boxed.iter().map(Box::as_ref).collect();
+    let ncpu = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for (grid, label) in [(fig4_grid(), "fig4"), (fig8_grid(), "fig8")] {
+        let serial = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Serial);
+        assert_eq!(serial.stats.failed, 0, "{label}: clean baseline");
+        for w in [1, 2, 7, ncpu] {
+            let run = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Fixed(w));
+            assert_bit_identical(&serial, &run, &format!("{label} w={w}"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any worker count in 1..=16 reproduces the serial fig4 sweep
+    /// bit-for-bit (two PDNs keep the case cheap enough to repeat).
+    #[test]
+    fn arbitrary_worker_counts_are_bit_identical(w in 1usize..17) {
+        let params = ModelParams::paper_defaults();
+        let ivr = pdnspot::IvrPdn::new(params.clone());
+        let mbvr = pdnspot::MbvrPdn::new(params);
+        let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
+        let grid = fig4_grid();
+        let serial = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Serial);
+        let run = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Fixed(w));
+        assert_bit_identical(&serial, &run, &format!("fig4 w={w}"));
+        prop_assert_eq!(run.stats.workers, w.min(serial.stats.evaluations));
+    }
+}

@@ -13,7 +13,7 @@ use crate::protection::MaxCurrentProtection;
 use crate::switchflow::{ModeSwitchFlow, SwitchTransition};
 use crate::topology::{FlexWattsPdn, PdnMode};
 use pdn_pmu::{classify_workload, ActivitySensorBank, CStateDriver};
-use pdn_proc::{DomainKind, PackageCState, SocSpec};
+use pdn_proc::{DomainKind, DomainTable, PackageCState, SocSpec};
 use pdn_units::{Amps, Seconds, Volts, Watts};
 use pdn_workload::{Phase, Trace, WorkloadType};
 use pdnspot::batch::{par_map, Workers};
@@ -172,8 +172,7 @@ impl FlexWattsRuntime {
         let (scenario, estimated_type) = match phase {
             Phase::Active { workload_type, ar } => {
                 let scenario = Scenario::active_fixed_tdp_frequency(&self.soc, workload_type, ar)?;
-                let powered: BTreeMap<DomainKind, bool> =
-                    DomainKind::ALL.iter().map(|&k| (k, scenario.load(k).powered)).collect();
+                let powered = DomainTable::from_fn(|k| scenario.load(k).powered);
                 let estimated_type = classify_workload(&powered, None);
                 (scenario, estimated_type)
             }
@@ -298,7 +297,7 @@ impl FlexWattsRuntime {
                         mode = decided;
                     }
                 }
-                let chunk = remaining.min(eval_interval - since_eval).min(remaining);
+                let chunk = remaining.min(eval_interval - since_eval);
                 let power = match mode {
                     PdnMode::IvrMode => power_ivr,
                     PdnMode::LdoMode => power_ldo,
@@ -365,6 +364,60 @@ mod tests {
 
     fn ar(v: f64) -> ApplicationRatio {
         ApplicationRatio::new(v).unwrap()
+    }
+
+    #[test]
+    fn predictor_cadence_chunks_intervals_exactly() {
+        let pred = predictor().with_evaluation_interval(Seconds::from_millis(10.0));
+        let rt = FlexWattsRuntime::new(
+            client_soc(Watts::new(4.0)),
+            ModelParams::paper_defaults(),
+            pred,
+            RuntimeConfig::default(),
+        );
+        // A single 25 ms interval splits into 10 + 10 + 5 ms chunks with
+        // an evaluation at the head of each.
+        let trace = Trace::new(
+            "cadence",
+            vec![TraceInterval::active(
+                Seconds::from_millis(25.0),
+                WorkloadType::SingleThread,
+                ar(0.6),
+            )],
+        );
+        let report = rt.run(&trace).unwrap();
+        assert_eq!(report.predictor_evaluations, 3);
+        let mut expected = Seconds::from_millis(25.0);
+        for t in &report.switches {
+            expected += t.total();
+        }
+        assert_eq!(report.total_time, expected, "chunks cover the trace exactly");
+
+        // Short intervals accumulate toward the cadence: 5 + 5 ms spans
+        // one interval boundary without re-evaluating, and the next
+        // interval starts exactly on the cadence.
+        let trace = Trace::new(
+            "accumulate",
+            vec![
+                TraceInterval::active(
+                    Seconds::from_millis(5.0),
+                    WorkloadType::SingleThread,
+                    ar(0.6),
+                ),
+                TraceInterval::active(
+                    Seconds::from_millis(5.0),
+                    WorkloadType::SingleThread,
+                    ar(0.6),
+                ),
+                TraceInterval::active(
+                    Seconds::from_millis(1.0),
+                    WorkloadType::SingleThread,
+                    ar(0.6),
+                ),
+            ],
+        );
+        let report = rt.run(&trace).unwrap();
+        assert_eq!(report.predictor_evaluations, 2, "trace start + the 10 ms mark");
     }
 
     #[test]

@@ -325,11 +325,14 @@ impl Workers {
 ///
 /// This is the engine's scheduling primitive, exposed for other fan-outs
 /// (the figure kernels and the runtime interval simulator use it
-/// directly). Work is pulled from a shared atomic cursor, so uneven item
-/// costs balance automatically; each worker collects `(index, result)`
-/// pairs locally and the pairs are merged and sorted at the end, which
-/// restores deterministic ordering regardless of scheduling. `f` runs
-/// exactly once per item.
+/// directly). Each worker owns a contiguous range of the items and pulls
+/// chunks from it through an atomic claim cursor; a worker that drains
+/// its range steals chunks from the other ranges, so uneven item costs
+/// balance automatically while the common case — every worker busy on
+/// its own range — needs no cross-worker traffic. Each worker collects
+/// `(index, result)` pairs locally and the pairs are merged and sorted at
+/// the end, which restores deterministic ordering regardless of
+/// scheduling. `f` runs exactly once per item.
 pub fn par_map<T, R, F>(items: &[T], workers: Workers, f: F) -> Vec<R>
 where
     T: Sync,
@@ -357,6 +360,8 @@ where
         scenario_builds: 0,
         scenario_lookups: 0,
         workers: run.worker_wall.len(),
+        worker_stolen: run.worker_stolen,
+        worker_idle_probes: run.worker_idle_probes,
         worker_wall: run.worker_wall,
         wall: start.elapsed(),
     };
@@ -368,10 +373,22 @@ where
 struct ParMapRun<R> {
     results: Vec<R>,
     worker_wall: Vec<Duration>,
+    worker_stolen: Vec<usize>,
+    worker_idle_probes: Vec<usize>,
 }
 
-/// [`par_map`] plus per-worker wall-time measurements (the engine's
+/// [`par_map`] plus per-worker scheduling telemetry (the engine's
 /// instrumented path).
+///
+/// Scheduling: the items are split into one contiguous range per worker,
+/// each guarded by an atomic claim cursor. A worker claims fixed-size
+/// chunks from its own range first (one relaxed `fetch_add` per chunk,
+/// no sharing in the common case), then sweeps the other ranges in ring
+/// order stealing whatever chunks remain. Cursors only advance, so one
+/// sweep is exhaustive and every index is claimed exactly once. Which
+/// worker computes an item never affects the item's arithmetic, and the
+/// final index-keyed merge restores lattice order — results are
+/// bit-identical for every worker count.
 fn par_map_timed<T, R, F>(items: &[T], workers: Workers, f: F) -> ParMapRun<R>
 where
     T: Sync,
@@ -382,36 +399,84 @@ where
     if n_workers <= 1 {
         let start = Instant::now();
         let results = items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
-        return ParMapRun { results, worker_wall: vec![start.elapsed()] };
+        return ParMapRun {
+            results,
+            worker_wall: vec![start.elapsed()],
+            worker_stolen: vec![0],
+            worker_idle_probes: vec![0],
+        };
     }
 
-    let cursor = AtomicUsize::new(0);
-    let (mut pairs, worker_wall) = std::thread::scope(|scope| {
+    let n = items.len();
+    let base = n / n_workers;
+    let extra = n % n_workers;
+    let mut ranges: Vec<(AtomicUsize, usize)> = Vec::with_capacity(n_workers);
+    let mut next_start = 0;
+    for w in 0..n_workers {
+        let len = base + usize::from(w < extra);
+        ranges.push((AtomicUsize::new(next_start), next_start + len));
+        next_start += len;
+    }
+    // Chunked claiming amortises the atomic over several items while
+    // keeping the range tails small enough to steal.
+    let chunk = (base / 8).clamp(1, 16);
+
+    let (mut pairs, worker_wall, worker_stolen, worker_idle_probes) = std::thread::scope(|scope| {
+        let ranges = &ranges;
+        let f = &f;
         let handles: Vec<_> = (0..n_workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                scope.spawn(move || {
                     let start = Instant::now();
                     let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        local.push((i, f(i, item)));
+                    let mut stolen = 0usize;
+                    let mut idle_probes = 0usize;
+                    for probe in 0..n_workers {
+                        let victim = (w + probe) % n_workers;
+                        let (cursor, end) = &ranges[victim];
+                        let mut claimed_any = false;
+                        loop {
+                            let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if lo >= *end {
+                                break;
+                            }
+                            let hi = (lo + chunk).min(*end);
+                            claimed_any = true;
+                            if probe > 0 {
+                                stolen += hi - lo;
+                            }
+                            for (i, item) in items.iter().enumerate().take(hi).skip(lo) {
+                                local.push((i, f(i, item)));
+                            }
+                        }
+                        if probe > 0 && !claimed_any {
+                            idle_probes += 1;
+                        }
                     }
-                    (local, start.elapsed())
+                    (local, stolen, idle_probes, start.elapsed())
                 })
             })
             .collect();
-        let mut pairs = Vec::with_capacity(items.len());
+        let mut pairs = Vec::with_capacity(n);
         let mut walls = Vec::with_capacity(n_workers);
+        let mut stolen = Vec::with_capacity(n_workers);
+        let mut idle = Vec::with_capacity(n_workers);
         for handle in handles {
-            let (local, wall) = handle.join().expect("batch worker panicked");
+            let (local, s, ip, wall) = handle.join().expect("batch worker panicked");
             pairs.extend(local);
             walls.push(wall);
+            stolen.push(s);
+            idle.push(ip);
         }
-        (pairs, walls)
+        (pairs, walls, stolen, idle)
     });
     pairs.sort_unstable_by_key(|&(i, _)| i);
-    ParMapRun { results: pairs.into_iter().map(|(_, r)| r).collect(), worker_wall }
+    ParMapRun {
+        results: pairs.into_iter().map(|(_, r)| r).collect(),
+        worker_wall,
+        worker_stolen,
+        worker_idle_probes,
+    }
 }
 
 /// The write-once scenario store shared by all workers of a batch run.
@@ -483,6 +548,12 @@ pub struct BatchStats {
     pub scenario_lookups: usize,
     /// Worker threads used.
     pub workers: usize,
+    /// Items each worker claimed from another worker's range (work
+    /// stealing; all zero on serial runs and balanced workloads).
+    pub worker_stolen: Vec<usize>,
+    /// Steal sweeps in which a worker found every other range already
+    /// drained (it went idle instead of stealing).
+    pub worker_idle_probes: Vec<usize>,
     /// Wall time each worker spent inside the run.
     pub worker_wall: Vec<Duration>,
     /// End-to-end wall time of the run.
@@ -503,6 +574,11 @@ impl BatchStats {
         self.worker_wall.iter().copied().max().unwrap_or_default()
     }
 
+    /// Total items claimed across worker-range boundaries.
+    pub fn total_stolen(&self) -> usize {
+        self.worker_stolen.iter().sum()
+    }
+
     /// Folds another run's counters into this one — used by figure
     /// binaries that combine several batch calls under a single printed
     /// footer. Wall times add (the runs happened one after the other);
@@ -514,6 +590,8 @@ impl BatchStats {
         self.scenario_builds += other.scenario_builds;
         self.scenario_lookups += other.scenario_lookups;
         self.workers = self.workers.max(other.workers);
+        self.worker_stolen.extend(other.worker_stolen.iter().copied());
+        self.worker_idle_probes.extend(other.worker_idle_probes.iter().copied());
         self.worker_wall.extend(other.worker_wall.iter().copied());
         self.wall += other.wall;
     }
@@ -534,7 +612,12 @@ impl fmt::Display for BatchStats {
             self.workers,
             self.wall.as_secs_f64() * 1e3,
             self.max_worker_wall().as_secs_f64() * 1e3,
-        )
+        )?;
+        let stolen = self.total_stolen();
+        if stolen > 0 {
+            write!(f, "; {stolen} stolen")?;
+        }
+        Ok(())
     }
 }
 
@@ -633,6 +716,8 @@ pub fn evaluate_grid_with(
         scenario_builds: cache.builds.load(Ordering::Relaxed),
         scenario_lookups: cache.lookups.load(Ordering::Relaxed),
         workers: run.worker_wall.len(),
+        worker_stolen: run.worker_stolen,
+        worker_idle_probes: run.worker_idle_probes,
         worker_wall: run.worker_wall,
         wall: start.elapsed(),
     };
@@ -672,6 +757,8 @@ pub fn build_scenarios(
         scenario_builds: builds,
         scenario_lookups: lookups,
         workers: run.worker_wall.len(),
+        worker_stolen: run.worker_stolen,
+        worker_idle_probes: run.worker_idle_probes,
         worker_wall: run.worker_wall,
         wall: start.elapsed(),
     };
@@ -846,6 +933,41 @@ mod tests {
         });
         assert_eq!(out, (0..97).map(|x| x * 3).collect::<Vec<_>>());
         assert_eq!(visits.load(Ordering::Relaxed), 97);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_stalled_range() {
+        // Worker 0 owns items 0..10 and its first item blocks until every
+        // other item has finished, so items 1..9 can only complete via
+        // stealing. The order of the output must still be lattice order.
+        let items: Vec<usize> = (0..30).collect();
+        let done = AtomicUsize::new(0);
+        let (out, stats) = par_map_stats(&items, Workers::Fixed(3), |i, &x| {
+            if i == 0 {
+                while done.load(Ordering::Relaxed) < 29 {
+                    std::thread::yield_now();
+                }
+            } else {
+                done.fetch_add(1, Ordering::Relaxed);
+            }
+            x * 7
+        });
+        assert_eq!(out, (0..30).map(|x| x * 7).collect::<Vec<_>>());
+        assert_eq!(stats.workers, 3);
+        assert_eq!(stats.worker_stolen.len(), 3);
+        assert_eq!(stats.worker_idle_probes.len(), 3);
+        assert!(stats.total_stolen() >= 9, "items 1..9 must be stolen: {stats:?}");
+        let footer = stats.to_string();
+        assert!(footer.contains("stolen"), "{footer}");
+    }
+
+    #[test]
+    fn serial_run_reports_zero_steal_telemetry() {
+        let items: Vec<usize> = (0..5).collect();
+        let (_, stats) = par_map_stats(&items, Workers::Serial, |_, &x| x);
+        assert_eq!(stats.worker_stolen, vec![0]);
+        assert_eq!(stats.worker_idle_probes, vec![0]);
+        assert!(!stats.to_string().contains("stolen"));
     }
 
     #[test]

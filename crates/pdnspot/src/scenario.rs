@@ -9,11 +9,10 @@
 
 use crate::error::PdnError;
 use crate::params::ModelParams;
-use pdn_proc::{DomainKind, DomainState, PackageCState, SocSpec};
+use pdn_proc::{DomainKind, DomainState, DomainTable, PackageCState, SocSpec};
 use pdn_units::{ApplicationRatio, Celsius, Hertz, Ratio, Volts, Watts};
 use pdn_workload::WorkloadType;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// The fraction of TDP assumed to reach the loads when constructing
 /// budget-limited scenarios (a representative ETEE; the per-PDN frequency
@@ -64,12 +63,12 @@ pub struct Scenario {
     pub tj: Celsius,
     /// TDP of the SoC the scenario was built for.
     pub tdp: Watts,
-    loads: BTreeMap<DomainKind, DomainLoad>,
+    loads: DomainTable<DomainLoad>,
     /// Power-virus load sets (one per virus workload type) at the
     /// TDP-limited frequency, used to size shared-rail load-line
     /// guardbands (§2.4: the guardband must survive the maximum possible
     /// current of the rail).
-    virus: Vec<BTreeMap<DomainKind, DomainLoad>>,
+    virus: [DomainTable<DomainLoad>; 2],
     /// Extra headroom applied on top of the virus sums (Turbo Boost can
     /// briefly exceed TDP, and rails must survive it; §1).
     virus_margin: f64,
@@ -116,14 +115,12 @@ impl Scenario {
         ar: ApplicationRatio,
         f_cores: Hertz,
         f_gfx: Hertz,
-    ) -> BTreeMap<DomainKind, DomainLoad> {
+    ) -> DomainTable<DomainLoad> {
         let tj = soc.tj_active;
-        let mut loads = BTreeMap::new();
-        for (kind, cfg) in soc.domains() {
-            let powered = workload_type.domain_powered(kind);
-            if !powered {
-                loads.insert(kind, DomainLoad::gated());
-                continue;
+        DomainTable::from_fn(|kind| {
+            let cfg = soc.domain(kind);
+            if !workload_type.domain_powered(kind) {
+                return DomainLoad::gated();
             }
             let frequency = match kind {
                 DomainKind::Core0 | DomainKind::Core1 => f_cores,
@@ -164,32 +161,25 @@ impl Scenario {
                 _ => ar,
             };
             let state = DomainState::active(frequency, activity);
-            loads.insert(
-                kind,
-                DomainLoad {
-                    nominal_power: cfg.nominal_power(&state, tj),
-                    voltage: cfg.voltage_for(&state),
-                    leakage_fraction: cfg.power.guardband_leakage_fraction,
-                    powered: true,
-                },
-            );
-        }
-        loads
+            DomainLoad {
+                nominal_power: cfg.nominal_power(&state, tj),
+                voltage: cfg.voltage_for(&state),
+                leakage_fraction: cfg.power.guardband_leakage_fraction,
+                powered: true,
+            }
+        })
     }
 
     /// Per-domain power-virus loads: for each domain, the AR = 1 power at
     /// the highest frequency the TDP sustains for the workload type that
     /// stresses that domain hardest (multi-thread for cores/LLC, graphics
     /// for GFX).
-    fn tdp_virus_loads(soc: &SocSpec) -> Vec<BTreeMap<DomainKind, DomainLoad>> {
-        [WorkloadType::MultiThread, WorkloadType::Graphics]
-            .into_iter()
-            .map(|wl| {
-                let t = Self::solve_t_for_nominal(soc, wl, soc.tdp);
-                let (f_cores, f_gfx) = Self::frequency_point(soc, wl, t);
-                Self::domain_loads_at(soc, wl, ApplicationRatio::POWER_VIRUS, f_cores, f_gfx)
-            })
-            .collect()
+    fn tdp_virus_loads(soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
+        [WorkloadType::MultiThread, WorkloadType::Graphics].map(|wl| {
+            let t = Self::solve_t_for_nominal(soc, wl, soc.tdp);
+            let (f_cores, f_gfx) = Self::frequency_point(soc, wl, t);
+            Self::domain_loads_at(soc, wl, ApplicationRatio::POWER_VIRUS, f_cores, f_gfx)
+        })
     }
 
     /// Infallible bisection of the frequency scalar for a nominal-power
@@ -253,8 +243,7 @@ impl Scenario {
                 domains
                     .iter()
                     .filter(|k| counts(**k))
-                    .filter_map(|k| set.get(k))
-                    .map(|l| l.nominal_power)
+                    .map(|&k| set.get(k).nominal_power)
                     .sum::<Watts>()
             })
             .fold(Watts::ZERO, Watts::max);
@@ -324,9 +313,19 @@ impl Scenario {
         ar: ApplicationRatio,
         budget: Watts,
     ) -> Result<f64, PdnError> {
+        // Each probe needs only the per-domain loads — not the name or the
+        // virus load sets a full `Scenario::active` would also construct
+        // (the virus sizing runs its own bisections). The powered check and
+        // the canonical-order sum match `Scenario::active` +
+        // `total_nominal_power` exactly, so the bracketing decisions — and
+        // therefore the solved `t` — are bit-identical.
         let nominal_at = |t: f64| -> Result<Watts, PdnError> {
             let (f_cores, f_gfx) = Self::frequency_point(soc, workload_type, t);
-            Ok(Scenario::active(soc, workload_type, ar, f_cores, f_gfx)?.total_nominal_power())
+            let loads = Self::domain_loads_at(soc, workload_type, ar, f_cores, f_gfx);
+            if loads.values().all(|l| !l.powered) {
+                return Err(PdnError::Scenario("no powered domain in scenario".into()));
+            }
+            Ok(loads.values().filter(|l| l.powered).map(|l| l.nominal_power).sum())
         };
         // The nominal power is monotone in t; bisect t ∈ [0, 1].
         if nominal_at(1.0)? <= budget {
@@ -371,27 +370,19 @@ impl Scenario {
     /// [`PackageCState::nominal_domain_powers`]; voltages are the fixed
     /// SA/IO rail levels and the minimum compute voltage for C0MIN.
     pub fn idle(soc: &SocSpec, state: PackageCState) -> Self {
-        let mut loads = BTreeMap::new();
         let powers = state.nominal_domain_powers();
-        for (kind, cfg) in soc.domains() {
+        let loads = DomainTable::from_fn(|kind| {
+            let cfg = soc.domain(kind);
             match powers.get(&kind) {
-                Some(&p) => {
-                    let voltage = cfg.vf.voltage_at(cfg.fmin);
-                    loads.insert(
-                        kind,
-                        DomainLoad {
-                            nominal_power: p,
-                            voltage,
-                            leakage_fraction: cfg.power.guardband_leakage_fraction,
-                            powered: true,
-                        },
-                    );
-                }
-                None => {
-                    loads.insert(kind, DomainLoad::gated());
-                }
+                Some(&p) => DomainLoad {
+                    nominal_power: p,
+                    voltage: cfg.vf.voltage_at(cfg.fmin),
+                    leakage_fraction: cfg.power.guardband_leakage_fraction,
+                    powered: true,
+                },
+                None => DomainLoad::gated(),
             }
-        }
+        });
         Self {
             name: format!("{state}-{}W", soc.tdp.get()),
             workload_type: WorkloadType::BatteryLife,
@@ -413,15 +404,12 @@ impl Scenario {
     /// Per-domain power-virus loads at the minimum operating frequencies —
     /// the rail guardband basis for C0MIN/idle configurations, where DVFS
     /// has already lowered every setpoint.
-    fn fmin_virus_loads(soc: &SocSpec) -> Vec<BTreeMap<DomainKind, DomainLoad>> {
-        [WorkloadType::MultiThread, WorkloadType::Graphics]
-            .into_iter()
-            .map(|wl| {
-                let cores = soc.domain(DomainKind::Core0);
-                let gfx = soc.domain(DomainKind::Gfx);
-                Self::domain_loads_at(soc, wl, ApplicationRatio::POWER_VIRUS, cores.fmin, gfx.fmin)
-            })
-            .collect()
+    fn fmin_virus_loads(soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
+        [WorkloadType::MultiThread, WorkloadType::Graphics].map(|wl| {
+            let cores = soc.domain(DomainKind::Core0);
+            let gfx = soc.domain(DomainKind::Gfx);
+            Self::domain_loads_at(soc, wl, ApplicationRatio::POWER_VIRUS, cores.fmin, gfx.fmin)
+        })
     }
 
     /// Builds the power-virus scenario used to size Iccmax (§3.2): every
@@ -459,12 +447,12 @@ impl Scenario {
 
     /// The load of one domain.
     pub fn load(&self, kind: DomainKind) -> &DomainLoad {
-        self.loads.get(&kind).expect("scenario configures all domains")
+        self.loads.get(kind)
     }
 
     /// Iterates `(kind, load)` pairs in canonical domain order.
     pub fn loads(&self) -> impl Iterator<Item = (DomainKind, &DomainLoad)> {
-        self.loads.iter().map(|(&k, l)| (k, l))
+        self.loads.iter()
     }
 
     /// Total nominal power of all powered domains (the ETEE numerator).

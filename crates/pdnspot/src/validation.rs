@@ -25,7 +25,9 @@ use crate::error::PdnError;
 use crate::scenario::Scenario;
 use crate::topology::Pdn;
 use pdn_units::{Efficiency, Volts, Watts};
-use pdn_vr::{EfficiencySurface, OperatingPoint, Placement, VoltageRegulator, VrPowerState};
+use pdn_vr::{
+    CompiledSurface, EfficiencySurface, OperatingPoint, Placement, VoltageRegulator, VrPowerState,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -40,8 +42,10 @@ use std::sync::Mutex;
 /// campaigns reproducible for a fixed seed.
 #[derive(Debug)]
 pub struct ReferenceSystem {
-    /// Per-rail tabulated efficiency surfaces with unit variation baked in.
-    surfaces: BTreeMap<String, EfficiencySurface>,
+    /// Per-rail tabulated efficiency surfaces with unit variation baked
+    /// in, compiled to the flattened query form — reintegration runs once
+    /// per rail per measurement, so lookups sit on the campaign hot path.
+    surfaces: BTreeMap<String, CompiledSurface>,
     /// Per-unit systematic bias that the surfaces do not capture (board
     /// parasitics, sensor calibration): a single multiplicative factor.
     unit_bias: f64,
@@ -92,7 +96,7 @@ impl ReferenceSystem {
             // The LDO PDN names its (low-voltage, compute-class) rail
             // "V_IN" too; keep it under a separate key and disambiguate by
             // rail voltage at measurement time.
-            surfaces.entry(device.name().to_string()).or_insert(perturbed);
+            surfaces.entry(device.name().to_string()).or_insert_with(|| perturbed.compile());
         }
         let unit_bias = 1.0 + rng.random_range(-0.006..0.006);
         Self {

@@ -5,14 +5,13 @@
 //! workload type is set to graphics; if more than one core is active and
 //! graphics is idle, it is set to multi-threaded."
 
-use pdn_proc::{DomainKind, PackageCState};
+use pdn_proc::{DomainKind, DomainTable, PackageCState};
 use pdn_workload::WorkloadType;
-use std::collections::BTreeMap;
 
 /// Classifies the running workload from per-domain activity flags and the
 /// current package power state.
 pub fn classify_workload(
-    powered: &BTreeMap<DomainKind, bool>,
+    powered: &DomainTable<bool>,
     package_state: Option<PackageCState>,
 ) -> WorkloadType {
     if let Some(state) = package_state {
@@ -20,7 +19,7 @@ pub fn classify_workload(
             return WorkloadType::BatteryLife;
         }
     }
-    let on = |k: DomainKind| powered.get(&k).copied().unwrap_or(false);
+    let on = |k: DomainKind| *powered.get(k);
     if on(DomainKind::Gfx) {
         WorkloadType::Graphics
     } else if on(DomainKind::Core0) && on(DomainKind::Core1) {
@@ -36,12 +35,13 @@ pub fn classify_workload(
 mod tests {
     use super::*;
 
-    fn states(core0: bool, core1: bool, gfx: bool) -> BTreeMap<DomainKind, bool> {
-        let mut m = BTreeMap::new();
-        m.insert(DomainKind::Core0, core0);
-        m.insert(DomainKind::Core1, core1);
-        m.insert(DomainKind::Gfx, gfx);
-        m
+    fn states(core0: bool, core1: bool, gfx: bool) -> DomainTable<bool> {
+        DomainTable::from_fn(|k| match k {
+            DomainKind::Core0 => core0,
+            DomainKind::Core1 => core1,
+            DomainKind::Gfx => gfx,
+            _ => false,
+        })
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod tdp;
 pub mod vf;
 
 pub use cstate::{CStateLatency, PackageCState};
-pub use domain::{DomainKind, DomainState};
+pub use domain::{DomainKind, DomainState, DomainTable};
 pub use power::{guardband_power, DomainPowerModel};
 pub use soc::{broadwell_ult, client_soc, skylake_ult, ClientSocBuilder, DomainConfig, SocSpec};
 pub use tdp::{ConfigurableTdp, PAPER_TDPS};

@@ -6,7 +6,7 @@
 //! Table 2: cores 0.6–30 W, LLC 0.5–4 W, graphics 0.58–29.4 W across the
 //! 4–50 W TDP range, with SA+IO nearly constant (Fig. 2b).
 
-use crate::domain::{DomainKind, DomainState};
+use crate::domain::{DomainKind, DomainState, DomainTable};
 use crate::power::{DomainPowerModel, DEFAULT_CLOCK_FRACTION, LEAKAGE_VOLTAGE_EXPONENT};
 use crate::vf::VfCurve;
 use pdn_units::{Celsius, Hertz, Ratio, Volts, Watts};
@@ -75,23 +75,18 @@ pub struct SocSpec {
     pub tj_active: Celsius,
     /// Process node, for reporting (both Table 3 systems are 14 nm).
     pub process_node_nm: u32,
-    domains: BTreeMap<DomainKind, DomainConfig>,
+    domains: DomainTable<DomainConfig>,
 }
 
 impl SocSpec {
     /// Returns the configuration of a domain.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the domain was not configured; `client_soc` always
-    /// configures all six.
     pub fn domain(&self, kind: DomainKind) -> &DomainConfig {
-        self.domains.get(&kind).expect("all six domains are configured")
+        self.domains.get(kind)
     }
 
     /// Iterates over `(kind, config)` pairs in canonical order.
     pub fn domains(&self) -> impl Iterator<Item = (DomainKind, &DomainConfig)> {
-        self.domains.iter().map(|(&k, c)| (k, c))
+        self.domains.iter()
     }
 
     /// Total nominal power over a full set of domain states.
@@ -199,88 +194,76 @@ impl ClientSocBuilder {
             fmax: Hertz::from_gigahertz(4.0),
         };
 
-        let mut domains = BTreeMap::new();
-        domains.insert(DomainKind::Core0, core(DomainKind::Core0));
-        domains.insert(DomainKind::Core1, core(DomainKind::Core1));
-        domains.insert(
-            DomainKind::Llc,
-            DomainConfig {
-                power: DomainPowerModel {
-                    kind: DomainKind::Llc,
-                    ceff: 1.11e-9,
-                    leak_ref: Watts::new(0.80 * ls),
-                    vref: Volts::new(0.85),
-                    tref: Celsius::new(100.0),
-                    leak_voltage_exp: LEAKAGE_VOLTAGE_EXPONENT,
-                    leak_temp_coeff: 0.02,
-                    guardband_leakage_fraction: ratio(0.22),
-                    clock_fraction: DEFAULT_CLOCK_FRACTION,
-                },
-                vf: VfCurve::client_llc(),
-                fmin: Hertz::from_gigahertz(0.8),
-                fmax: Hertz::from_gigahertz(4.0),
+        let llc = DomainConfig {
+            power: DomainPowerModel {
+                kind: DomainKind::Llc,
+                ceff: 1.11e-9,
+                leak_ref: Watts::new(0.80 * ls),
+                vref: Volts::new(0.85),
+                tref: Celsius::new(100.0),
+                leak_voltage_exp: LEAKAGE_VOLTAGE_EXPONENT,
+                leak_temp_coeff: 0.02,
+                guardband_leakage_fraction: ratio(0.22),
+                clock_fraction: DEFAULT_CLOCK_FRACTION,
             },
-        );
-        domains.insert(
-            DomainKind::Gfx,
-            DomainConfig {
-                power: DomainPowerModel {
-                    kind: DomainKind::Gfx,
-                    ceff: 20.0e-9,
-                    leak_ref: Watts::new(13.2 * ls),
-                    vref: Volts::new(0.82),
-                    tref: Celsius::new(100.0),
-                    // Graphics slices power-gate aggressively at low load,
-                    // which shows up as a steeper leakage-vs-voltage slope
-                    // than the monolithic core domain.
-                    leak_voltage_exp: 5.0,
-                    leak_temp_coeff: 0.02,
-                    guardband_leakage_fraction: ratio(0.45),
-                    clock_fraction: 0.40,
-                },
-                vf: VfCurve::client_gfx(),
-                fmin: Hertz::from_gigahertz(0.1),
-                fmax: Hertz::from_gigahertz(1.2),
+            vf: VfCurve::client_llc(),
+            fmin: Hertz::from_gigahertz(0.8),
+            fmax: Hertz::from_gigahertz(4.0),
+        };
+        let gfx = DomainConfig {
+            power: DomainPowerModel {
+                kind: DomainKind::Gfx,
+                ceff: 20.0e-9,
+                leak_ref: Watts::new(13.2 * ls),
+                vref: Volts::new(0.82),
+                tref: Celsius::new(100.0),
+                // Graphics slices power-gate aggressively at low load,
+                // which shows up as a steeper leakage-vs-voltage slope
+                // than the monolithic core domain.
+                leak_voltage_exp: 5.0,
+                leak_temp_coeff: 0.02,
+                guardband_leakage_fraction: ratio(0.45),
+                clock_fraction: 0.40,
             },
-        );
-        domains.insert(
-            DomainKind::Sa,
-            DomainConfig {
-                power: DomainPowerModel {
-                    kind: DomainKind::Sa,
-                    ceff: 2.0e-9 * sa_io_scale,
-                    leak_ref: Watts::new(0.30 * ls),
-                    vref: Volts::new(0.85),
-                    tref: Celsius::new(100.0),
-                    leak_voltage_exp: LEAKAGE_VOLTAGE_EXPONENT,
-                    leak_temp_coeff: 0.02,
-                    guardband_leakage_fraction: ratio(0.22),
-                    clock_fraction: DEFAULT_CLOCK_FRACTION,
-                },
-                vf: VfCurve::fixed(Volts::new(0.85)),
-                fmin: Hertz::from_gigahertz(0.8),
-                fmax: Hertz::from_gigahertz(0.8),
+            vf: VfCurve::client_gfx(),
+            fmin: Hertz::from_gigahertz(0.1),
+            fmax: Hertz::from_gigahertz(1.2),
+        };
+        let sa = DomainConfig {
+            power: DomainPowerModel {
+                kind: DomainKind::Sa,
+                ceff: 2.0e-9 * sa_io_scale,
+                leak_ref: Watts::new(0.30 * ls),
+                vref: Volts::new(0.85),
+                tref: Celsius::new(100.0),
+                leak_voltage_exp: LEAKAGE_VOLTAGE_EXPONENT,
+                leak_temp_coeff: 0.02,
+                guardband_leakage_fraction: ratio(0.22),
+                clock_fraction: DEFAULT_CLOCK_FRACTION,
             },
-        );
-        domains.insert(
-            DomainKind::Io,
-            DomainConfig {
-                power: DomainPowerModel {
-                    kind: DomainKind::Io,
-                    ceff: 0.80e-9 * sa_io_scale,
-                    leak_ref: Watts::new(0.12 * ls),
-                    vref: Volts::new(1.10),
-                    tref: Celsius::new(100.0),
-                    leak_voltage_exp: LEAKAGE_VOLTAGE_EXPONENT,
-                    leak_temp_coeff: 0.02,
-                    guardband_leakage_fraction: ratio(0.22),
-                    clock_fraction: DEFAULT_CLOCK_FRACTION,
-                },
-                vf: VfCurve::fixed(Volts::new(1.10)),
-                fmin: Hertz::from_gigahertz(0.4),
-                fmax: Hertz::from_gigahertz(0.4),
+            vf: VfCurve::fixed(Volts::new(0.85)),
+            fmin: Hertz::from_gigahertz(0.8),
+            fmax: Hertz::from_gigahertz(0.8),
+        };
+        let io = DomainConfig {
+            power: DomainPowerModel {
+                kind: DomainKind::Io,
+                ceff: 0.80e-9 * sa_io_scale,
+                leak_ref: Watts::new(0.12 * ls),
+                vref: Volts::new(1.10),
+                tref: Celsius::new(100.0),
+                leak_voltage_exp: LEAKAGE_VOLTAGE_EXPONENT,
+                leak_temp_coeff: 0.02,
+                guardband_leakage_fraction: ratio(0.22),
+                clock_fraction: DEFAULT_CLOCK_FRACTION,
             },
-        );
+            vf: VfCurve::fixed(Volts::new(1.10)),
+            fmin: Hertz::from_gigahertz(0.4),
+            fmax: Hertz::from_gigahertz(0.4),
+        };
+        // Canonical `DomainKind::ALL` order.
+        let domains =
+            DomainTable::new([core(DomainKind::Core0), core(DomainKind::Core1), llc, gfx, sa, io]);
 
         SocSpec {
             name: self.name.unwrap_or_else(|| format!("client-soc-{}W", tdp.get())),

@@ -119,3 +119,42 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `DomainTable` is observationally equivalent to a
+    /// `BTreeMap<DomainKind, _>`: same iteration order, same values, and
+    /// a bit-identical left-to-right fold.
+    #[test]
+    fn domain_table_matches_btreemap(
+        vals in proptest::collection::vec(-1e3f64..1e3, 6),
+        set_idx in 0usize..6,
+        set_val in -1e3f64..1e3,
+    ) {
+        use std::collections::BTreeMap;
+
+        let mut table = pdn_proc::DomainTable::from_fn(|k| vals[k.index()]);
+        let mut map: BTreeMap<DomainKind, f64> =
+            DomainKind::ALL.iter().map(|&k| (k, vals[k.index()])).collect();
+
+        // Mutation through either interface stays in lockstep.
+        let kind = DomainKind::ALL[set_idx];
+        table.set(kind, set_val);
+        map.insert(kind, set_val);
+
+        prop_assert_eq!(table.iter().count(), map.len());
+        for ((tk, tv), (mk, mv)) in table.iter().zip(map.iter()) {
+            prop_assert_eq!(tk, *mk);
+            prop_assert_eq!(tv.to_bits(), mv.to_bits());
+        }
+        prop_assert_eq!(*table.get(kind), set_val);
+
+        // The accumulation order is identical, so a sequential sum —
+        // the shape of every power fold in the scenario hot path — is
+        // bit-identical, not merely approximately equal.
+        let table_sum = table.values().fold(0.0f64, |acc, &v| acc + v);
+        let map_sum = map.values().fold(0.0f64, |acc, &v| acc + v);
+        prop_assert_eq!(table_sum.to_bits(), map_sum.to_bits());
+    }
+}

@@ -11,11 +11,35 @@
 
 use crate::error::UnitsError;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Checks a segment hint against an axis: the hint `h` is the answer iff
+/// `axis[h] <= x < axis[h + 1]` — exactly the bracket `partition_point`
+/// would return, so taking the fast path never changes which segment (and
+/// therefore which interpolation arithmetic) is used. On a miss the fresh
+/// index is stored back with relaxed ordering; a stale value read by
+/// another thread only costs that thread the binary search.
+#[inline]
+fn hinted_segment(axis: &[f64], hint: &AtomicUsize, x: f64) -> usize {
+    let h = hint.load(Ordering::Relaxed);
+    if h + 1 < axis.len() && axis[h] <= x && x < axis[h + 1] {
+        return h;
+    }
+    let lo = axis.partition_point(|&a| a <= x) - 1;
+    hint.store(lo, Ordering::Relaxed);
+    lo
+}
 
 /// A one-dimensional piecewise-linear curve over a strictly increasing axis.
 ///
 /// Evaluation outside the axis range clamps to the boundary values, which is
 /// the behaviour PMU firmware uses for table lookups.
+///
+/// Lookups keep a segment-cursor cache: sweeps that walk the axis in
+/// lattice order (the common access pattern of the grid evaluators) skip
+/// the binary search entirely. The cursor is a cache, not part of the
+/// curve's value — `clone`/`eq` ignore it, and hits and misses produce
+/// bit-identical results.
 ///
 /// # Examples
 ///
@@ -28,10 +52,29 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(eta.eval(100.0), 0.90); // clamped
 /// # Ok::<(), pdn_units::UnitsError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Curve1 {
     xs: Vec<f64>,
     ys: Vec<f64>,
+    /// Last-hit segment index (`lo` of the bracketing pair). Cache only.
+    #[serde(skip)]
+    hint: AtomicUsize,
+}
+
+impl Clone for Curve1 {
+    fn clone(&self) -> Self {
+        Self {
+            xs: self.xs.clone(),
+            ys: self.ys.clone(),
+            hint: AtomicUsize::new(self.hint.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for Curve1 {
+    fn eq(&self, other: &Self) -> bool {
+        self.xs == other.xs && self.ys == other.ys
+    }
 }
 
 impl Curve1 {
@@ -72,7 +115,7 @@ impl Curve1 {
                 return Err(UnitsError::NonMonotonicAxis { index: i });
             }
         }
-        Ok(Self { xs, ys })
+        Ok(Self { xs, ys, hint: AtomicUsize::new(0) })
     }
 
     /// Evaluates the curve at `x`, clamping outside the axis range.
@@ -84,10 +127,8 @@ impl Curve1 {
         if x >= self.xs[n - 1] {
             return self.ys[n - 1];
         }
-        // partition_point returns the first index with xs[i] > x; the segment
-        // is [i-1, i].
-        let hi = self.xs.partition_point(|&xi| xi <= x);
-        let lo = hi - 1;
+        let lo = hinted_segment(&self.xs, &self.hint, x);
+        let hi = lo + 1;
         let t = (x - self.xs[lo]) / (self.xs[hi] - self.xs[lo]);
         self.ys[lo] + t * (self.ys[hi] - self.ys[lo])
     }
@@ -108,8 +149,8 @@ impl Curve1 {
         if x >= self.xs[n - 1] {
             return self.ys[n - 1];
         }
-        let hi = self.xs.partition_point(|&xi| xi <= x);
-        let lo = hi - 1;
+        let lo = hinted_segment(&self.xs, &self.hint, x);
+        let hi = lo + 1;
         debug_assert!(self.xs[lo] > 0.0);
         let t = (x.log10() - self.xs[lo].log10()) / (self.xs[hi].log10() - self.xs[lo].log10());
         self.ys[lo] + t * (self.ys[hi] - self.ys[lo])
@@ -147,8 +188,20 @@ impl Curve1 {
     }
 
     /// Applies `f` to every y value, returning a new curve.
+    ///
+    /// The x-axis is already validated on this curve, so only the mapped
+    /// y values are re-checked for finiteness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitsError::NotFinite`] if `f` produces a non-finite
+    /// value.
     pub fn map_y(&self, f: impl Fn(f64) -> f64) -> Result<Self, UnitsError> {
-        Self::from_axes(self.xs.clone(), self.ys.iter().map(|&y| f(y)).collect())
+        let ys: Vec<f64> = self.ys.iter().map(|&y| f(y)).collect();
+        if ys.iter().any(|y| !y.is_finite()) {
+            return Err(UnitsError::NotFinite { what: "curve point" });
+        }
+        Ok(Self { xs: self.xs.clone(), ys, hint: AtomicUsize::new(0) })
     }
 }
 
@@ -183,13 +236,13 @@ impl Curve1Builder {
         self
     }
 
-    /// Builds the curve.
+    /// Builds the curve, consuming the builder (no buffer copies).
     ///
     /// # Errors
     ///
     /// Same conditions as [`Curve1::from_points`].
-    pub fn build(&self) -> Result<Curve1, UnitsError> {
-        let mut pts = self.points.clone();
+    pub fn build(self) -> Result<Curve1, UnitsError> {
+        let mut pts = self.points;
         pts.sort_by(|a, b| a.0.total_cmp(&b.0));
         Curve1::from_points(pts)
     }
@@ -217,11 +270,35 @@ impl Curve1Builder {
 /// assert!((g.eval(27.0, 0.6) - 0.765).abs() < 1e-12);
 /// # Ok::<(), pdn_units::UnitsError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Grid2 {
     rows: Vec<f64>,
     cols: Vec<f64>,
     values: Vec<f64>,
+    /// Last-hit segment cursors per axis. Caches only — `clone`/`eq`
+    /// ignore them, and hits and misses produce bit-identical results.
+    #[serde(skip)]
+    row_hint: AtomicUsize,
+    #[serde(skip)]
+    col_hint: AtomicUsize,
+}
+
+impl Clone for Grid2 {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows.clone(),
+            cols: self.cols.clone(),
+            values: self.values.clone(),
+            row_hint: AtomicUsize::new(self.row_hint.load(Ordering::Relaxed)),
+            col_hint: AtomicUsize::new(self.col_hint.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for Grid2 {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.values == other.values
+    }
 }
 
 impl Grid2 {
@@ -252,7 +329,13 @@ impl Grid2 {
         if values.iter().any(|v| !v.is_finite()) {
             return Err(UnitsError::NotFinite { what: "grid value" });
         }
-        Ok(Self { rows, cols, values })
+        Ok(Self {
+            rows,
+            cols,
+            values,
+            row_hint: AtomicUsize::new(0),
+            col_hint: AtomicUsize::new(0),
+        })
     }
 
     /// Builds a grid by evaluating `f(row, col)` at every lattice point.
@@ -277,8 +360,8 @@ impl Grid2 {
     /// Evaluates the surface at `(row, col)` with bilinear interpolation,
     /// clamping both coordinates to the grid domain.
     pub fn eval(&self, row: f64, col: f64) -> f64 {
-        let (r0, r1, tr) = Self::bracket(&self.rows, row);
-        let (c0, c1, tc) = Self::bracket(&self.cols, col);
+        let (r0, r1, tr) = Self::bracket(&self.rows, &self.row_hint, row);
+        let (c0, c1, tc) = Self::bracket(&self.cols, &self.col_hint, col);
         let nc = self.cols.len();
         let v00 = self.values[r0 * nc + c0];
         let v01 = self.values[r0 * nc + c1];
@@ -291,7 +374,7 @@ impl Grid2 {
 
     /// Returns `(lo, hi, t)` such that `axis[lo] ≤ x ≤ axis[hi]` with
     /// interpolation parameter `t`, clamped to the axis range.
-    fn bracket(axis: &[f64], x: f64) -> (usize, usize, f64) {
+    fn bracket(axis: &[f64], hint: &AtomicUsize, x: f64) -> (usize, usize, f64) {
         let n = axis.len();
         if x <= axis[0] {
             return (0, 0, 0.0);
@@ -299,8 +382,8 @@ impl Grid2 {
         if x >= axis[n - 1] {
             return (n - 1, n - 1, 0.0);
         }
-        let hi = axis.partition_point(|&a| a <= x);
-        let lo = hi - 1;
+        let lo = hinted_segment(axis, hint, x);
+        let hi = lo + 1;
         let t = (x - axis[lo]) / (axis[hi] - axis[lo]);
         (lo, hi, t)
     }
@@ -353,13 +436,13 @@ impl Grid2Builder {
         self
     }
 
-    /// Builds the grid.
+    /// Builds the grid, consuming the builder (no buffer copies).
     ///
     /// # Errors
     ///
     /// Same conditions as [`Grid2::from_rows`].
-    pub fn build(&self) -> Result<Grid2, UnitsError> {
-        Grid2::from_rows(self.rows.clone(), self.cols.clone(), self.values.clone())
+    pub fn build(self) -> Result<Grid2, UnitsError> {
+        Grid2::from_rows(self.rows, self.cols, self.values)
     }
 }
 
@@ -419,6 +502,49 @@ mod tests {
         let c = Curve1::from_points([(0.0, 1.0), (1.0, 2.0)]).unwrap();
         let doubled = c.map_y(|y| 2.0 * y).unwrap();
         assert_eq!(doubled.eval(1.0), 4.0);
+        assert!(c.map_y(|y| y / 0.0).is_err());
+    }
+
+    #[test]
+    fn hinted_eval_matches_fresh_curve_on_any_walk() {
+        // The cursor cache must be invisible: evaluating a warm curve (hint
+        // pointing anywhere) is bit-identical to evaluating a cold clone.
+        let pts: Vec<(f64, f64)> = (0..12).map(|i| (i as f64, (i * i) as f64 * 0.37)).collect();
+        let warm = Curve1::from_points(pts.clone()).unwrap();
+        // Walk forward, backward, and jump around to exercise hits and misses.
+        let walk: Vec<f64> = (0..120)
+            .map(|i| (i as f64) * 0.1)
+            .chain((0..120).rev().map(|i| (i as f64) * 0.1))
+            .chain([7.3, 0.2, 10.9, 0.2, 5.5, 11.9, -1.0, 13.0])
+            .collect();
+        for &x in &walk {
+            let cold = Curve1::from_points(pts.clone()).unwrap();
+            assert_eq!(warm.eval(x).to_bits(), cold.eval(x).to_bits(), "eval({x})");
+        }
+        // eval_logx needs a strictly positive axis.
+        let log_pts: Vec<(f64, f64)> = (0..10).map(|i| (10f64.powi(i - 4), i as f64)).collect();
+        let warm_log = Curve1::from_points(log_pts.clone()).unwrap();
+        for &x in &walk {
+            let x = x.max(0.05);
+            let cold = Curve1::from_points(log_pts.clone()).unwrap();
+            assert_eq!(warm_log.eval_logx(x).to_bits(), cold.eval_logx(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn hinted_grid_eval_matches_fresh_grid() {
+        let g = |hint_state: &Grid2, r: f64, c: f64| hint_state.eval(r, c);
+        let warm =
+            Grid2::tabulate(vec![1.0, 2.0, 4.0, 8.0], vec![0.1, 0.4, 0.9], |r, c| r * c + 1.0)
+                .unwrap();
+        for &(r, c) in
+            &[(3.0, 0.5), (1.5, 0.2), (7.9, 0.85), (0.0, 1.0), (9.0, 0.0), (3.0, 0.5), (2.0, 0.4)]
+        {
+            let cold =
+                Grid2::tabulate(vec![1.0, 2.0, 4.0, 8.0], vec![0.1, 0.4, 0.9], |r, c| r * c + 1.0)
+                    .unwrap();
+            assert_eq!(g(&warm, r, c).to_bits(), cold.eval(r, c).to_bits(), "eval({r}, {c})");
+        }
     }
 
     #[test]

@@ -109,3 +109,50 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The segment-hint cursor cache is pure acceleration: a curve warmed
+    /// by an arbitrary query walk evaluates bit-identically to a freshly
+    /// built curve (cold hint) at every step, for `eval` and `eval_logx`.
+    #[test]
+    fn hinted_curve_eval_is_bit_identical_to_cold_eval(
+        gaps in proptest::collection::vec(0.05f64..3.0, 3..12),
+        ys in proptest::collection::vec(-5.0f64..5.0, 12),
+        walk in proptest::collection::vec(-1.0f64..40.0, 1..50),
+    ) {
+        let mut x = 0.5;
+        let mut xs = vec![x];
+        for g in &gaps {
+            x += g;
+            xs.push(x);
+        }
+        let ys: Vec<f64> = (0..xs.len()).map(|i| ys[i]).collect();
+        let warm = Curve1::from_axes(xs.clone(), ys.clone()).unwrap();
+        for &q in &walk {
+            let cold = Curve1::from_axes(xs.clone(), ys.clone()).unwrap();
+            prop_assert_eq!(warm.eval(q).to_bits(), cold.eval(q).to_bits());
+            let ql = q.max(0.05);
+            prop_assert_eq!(warm.eval_logx(ql).to_bits(), cold.eval_logx(ql).to_bits());
+        }
+    }
+
+    /// Same property for the 2-D grid's row/column hints.
+    #[test]
+    fn hinted_grid_eval_is_bit_identical_to_cold_eval(
+        row_qs in proptest::collection::vec(-1.0f64..6.0, 1..40),
+        col_qs in proptest::collection::vec(-1.0f64..6.0, 40),
+    ) {
+        let rows = vec![0.0, 1.0, 2.5, 4.0, 5.0];
+        let cols = vec![0.0, 2.0, 3.0, 4.5];
+        let values: Vec<f64> =
+            (0..rows.len() * cols.len()).map(|i| (i as f64) * 0.37 - 3.0).collect();
+        let warm = Grid2::from_rows(rows.clone(), cols.clone(), values.clone()).unwrap();
+        for (i, &r) in row_qs.iter().enumerate() {
+            let c = col_qs[i];
+            let cold = Grid2::from_rows(rows.clone(), cols.clone(), values.clone()).unwrap();
+            prop_assert_eq!(warm.eval(r, c).to_bits(), cold.eval(r, c).to_bits());
+        }
+    }
+}

@@ -49,6 +49,6 @@ mod traits;
 pub use buck::{BuckConverter, BuckParams, PhaseConfig};
 pub use ldo::{LdoMode, LdoRegulator};
 pub use powergate::PowerGate;
-pub use table::EfficiencySurface;
+pub use table::{CompiledSurface, EfficiencySurface};
 pub use tob::ToleranceBand;
 pub use traits::{OperatingPoint, Placement, VoltageRegulator, VrError, VrPowerState};

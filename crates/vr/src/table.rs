@@ -14,6 +14,7 @@
 use crate::traits::{OperatingPoint, Placement, VoltageRegulator, VrError, VrPowerState};
 use pdn_units::{Amps, Curve1, Efficiency, Volts};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One measured efficiency curve: η(Iout) at fixed (Vin, Vout, power state).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -156,6 +157,193 @@ impl EfficiencySurface {
                     && (e.vout.get() - vout.get()).abs() < 1e-9
             })
             .map(|e| &e.curve)
+    }
+
+    /// Compiles the surface into the flattened query-optimised form used
+    /// on evaluation hot paths.
+    pub fn compile(&self) -> CompiledSurface {
+        CompiledSurface::from_surface(self)
+    }
+}
+
+/// One curve of a [`CompiledSurface`]: its lattice coordinates plus the
+/// `[start, start + len)` window into the shared knot arrays.
+#[derive(Debug)]
+struct CompiledEntry {
+    vin: f64,
+    vout: f64,
+    power_state: VrPowerState,
+    start: usize,
+    len: usize,
+    /// Last-hit segment cursor of this curve (cache only).
+    hint: AtomicUsize,
+}
+
+/// A query-optimised compilation of an [`EfficiencySurface`].
+///
+/// The per-curve [`Curve1`]s are flattened into struct-of-arrays knot
+/// buffers — raw currents for bracketing, precomputed `log10` currents
+/// for interpolation, efficiencies — so a lookup touches contiguous
+/// memory, reuses a per-curve segment cursor, and allocates nothing.
+/// `log10` of an identical input is deterministic, so precomputing it at
+/// compile time leaves every interpolation bit-identical to
+/// [`EfficiencySurface::efficiency`]; the candidate scan below replicates
+/// the surface's selection logic (state filter, nearest-V_IN plane,
+/// V_OUT bracketing) in the same iteration order.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_units::{Amps, Volts};
+/// use pdn_vr::{presets, EfficiencySurface, OperatingPoint, VoltageRegulator, VrPowerState};
+///
+/// let surface = EfficiencySurface::sample(
+///     &presets::vin_board_vr(),
+///     &[Volts::new(7.2)],
+///     &[Volts::new(1.8)],
+///     &[VrPowerState::Ps0],
+///     (0.1, 10.0),
+///     16,
+/// )?;
+/// let compiled = surface.compile();
+/// let op = OperatingPoint::new(Volts::new(7.2), Volts::new(1.8), Amps::new(2.0));
+/// assert_eq!(compiled.efficiency(op)?, surface.efficiency(op)?);
+/// # Ok::<(), pdn_vr::VrError>(())
+/// ```
+#[derive(Debug)]
+pub struct CompiledSurface {
+    name: String,
+    placement: Placement,
+    iccmax: Amps,
+    entries: Vec<CompiledEntry>,
+    /// Knot currents (amperes) of all curves, concatenated.
+    knot_xs: Vec<f64>,
+    /// `log10` of [`Self::knot_xs`], precomputed at compile time.
+    knot_lxs: Vec<f64>,
+    /// Knot efficiencies of all curves, concatenated.
+    knot_ys: Vec<f64>,
+}
+
+impl CompiledSurface {
+    fn from_surface(surface: &EfficiencySurface) -> Self {
+        let mut entries = Vec::with_capacity(surface.entries.len());
+        let mut knot_xs = Vec::new();
+        let mut knot_lxs = Vec::new();
+        let mut knot_ys = Vec::new();
+        for e in &surface.entries {
+            let start = knot_xs.len();
+            for (x, y) in e.curve.points() {
+                knot_xs.push(x);
+                knot_lxs.push(x.log10());
+                knot_ys.push(y);
+            }
+            entries.push(CompiledEntry {
+                vin: e.vin.get(),
+                vout: e.vout.get(),
+                power_state: e.power_state,
+                start,
+                len: knot_xs.len() - start,
+                hint: AtomicUsize::new(0),
+            });
+        }
+        Self {
+            name: surface.name.clone(),
+            placement: surface.placement,
+            iccmax: surface.iccmax,
+            entries,
+            knot_xs,
+            knot_lxs,
+            knot_ys,
+        }
+    }
+
+    /// Evaluates one compiled curve at current `x` — the allocation-free
+    /// twin of [`Curve1::eval_logx`] over the shared knot buffers.
+    fn eval_entry_logx(&self, entry: &CompiledEntry, x: f64) -> f64 {
+        let xs = &self.knot_xs[entry.start..entry.start + entry.len];
+        let lxs = &self.knot_lxs[entry.start..entry.start + entry.len];
+        let ys = &self.knot_ys[entry.start..entry.start + entry.len];
+        let n = xs.len();
+        if x <= xs[0] {
+            return ys[0];
+        }
+        if x >= xs[n - 1] {
+            return ys[n - 1];
+        }
+        let h = entry.hint.load(Ordering::Relaxed);
+        let lo = if h + 1 < n && xs[h] <= x && x < xs[h + 1] {
+            h
+        } else {
+            let lo = xs.partition_point(|&xi| xi <= x) - 1;
+            entry.hint.store(lo, Ordering::Relaxed);
+            lo
+        };
+        let hi = lo + 1;
+        let t = (x.log10() - lxs[lo]) / (lxs[hi] - lxs[lo]);
+        ys[lo] + t * (ys[hi] - ys[lo])
+    }
+
+    fn unsupported(&self, reason: String) -> VrError {
+        VrError::UnsupportedOperatingPoint { regulator: self.name.clone(), reason }
+    }
+}
+
+impl VoltageRegulator for CompiledSurface {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    fn efficiency(&self, op: OperatingPoint) -> Result<Efficiency, VrError> {
+        if op.iout.get() <= 0.0 || op.iout > self.iccmax {
+            return Err(
+                self.unsupported(format!("current {} outside (0, {}]", op.iout, self.iccmax))
+            );
+        }
+        let in_state = || self.entries.iter().filter(|e| e.power_state == op.power_state);
+        // Nearest input voltage plane (`min_by` keeps the first of equals,
+        // matching the uncompiled scan).
+        let Some(best_vin) = in_state()
+            .map(|e| e.vin)
+            .min_by(|a, b| (a - op.vin.get()).abs().total_cmp(&(b - op.vin.get()).abs()))
+        else {
+            return Err(self.unsupported(format!("no curves measured in {}", op.power_state)));
+        };
+        // Bracket the output voltage within the plane (clamped at the
+        // extremes), in entry order.
+        let mut below: Option<&CompiledEntry> = None;
+        let mut above: Option<&CompiledEntry> = None;
+        for e in in_state().filter(|e| (e.vin - best_vin).abs() < 1e-9) {
+            if e.vout <= op.vout.get() && below.is_none_or(|b| e.vout > b.vout) {
+                below = Some(e);
+            }
+            if e.vout >= op.vout.get() && above.is_none_or(|a| e.vout < a.vout) {
+                above = Some(e);
+            }
+        }
+        let i = op.iout.get();
+        let eta = match (below, above) {
+            (Some(b), Some(a)) if (a.vout - b.vout).abs() > 1e-12 => {
+                let t = (op.vout.get() - b.vout) / (a.vout - b.vout);
+                let eb = self.eval_entry_logx(b, i);
+                let ea = self.eval_entry_logx(a, i);
+                eb + t * (ea - eb)
+            }
+            (Some(e), _) | (_, Some(e)) => self.eval_entry_logx(e, i),
+            (None, None) => return Err(self.unsupported("empty voltage plane".into())),
+        };
+        Ok(Efficiency::new(eta.clamp(1e-6, 1.0))?)
+    }
+
+    fn iccmax(&self) -> Amps {
+        self.iccmax
+    }
+
+    fn supports_conversion(&self, _vin: Volts, vout: Volts) -> bool {
+        self.entries.iter().any(|e| (e.vout - vout.get()).abs() < 0.25)
     }
 }
 
@@ -307,5 +495,41 @@ mod tests {
         let op = OperatingPoint::new(Volts::new(7.2), Volts::new(1.0), Amps::new(0.1))
             .with_power_state(VrPowerState::Ps4);
         assert!(s.efficiency(op).is_err());
+        assert!(s.compile().efficiency(op).is_err());
+    }
+
+    #[test]
+    fn compiled_surface_is_bit_identical_to_uncompiled() {
+        let s = sampled();
+        let c = s.compile();
+        assert_eq!(c.name(), s.name());
+        assert_eq!(c.iccmax(), s.iccmax());
+        // Sweep voltages between and beyond the measured lattice and
+        // currents across the decades, in a mixed walk that exercises the
+        // segment cursors.
+        for &vin in &[7.2, 9.0, 12.0, 13.5] {
+            for &vout in &[0.5, 0.6, 0.8, 1.0, 1.4, 1.8, 2.0] {
+                for &i in &[0.06, 0.5, 8.0, 0.1, 3.0, 19.0, 0.07, 1.0] {
+                    for ps in [VrPowerState::Ps0, VrPowerState::Ps1] {
+                        let op =
+                            OperatingPoint::new(Volts::new(vin), Volts::new(vout), Amps::new(i))
+                                .with_power_state(ps);
+                        match (s.efficiency(op), c.efficiency(op)) {
+                            (Ok(a), Ok(b)) => assert_eq!(
+                                a.get().to_bits(),
+                                b.get().to_bits(),
+                                "mismatch at vin={vin} vout={vout} i={i} {ps}"
+                            ),
+                            (Err(_), Err(_)) => {}
+                            (a, b) => {
+                                panic!("divergent results at {vin}/{vout}/{i}: {a:?} vs {b:?}")
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(c.supports_conversion(Volts::new(7.2), Volts::new(1.0)));
+        assert!(!c.supports_conversion(Volts::new(7.2), Volts::new(3.0)));
     }
 }
