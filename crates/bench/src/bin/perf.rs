@@ -1,7 +1,8 @@
 //! `perf`: the tracked performance baseline.
 //!
-//! Runs the three hot evaluation kernels (grid sweep, validation,
-//! runtime trace), writes the machine-readable `BENCH_batch.json`, and
+//! Runs the five hot evaluation kernels (grid sweep, validation, runtime
+//! trace, memoized sweep, crossover scan), writes the machine-readable
+//! `BENCH_batch.json`, and
 //! prints the deterministic result digest on stdout (committed as
 //! `results/perf.txt` and diffed by CI — timings go to the JSON and
 //! stderr only, so stdout is bit-stable across runs and machines).

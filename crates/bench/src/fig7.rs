@@ -9,7 +9,7 @@ use pdn_workload::spec::{spec_cpu2006, SpecBenchmark};
 use pdn_workload::WorkloadType;
 use pdnspot::batch::{par_map_stats, Workers};
 use pdnspot::perf::relative_performance;
-use pdnspot::{BatchStats, IvrPdn, ModelParams, PdnError};
+use pdnspot::{BatchStats, IvrPdn, MemoCache, ModelParams, PdnError};
 
 /// One benchmark's normalised performance under the five PDNs.
 #[derive(Debug, Clone)]
@@ -46,13 +46,18 @@ pub fn rows_with_stats(
     let baseline = IvrPdn::new(params.clone());
     let pdns = five_pdns(&params);
     let benchmarks = spec_cpu2006();
+    // One cache across the whole figure: the IVR baseline is re-solved for
+    // every (benchmark, PDN) cell, and benchmarks sharing an AR re-probe
+    // the same operating points; both reuse cached evaluations.
+    let memo = MemoCache::new();
+    let baseline_memo = memo.wrap(&baseline);
     let (results, mut stats) = par_map_stats(&benchmarks, workers, |_, bench| {
         let mut perf = [1.0f64; 5];
         for (i, pdn) in pdns.iter().enumerate() {
             perf[i] = relative_performance(
                 &soc,
-                pdn.as_ref(),
-                &baseline,
+                &memo.wrap(pdn.as_ref()),
+                &baseline_memo,
                 WorkloadType::SingleThread,
                 bench.ar,
                 bench.perf_scalability,
@@ -61,6 +66,10 @@ pub fn rows_with_stats(
         Ok::<_, PdnError>(Fig7Row { benchmark: bench.clone(), perf })
     });
     stats.evaluations = benchmarks.len() * pdns.len();
+    let memo_stats = memo.stats();
+    stats.memo_hits = memo_stats.hits as usize;
+    stats.memo_misses = memo_stats.misses as usize;
+    stats.memo_evictions = memo_stats.evictions as usize;
     let rows = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok((rows, stats))
 }

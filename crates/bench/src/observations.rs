@@ -9,7 +9,7 @@ use pdn_proc::client_soc;
 use pdn_units::{ApplicationRatio, Ohms, Watts};
 use pdn_workload::WorkloadType;
 use pdnspot::batch::{build_scenarios, par_map_stats, ClientSoc, SweepGrid, Workers};
-use pdnspot::{ModelParams, Pdn, PdnError, Scenario};
+use pdnspot::{MemoCache, ModelParams, Pdn, PdnError, Scenario};
 
 /// The ETEE of every PDN at every (TDP, workload type) point, AR = 56 %.
 ///
@@ -28,8 +28,11 @@ pub fn crossover_map() -> Result<String, PdnError> {
     let scenarios: Vec<Scenario> = scenarios.into_iter().collect::<Result<_, _>>()?;
     let cells: Vec<(usize, usize)> =
         (0..scenarios.len()).flat_map(|s| (0..pdns.len()).map(move |p| (s, p))).collect();
+    // The FlexWatts column re-evaluates the same fixed-mode PDNs the mode
+    // column probes, so one shared cache serves both fan-outs.
+    let memo = MemoCache::new();
     let (etees, etee_stats) = par_map_stats(&cells, Workers::Auto, |_, &(s, p)| {
-        pdns[p].evaluate(&scenarios[s]).map(|e| e.etee)
+        memo.wrap(pdns[p].as_ref()).evaluate(&scenarios[s]).map(|e| e.etee)
     });
     let etees: Vec<_> = etees.into_iter().collect::<Result<_, _>>()?;
     let auto = FlexWattsAuto::new(params.clone());
@@ -37,6 +40,10 @@ pub fn crossover_map() -> Result<String, PdnError> {
     let modes: Vec<_> = modes.into_iter().collect::<Result<_, _>>()?;
     stats.absorb(&etee_stats);
     stats.absorb(&mode_stats);
+    let memo_stats = memo.stats();
+    stats.memo_hits += memo_stats.hits as usize;
+    stats.memo_misses += memo_stats.misses as usize;
+    stats.memo_evictions += memo_stats.evictions as usize;
 
     let n_wl = WorkloadType::ACTIVE_TYPES.len();
     let mut out = String::new();

@@ -3,7 +3,7 @@
 //!
 //! The paper's value proposition is that the analytical model is *fast*
 //! enough to sweep thousands of (TDP, workload, AR, C-state) points per
-//! PDN; this module turns that into a protected number. Three kernels are
+//! PDN; this module turns that into a protected number. Five kernels are
 //! timed:
 //!
 //! * **batch_sweep** — the full design-space lattice sweep
@@ -12,7 +12,13 @@
 //! * **validation** — the Fig. 4-style campaign: model evaluation plus
 //!   reference-system reintegration through tabulated VR surfaces;
 //! * **runtime_trace** — the FlexWatts runtime interval simulator over a
-//!   deterministic synthetic trace.
+//!   deterministic synthetic trace;
+//! * **memo_sweep** — two passes of the memoized lattice sweep through one
+//!   shared [`pdnspot::memo::MemoCache`]; the warm pass must be served
+//!   entirely from the cache;
+//! * **crossover_scan** — repeated crossover-TDP searches (grid scan plus
+//!   bisection probes) through one shared cache; the second round re-runs
+//!   every pair fully cached.
 //!
 //! Each kernel reports wall time, points/sec, ns/point, heap allocations
 //! per point (counted by the `perf` binary's instrumented global
@@ -28,7 +34,7 @@
 use pdn_proc::PackageCState;
 use pdn_units::{ApplicationRatio, Seconds, Watts};
 use pdn_workload::{Trace, TraceInterval, WorkloadType};
-use pdnspot::batch::{evaluate_grid_with, ClientSoc, SweepGrid, Workers};
+use pdnspot::batch::{evaluate_grid_memo, evaluate_grid_with, ClientSoc, SweepGrid, Workers};
 use pdnspot::prelude::*;
 use pdnspot::validation::{validate_with, ReferenceSystem};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -244,9 +250,131 @@ pub fn runtime_kernel(quick: bool) -> KernelReport {
     }
 }
 
-/// Runs all three kernels.
+/// Kernel 4: two passes of the memoized lattice sweep through one shared
+/// cache. The cold pass pays every evaluation (plus cache bookkeeping);
+/// the warm pass must be answered entirely from memory, which the digest
+/// pins as an exact hit rate.
+pub fn memo_kernel(quick: bool) -> KernelReport {
+    let params = ModelParams::paper_defaults();
+    let ivr = IvrPdn::new(params.clone());
+    let mbvr = MbvrPdn::new(params.clone());
+    let ldo = LdoPdn::new(params.clone());
+    let iplus = IPlusMbvrPdn::new(params);
+    let pdns: [&dyn Pdn; 4] = [&ivr, &mbvr, &ldo, &iplus];
+    let grid = sweep_grid(quick);
+    let run = || {
+        // The default capacity dwarfs the lattice (≤ 924 entries), so
+        // no shard evicts and the warm hit rate is exactly 1. Sizing the
+        // cache *at* the entry count would FIFO-thrash the shards the key
+        // hash happens to overfill.
+        let memo = MemoCache::new();
+        let cold = evaluate_grid_memo(&pdns, &grid, &ClientSoc, Workers::Serial, Some(&memo));
+        let warm = evaluate_grid_memo(&pdns, &grid, &ClientSoc, Workers::Serial, Some(&memo));
+        (cold, warm)
+    };
+    let _ = run();
+    let ((cold, warm), wall_s, allocations) = measure(run);
+    assert_eq!(cold.stats.failed, 0, "sweep lattice must evaluate cleanly");
+    assert_eq!(warm.stats.failed, 0, "sweep lattice must evaluate cleanly");
+    let warm_rate = warm.stats.memo_hit_rate();
+    let mut etee_sum = 0.0;
+    let mut input_sum = 0.0;
+    for eval in &warm.evaluations {
+        let e = eval.result.as_ref().expect("no failures");
+        etee_sum += e.etee.get();
+        input_sum += e.input_power.get();
+    }
+    KernelReport {
+        name: "memo_sweep",
+        points: cold.stats.evaluations + warm.stats.evaluations,
+        wall_s,
+        allocations,
+        digest: format!(
+            "evals={} etee_sum={} input_sum={} warm_hit_rate={}",
+            cold.stats.evaluations + warm.stats.evaluations,
+            digest_f64(etee_sum),
+            digest_f64(input_sum),
+            digest_f64(warm_rate)
+        ),
+    }
+}
+
+/// Kernel 5: repeated crossover-TDP searches through one shared cache.
+/// Round 1 populates the cache (the scan grid plus every bisection
+/// probe); round 2 re-runs the same searches and must find every
+/// evaluation already cached.
+pub fn crossover_kernel(quick: bool) -> KernelReport {
+    use pdnspot::sweep::crossover_tdp_memo;
+
+    let params = ModelParams::paper_defaults();
+    let ivr = IvrPdn::new(params.clone());
+    let mbvr = MbvrPdn::new(params.clone());
+    let ldo = LdoPdn::new(params.clone());
+    let iplus = IPlusMbvrPdn::new(params);
+    let pairs: [(&dyn Pdn, &dyn Pdn); 3] = [(&mbvr, &ivr), (&ldo, &ivr), (&iplus, &ivr)];
+    let ars: &[f64] = if quick { &[0.6] } else { &[0.4, 0.6, 0.8] };
+    let run = || {
+        let memo = MemoCache::new();
+        let mut crossover_sum = 0.0;
+        let mut searches = 0usize;
+        let mut round1 = MemoStats::default();
+        for round in 0..2 {
+            for &(challenger, incumbent) in &pairs {
+                for &ar in ars {
+                    let ar = ApplicationRatio::new(ar).expect("static ARs are valid");
+                    let c = crossover_tdp_memo(
+                        challenger,
+                        incumbent,
+                        WorkloadType::MultiThread,
+                        ar,
+                        (4.0, 50.0),
+                        &ClientSoc,
+                        Workers::Serial,
+                        Some(&memo),
+                    )
+                    .expect("crossover search succeeds");
+                    crossover_sum += match c {
+                        Crossover::At(tdp) => tdp.get(),
+                        Crossover::AlwaysFirst => -1.0,
+                        Crossover::AlwaysSecond => -2.0,
+                    };
+                    searches += 1;
+                }
+            }
+            if round == 0 {
+                round1 = memo.stats();
+            }
+        }
+        (crossover_sum, searches, round1, memo.stats())
+    };
+    let _ = run();
+    let ((crossover_sum, searches, round1, total), wall_s, allocations) = measure(run);
+    let round2_lookups = total.lookups() - round1.lookups();
+    let round2_hits = total.hits - round1.hits;
+    let round2_rate =
+        if round2_lookups == 0 { 0.0 } else { round2_hits as f64 / round2_lookups as f64 };
+    KernelReport {
+        name: "crossover_scan",
+        points: total.lookups() as usize,
+        wall_s,
+        allocations,
+        digest: format!(
+            "searches={searches} crossover_sum={} round2_hit_rate={}",
+            digest_f64(crossover_sum),
+            digest_f64(round2_rate)
+        ),
+    }
+}
+
+/// Runs all five kernels.
 pub fn run_all(quick: bool) -> Vec<KernelReport> {
-    vec![batch_kernel(quick), validation_kernel(quick), runtime_kernel(quick)]
+    vec![
+        batch_kernel(quick),
+        validation_kernel(quick),
+        runtime_kernel(quick),
+        memo_kernel(quick),
+        crossover_kernel(quick),
+    ]
 }
 
 /// Renders the deterministic digest text (committed as
@@ -354,6 +482,34 @@ mod tests {
         assert!(a.ns_per_point() > 0.0);
         let b = batch_kernel(true);
         assert_eq!(a.digest, b.digest, "digest must be run-to-run deterministic");
+    }
+
+    #[test]
+    fn memo_kernel_warm_pass_is_fully_cached() {
+        let k = memo_kernel(true);
+        assert!(k.digest.contains("warm_hit_rate=1.00000000000000000e0"), "{}", k.digest);
+        let again = memo_kernel(true);
+        assert_eq!(k.digest, again.digest, "digest must be run-to-run deterministic");
+    }
+
+    #[test]
+    fn memo_kernel_result_sums_match_the_plain_sweep() {
+        // Memoization must not change a single reported value: the warm
+        // pass sums must equal the memo-free batch kernel's sums.
+        let plain = batch_kernel(true);
+        let memo = memo_kernel(true);
+        let tail = |d: &str| {
+            d.split("etee_sum=").nth(1).map(|s| s.split(" warm").next().unwrap_or(s).to_string())
+        };
+        assert_eq!(tail(&plain.digest), tail(&memo.digest), "{} vs {}", plain.digest, memo.digest);
+    }
+
+    #[test]
+    fn crossover_kernel_second_round_is_fully_cached() {
+        let k = crossover_kernel(true);
+        assert!(k.digest.contains("round2_hit_rate=1.00000000000000000e0"), "{}", k.digest);
+        assert!(k.points > 0);
+        assert!(k.digest.contains("searches=6"), "{}", k.digest);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Property tests for the memo cache's determinism contract: routing a
+//! grid sweep through a [`pdnspot::MemoCache`] — cold or warm — must
+//! reproduce the memo-free sweep bit-for-bit, for every grid shape and
+//! worker count, across all five PDN topologies.
+
+use pdn_bench::suite::{five_pdns, ARS, TDPS};
+use pdn_proc::PackageCState;
+use pdn_workload::WorkloadType;
+use pdnspot::batch::{evaluate_grid_memo, evaluate_grid_with, BatchOutcome, ClientSoc};
+use pdnspot::{MemoCache, ModelParams, Pdn, SweepGrid, Workers};
+use proptest::prelude::*;
+
+/// Asserts every evaluation of `run` is bit-identical to `baseline`.
+fn assert_bit_identical(baseline: &BatchOutcome, run: &BatchOutcome, label: &str) {
+    assert_eq!(baseline.evaluations.len(), run.evaluations.len(), "{label}: length");
+    for (a, b) in baseline.evaluations.iter().zip(&run.evaluations) {
+        assert_eq!(a.pdn_idx, b.pdn_idx, "{label}: pdn order");
+        assert_eq!(a.point, b.point, "{label}: lattice order");
+        match (&a.result, &b.result) {
+            (Ok(ea), Ok(eb)) => {
+                assert_eq!(
+                    ea.input_power.get().to_bits(),
+                    eb.input_power.get().to_bits(),
+                    "{label}: input power bits at {:?}",
+                    a.point
+                );
+                assert_eq!(
+                    ea.etee.get().to_bits(),
+                    eb.etee.get().to_bits(),
+                    "{label}: EtEE bits at {:?}",
+                    a.point
+                );
+            }
+            (Err(ea), Err(eb)) => assert_eq!(ea.to_string(), eb.to_string(), "{label}: errors"),
+            _ => panic!("{label}: Ok/Err mismatch at {:?}", a.point),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Memoized sweeps (cold cache, then warm cache) are bit-identical to
+    /// the memo-free serial sweep for random grid shapes and the issue's
+    /// named worker counts, and the warm pass is answered entirely from
+    /// the cache.
+    #[test]
+    fn memoized_sweeps_are_bit_identical_for_random_grids(
+        n_tdps in 1usize..TDPS.len() + 1,
+        n_ars in 1usize..ARS.len() + 1,
+        with_idle in prop_oneof![Just(false), Just(true)],
+        workers in prop_oneof![Just(1usize), Just(2), Just(7)],
+    ) {
+        let params = ModelParams::paper_defaults();
+        let pdns_boxed = five_pdns(&params);
+        let pdns: Vec<&dyn Pdn> = pdns_boxed.iter().map(Box::as_ref).collect();
+        let mut builder = SweepGrid::builder()
+            .tdps(&TDPS[..n_tdps])
+            .workload_types(&WorkloadType::ACTIVE_TYPES)
+            .ars(&ARS[..n_ars]);
+        if with_idle {
+            builder = builder.idle_states(&PackageCState::ALL);
+        }
+        let grid = builder.build().unwrap();
+
+        let plain = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Serial);
+        let label = format!("tdps={n_tdps} ars={n_ars} idle={with_idle} w={workers}");
+
+        let memo = MemoCache::new();
+        let cold =
+            evaluate_grid_memo(&pdns, &grid, &ClientSoc, Workers::Fixed(workers), Some(&memo));
+        assert_bit_identical(&plain, &cold, &format!("cold {label}"));
+        // Every (PDN, point) key is unique within one pass, so a cold
+        // cache misses exactly once per successful evaluation.
+        prop_assert_eq!(cold.stats.memo_hits, 0, "cold pass cannot hit");
+
+        let warm =
+            evaluate_grid_memo(&pdns, &grid, &ClientSoc, Workers::Fixed(workers), Some(&memo));
+        assert_bit_identical(&plain, &warm, &format!("warm {label}"));
+        prop_assert_eq!(warm.stats.memo_misses, 0, "warm pass must be fully cached");
+        prop_assert_eq!(warm.stats.memo_hits, cold.stats.memo_misses);
+        prop_assert!(warm.stats.memo_hit_rate() > 0.99, "warm hit rate {}", warm.stats.memo_hit_rate());
+    }
+}

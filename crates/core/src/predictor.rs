@@ -13,7 +13,7 @@ use pdn_pmu::EteeCurveSet;
 use pdn_proc::{client_soc, PackageCState};
 use pdn_units::{ApplicationRatio, Efficiency, Seconds, Watts};
 use pdn_workload::WorkloadType;
-use pdnspot::{ModelParams, PdnError};
+use pdnspot::{MemoCache, ModelParams, PdnError};
 
 /// The runtime-estimated inputs of Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,11 +78,44 @@ impl ModePredictor {
         tdp_axis: &[f64],
         ar_axis: &[f64],
     ) -> Result<Self, PdnError> {
+        Self::train_with(params, tdp_axis, ar_axis, None)
+    }
+
+    /// [`ModePredictor::train`] with an optional shared [`MemoCache`].
+    /// Both mode tabulations run through the same cache (each mode keys
+    /// its own entries via its [`pdnspot::Pdn::memo_token`]), and a caller
+    /// retraining over overlapping lattices — resolution ablations, fault
+    /// campaigns — reuses every previously evaluated point. The trained
+    /// tables are bit-identical with or without the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PDNspot evaluation errors.
+    pub fn train_with(
+        params: &ModelParams,
+        tdp_axis: &[f64],
+        ar_axis: &[f64],
+        memo: Option<&MemoCache>,
+    ) -> Result<Self, PdnError> {
         let ivr = FlexWattsPdn::new(params.clone(), PdnMode::IvrMode);
         let ldo = FlexWattsPdn::new(params.clone(), PdnMode::LdoMode);
+        let local = MemoCache::new();
+        let memo = memo.unwrap_or(&local);
         Ok(Self {
-            ivr_tables: EteeCurveSet::tabulate(&ivr, tdp_axis, ar_axis, client_soc)?,
-            ldo_tables: EteeCurveSet::tabulate(&ldo, tdp_axis, ar_axis, client_soc)?,
+            ivr_tables: EteeCurveSet::tabulate_with(
+                &ivr,
+                tdp_axis,
+                ar_axis,
+                client_soc,
+                Some(memo),
+            )?,
+            ldo_tables: EteeCurveSet::tabulate_with(
+                &ldo,
+                tdp_axis,
+                ar_axis,
+                client_soc,
+                Some(memo),
+            )?,
             hysteresis: 0.004,
             evaluation_interval: Self::DEFAULT_INTERVAL,
         })
@@ -268,6 +301,28 @@ mod tests {
             p0.predict_with_hysteresis(i, PdnMode::IvrMode),
             p0.predict_with_hysteresis(i, PdnMode::LdoMode)
         );
+    }
+
+    #[test]
+    fn retraining_through_a_shared_cache_is_bit_identical_and_fully_cached() {
+        let params = ModelParams::paper_defaults();
+        let axes: (&[f64], &[f64]) = (&[4.0, 18.0, 50.0], &[0.4, 0.6, 0.8]);
+        let plain = ModePredictor::train(&params, axes.0, axes.1).unwrap();
+        let memo = MemoCache::new();
+        let cold = ModePredictor::train_with(&params, axes.0, axes.1, Some(&memo)).unwrap();
+        let cold_stats = memo.stats();
+        assert_eq!(cold_stats.hits, 0, "nothing to reuse on the first training");
+        let warm = ModePredictor::train_with(&params, axes.0, axes.1, Some(&memo)).unwrap();
+        let warm_stats = memo.stats();
+        assert_eq!(
+            warm_stats.misses, cold_stats.misses,
+            "retraining must not evaluate anything new"
+        );
+        assert!(warm_stats.hits > 0, "retraining must be served from cache");
+        for predictor in [&cold, &warm] {
+            assert_eq!(predictor.ivr_tables, plain.ivr_tables);
+            assert_eq!(predictor.ldo_tables, plain.ldo_tables);
+        }
     }
 
     #[test]

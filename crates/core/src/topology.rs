@@ -15,10 +15,12 @@ use pdn_proc::DomainKind;
 use pdn_units::{Amps, Volts, Watts};
 use pdn_vr::{presets, BuckConverter, OperatingPoint, VoltageRegulator};
 use pdnspot::etee::{
-    board_vr_stage, guardband_stage, load_line_domain_stage, load_line_stage, LossBreakdown,
+    board_vr_stage, load_line_domain_stage, load_line_stage, LossBreakdown, StagedPoint, Stager,
 };
-use pdnspot::topology::{dedicated_rail_flow, power_gate_impedance, OffchipRail};
-use pdnspot::{ModelParams, Pdn, PdnError, PdnEvaluation, PdnKind, Scenario};
+use pdnspot::topology::{
+    dedicated_rail_flow_with, pdn_memo_token, power_gate_impedance, OffchipRail,
+};
+use pdnspot::{DirectStager, ModelParams, Pdn, PdnError, PdnEvaluation, PdnKind, Scenario};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -109,7 +111,29 @@ impl FlexWattsPdn {
         }
     }
 
-    fn evaluate_ivr_mode(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
+    /// [`Pdn::evaluate`] with the PDN-independent stages (guardband, gate,
+    /// virus headroom) routed through a [`Stager`], so batch sweeps share
+    /// them with every other PDN evaluated at the same lattice point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from the active mode's flow.
+    pub fn evaluate_with(
+        &self,
+        scenario: &Scenario,
+        stager: &impl Stager,
+    ) -> Result<PdnEvaluation, PdnError> {
+        match self.mode {
+            PdnMode::IvrMode => self.evaluate_ivr_mode(scenario, stager),
+            PdnMode::LdoMode => self.evaluate_ldo_mode(scenario, stager),
+        }
+    }
+
+    fn evaluate_ivr_mode(
+        &self,
+        scenario: &Scenario,
+        stager: &impl Stager,
+    ) -> Result<PdnEvaluation, PdnError> {
         let p = &self.params;
         let tob = self.tob();
         let mut breakdown = LossBreakdown::default();
@@ -124,7 +148,7 @@ impl FlexWattsPdn {
             if !load.powered || load.nominal_power.get() <= 0.0 {
                 continue;
             }
-            let gb = guardband_stage(load, tob, p.leakage_exponent);
+            let gb = stager.guardband(kind, load, tob, p.leakage_exponent);
             breakdown.other += gb.power - load.nominal_power;
             let iout = gb.power / gb.voltage;
             let op = OperatingPoint::new(p.vin_level, gb.voltage, iout);
@@ -150,7 +174,14 @@ impl FlexWattsPdn {
             rails.push(rail);
         }
 
-        self.add_sa_io(scenario, &mut breakdown, &mut rails, &mut p_batt, &mut chip_current)?;
+        self.add_sa_io(
+            scenario,
+            stager,
+            &mut breakdown,
+            &mut rails,
+            &mut p_batt,
+            &mut chip_current,
+        )?;
         PdnEvaluation::assemble(
             scenario.total_nominal_power(),
             p_batt,
@@ -160,7 +191,11 @@ impl FlexWattsPdn {
         )
     }
 
-    fn evaluate_ldo_mode(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
+    fn evaluate_ldo_mode(
+        &self,
+        scenario: &Scenario,
+        stager: &impl Stager,
+    ) -> Result<PdnEvaluation, PdnError> {
         let p = &self.params;
         let tob = self.tob();
         let mut breakdown = LossBreakdown::default();
@@ -177,7 +212,7 @@ impl FlexWattsPdn {
                 if !load.powered || load.nominal_power.get() <= 0.0 {
                     continue;
                 }
-                let gb = guardband_stage(load, tob, p.leakage_exponent);
+                let gb = stager.guardband(kind, load, tob, p.leakage_exponent);
                 breakdown.other += gb.power - load.nominal_power;
                 let iout = gb.power / gb.voltage;
                 let op = OperatingPoint::new(vin_rail, gb.voltage, iout);
@@ -193,7 +228,7 @@ impl FlexWattsPdn {
                 let step = load_line_domain_stage(
                     p_in,
                     vin_rail,
-                    scenario.rail_virus_power(&DomainKind::WIDE_RANGE, p_in),
+                    stager.rail_virus_power(scenario, &DomainKind::WIDE_RANGE, p_in),
                     p.flexwatts_loadlines.vin,
                     fl,
                     p.leakage_exponent,
@@ -213,7 +248,14 @@ impl FlexWattsPdn {
             }
         }
 
-        self.add_sa_io(scenario, &mut breakdown, &mut rails, &mut p_batt, &mut chip_current)?;
+        self.add_sa_io(
+            scenario,
+            stager,
+            &mut breakdown,
+            &mut rails,
+            &mut p_batt,
+            &mut chip_current,
+        )?;
         PdnEvaluation::assemble(
             scenario.total_nominal_power(),
             p_batt,
@@ -227,6 +269,7 @@ impl FlexWattsPdn {
     fn add_sa_io(
         &self,
         scenario: &Scenario,
+        stager: &impl Stager,
         breakdown: &mut LossBreakdown,
         rails: &mut Vec<pdnspot::RailReport>,
         p_batt: &mut Watts,
@@ -237,7 +280,7 @@ impl FlexWattsPdn {
             (DomainKind::Sa, p.flexwatts_loadlines.sa, &self.sa_vr),
             (DomainKind::Io, p.flexwatts_loadlines.io, &self.io_vr),
         ] {
-            let (pin, overhead, conduction, vr_loss, rail) = dedicated_rail_flow(
+            let (pin, overhead, conduction, vr_loss, rail) = dedicated_rail_flow_with(
                 scenario,
                 kind,
                 self.tob(),
@@ -245,6 +288,7 @@ impl FlexWattsPdn {
                 r_ll,
                 vr,
                 p,
+                stager,
             )?;
             if pin.get() > 0.0 {
                 breakdown.other += overhead;
@@ -269,10 +313,23 @@ impl Pdn for FlexWattsPdn {
     }
 
     fn evaluate(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
-        match self.mode {
-            PdnMode::IvrMode => self.evaluate_ivr_mode(scenario),
-            PdnMode::LdoMode => self.evaluate_ldo_mode(scenario),
-        }
+        self.evaluate_with(scenario, &DirectStager)
+    }
+
+    fn evaluate_staged(
+        &self,
+        scenario: &Scenario,
+        staged: &StagedPoint,
+    ) -> Result<PdnEvaluation, PdnError> {
+        self.evaluate_with(scenario, staged)
+    }
+
+    fn memo_token(&self) -> Option<u64> {
+        let flavor = match self.mode {
+            PdnMode::IvrMode => 0,
+            PdnMode::LdoMode => 1,
+        };
+        Some(pdn_memo_token(PdnKind::FlexWatts, flavor, &self.params))
     }
 
     /// FlexWatts's off-chip rails carry the **IVR-Mode rating** (§7: "the
@@ -396,6 +453,22 @@ impl Pdn for FlexWattsAuto {
         Ok(if ivr.etee >= ldo.etee { ivr } else { ldo })
     }
 
+    fn evaluate_staged(
+        &self,
+        scenario: &Scenario,
+        staged: &StagedPoint,
+    ) -> Result<PdnEvaluation, PdnError> {
+        let ivr = self.ivr.evaluate_with(scenario, staged)?;
+        let ldo = self.ldo.evaluate_with(scenario, staged)?;
+        Ok(if ivr.etee >= ldo.etee { ivr } else { ldo })
+    }
+
+    fn memo_token(&self) -> Option<u64> {
+        // Flavor 255 keeps the better-of-both-modes result distinct from
+        // either fixed mode's cache entries.
+        Some(pdn_memo_token(PdnKind::FlexWatts, 255, self.ivr.params()))
+    }
+
     fn offchip_rails(&self, soc: &pdn_proc::SocSpec) -> Result<Vec<OffchipRail>, PdnError> {
         // The fixed-mode implementation already merges both modes.
         self.ivr.offchip_rails(soc)
@@ -517,6 +590,57 @@ mod tests {
             let e = pdn.evaluate(&s).unwrap();
             let accounted = e.nominal_power + e.breakdown.total();
             assert!((accounted.get() - e.input_power.get()).abs() < 1e-6, "{mode}");
+        }
+    }
+
+    #[test]
+    fn memo_tokens_separate_modes_params_and_auto() {
+        let params = ModelParams::paper_defaults();
+        let ivr = FlexWattsPdn::new(params.clone(), PdnMode::IvrMode);
+        let ldo = FlexWattsPdn::new(params.clone(), PdnMode::LdoMode);
+        let auto = FlexWattsAuto::new(params.clone());
+        let tokens =
+            [ivr.memo_token().unwrap(), ldo.memo_token().unwrap(), auto.memo_token().unwrap()];
+        for (i, a) in tokens.iter().enumerate() {
+            for b in &tokens[i + 1..] {
+                assert_ne!(a, b, "modes must never share cache entries");
+            }
+        }
+        let mut other = params;
+        other.leakage_exponent += 0.25;
+        let perturbed = FlexWattsPdn::new(other, PdnMode::IvrMode);
+        assert_ne!(perturbed.memo_token(), ivr.memo_token(), "params are part of the identity");
+    }
+
+    #[test]
+    fn staged_evaluation_is_bit_identical_to_direct() {
+        let params = ModelParams::paper_defaults();
+        let pdns: [&dyn Pdn; 3] = [
+            &FlexWattsPdn::new(params.clone(), PdnMode::IvrMode),
+            &FlexWattsPdn::new(params.clone(), PdnMode::LdoMode),
+            &FlexWattsAuto::new(params),
+        ];
+        let soc = client_soc(Watts::new(18.0));
+        let scenarios = [
+            scenario(4.0, WorkloadType::SingleThread, 0.6),
+            scenario(18.0, WorkloadType::MultiThread, 0.8),
+            scenario(50.0, WorkloadType::Graphics, 0.4),
+            Scenario::idle(&soc, PackageCState::C2),
+        ];
+        for s in &scenarios {
+            // One shared staging cache per "lattice point", as the batch
+            // engine uses it: every PDN reuses the same partial stages.
+            let staged = StagedPoint::new();
+            for pdn in pdns {
+                let direct = pdn.evaluate(s).unwrap();
+                let shared = pdn.evaluate_staged(s, &staged).unwrap();
+                assert_eq!(
+                    direct.etee.get().to_bits(),
+                    shared.etee.get().to_bits(),
+                    "staging must not change a single bit"
+                );
+                assert_eq!(direct.input_power.get().to_bits(), shared.input_power.get().to_bits());
+            }
         }
     }
 

@@ -33,10 +33,11 @@
 //! worker count) varies between runs.
 
 use crate::error::PdnError;
-use crate::etee::PdnEvaluation;
-use crate::scenario::Scenario;
+use crate::etee::{PdnEvaluation, StagedPoint};
+use crate::memo::MemoCache;
+use crate::scenario::{DomainLoad, Scenario};
 use crate::topology::Pdn;
-use pdn_proc::{PackageCState, SocSpec};
+use pdn_proc::{DomainTable, PackageCState, SocSpec};
 use pdn_units::{ApplicationRatio, Watts};
 use pdn_workload::WorkloadType;
 use std::fmt;
@@ -217,20 +218,35 @@ impl SweepGrid {
     /// TDP-major (TDP, then workload type, then AR), followed by idle
     /// points (TDP, then power state). Batch results follow this order.
     pub fn points(&self) -> Vec<LatticePoint> {
-        let mut out = Vec::with_capacity(self.n_points());
-        for t in 0..self.tdps.len() {
-            for w in 0..self.workload_types.len() {
-                for a in 0..self.ars.len() {
-                    out.push(LatticePoint::Active { tdp_idx: t, wl_idx: w, ar_idx: a });
-                }
+        (0..self.n_points()).map(|idx| self.point_at(idx)).collect()
+    }
+
+    /// The lattice point at position `idx` of the [`SweepGrid::points`]
+    /// order, recovered by index arithmetic. The batch engine walks the
+    /// lattice through this accessor, so a campaign never materialises
+    /// the point list (let alone the `pdn × point` task list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.n_points()`.
+    pub fn point_at(&self, idx: usize) -> LatticePoint {
+        assert!(idx < self.n_points(), "lattice index {idx} out of range");
+        let n_active = self.n_active();
+        if idx < n_active {
+            let per_tdp = self.workload_types.len() * self.ars.len();
+            let rem = idx % per_tdp;
+            LatticePoint::Active {
+                tdp_idx: idx / per_tdp,
+                wl_idx: rem / self.ars.len(),
+                ar_idx: rem % self.ars.len(),
+            }
+        } else {
+            let rem = idx - n_active;
+            LatticePoint::Idle {
+                tdp_idx: rem / self.idle_states.len(),
+                state_idx: rem % self.idle_states.len(),
             }
         }
-        for t in 0..self.tdps.len() {
-            for s in 0..self.idle_states.len() {
-                out.push(LatticePoint::Idle { tdp_idx: t, state_idx: s });
-            }
-        }
-        out
     }
 
     /// Human-readable coordinates of a point (used in
@@ -243,20 +259,6 @@ impl SweepGrid {
             ),
             LatticePoint::Idle { tdp_idx, state_idx } => {
                 format!("tdp={}W state={}", self.tdps[tdp_idx], self.idle_states[state_idx])
-            }
-        }
-    }
-
-    /// Builds the scenario of one lattice point from an already-built
-    /// SoC.
-    fn build_scenario(&self, soc: &SocSpec, point: LatticePoint) -> Result<Scenario, PdnError> {
-        match point {
-            LatticePoint::Active { wl_idx, ar_idx, .. } => {
-                let ar = ApplicationRatio::new(self.ars[ar_idx]).map_err(PdnError::Units)?;
-                Scenario::active_fixed_tdp_frequency(soc, self.workload_types[wl_idx], ar)
-            }
-            LatticePoint::Idle { state_idx, .. } => {
-                Ok(Scenario::idle(soc, self.idle_states[state_idx]))
             }
         }
     }
@@ -359,6 +361,9 @@ where
         failed: 0,
         scenario_builds: 0,
         scenario_lookups: 0,
+        memo_hits: 0,
+        memo_misses: 0,
+        memo_evictions: 0,
         workers: run.worker_wall.len(),
         worker_stolen: run.worker_stolen,
         worker_idle_probes: run.worker_idle_probes,
@@ -378,27 +383,40 @@ struct ParMapRun<R> {
 }
 
 /// [`par_map`] plus per-worker scheduling telemetry (the engine's
-/// instrumented path).
-///
-/// Scheduling: the items are split into one contiguous range per worker,
-/// each guarded by an atomic claim cursor. A worker claims fixed-size
-/// chunks from its own range first (one relaxed `fetch_add` per chunk,
-/// no sharing in the common case), then sweeps the other ranges in ring
-/// order stealing whatever chunks remain. Cursors only advance, so one
-/// sweep is exhaustive and every index is claimed exactly once. Which
-/// worker computes an item never affects the item's arithmetic, and the
-/// final index-keyed merge restores lattice order — results are
-/// bit-identical for every worker count.
+/// instrumented path). Thin slice adapter over [`par_map_run_indexed`].
 fn par_map_timed<T, R, F>(items: &[T], workers: Workers, f: F) -> ParMapRun<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let n_workers = workers.count(items.len());
+    par_map_run_indexed(items.len(), workers, |i| f(i, &items[i]))
+}
+
+/// The index-driven scheduling core: applies `f` to every index in
+/// `0..n` on a scoped worker pool and returns the results in index
+/// order. Fan-outs whose work items are pure index arithmetic (the
+/// `pdn × point` lattice of [`evaluate_grid_with`]) drive this directly
+/// and never allocate a task list.
+///
+/// Scheduling: the indices are split into one contiguous range per
+/// worker, each guarded by an atomic claim cursor. A worker claims
+/// fixed-size chunks from its own range first (one relaxed `fetch_add`
+/// per chunk, no sharing in the common case), then sweeps the other
+/// ranges in ring order stealing whatever chunks remain. Cursors only
+/// advance, so one sweep is exhaustive and every index is claimed
+/// exactly once. Which worker computes an index never affects the
+/// index's arithmetic, and the final index-keyed merge restores lattice
+/// order — results are bit-identical for every worker count.
+fn par_map_run_indexed<R, F>(n: usize, workers: Workers, f: F) -> ParMapRun<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let n_workers = workers.count(n);
     if n_workers <= 1 {
         let start = Instant::now();
-        let results = items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        let results = (0..n).map(&f).collect();
         return ParMapRun {
             results,
             worker_wall: vec![start.elapsed()],
@@ -407,7 +425,6 @@ where
         };
     }
 
-    let n = items.len();
     let base = n / n_workers;
     let extra = n % n_workers;
     let mut ranges: Vec<(AtomicUsize, usize)> = Vec::with_capacity(n_workers);
@@ -445,8 +462,8 @@ where
                             if probe > 0 {
                                 stolen += hi - lo;
                             }
-                            for (i, item) in items.iter().enumerate().take(hi).skip(lo) {
-                                local.push((i, f(i, item)));
+                            for i in lo..hi {
+                                local.push((i, f(i)));
                             }
                         }
                         if probe > 0 && !claimed_any {
@@ -490,6 +507,14 @@ struct ScenarioCache<'g, P: ?Sized> {
     grid: &'g SweepGrid,
     provider: &'g P,
     socs: Vec<OnceLock<SocSpec>>,
+    /// Per-(TDP, workload type) fixed-TDP frequency scalars. The 48-step
+    /// bisection behind [`Scenario::active_fixed_tdp_frequency`] is
+    /// AR-independent, so a whole AR row shares one solve.
+    solved_t: Vec<OnceLock<Result<f64, PdnError>>>,
+    /// Per-TDP active-point (TDP-sized) virus load tables.
+    active_virus: Vec<OnceLock<[DomainTable<DomainLoad>; 2]>>,
+    /// Per-TDP idle-point (fmin-sized) virus load tables.
+    idle_virus: Vec<OnceLock<[DomainTable<DomainLoad>; 2]>>,
     scenarios: Vec<OnceLock<Result<Scenario, PdnError>>>,
     lookups: AtomicUsize,
     builds: AtomicUsize,
@@ -497,10 +522,14 @@ struct ScenarioCache<'g, P: ?Sized> {
 
 impl<'g, P: SocProvider + ?Sized> ScenarioCache<'g, P> {
     fn new(grid: &'g SweepGrid, provider: &'g P, n_points: usize) -> Self {
+        let n_tdps = grid.tdps.len();
         Self {
             grid,
             provider,
-            socs: (0..grid.tdps.len()).map(|_| OnceLock::new()).collect(),
+            socs: (0..n_tdps).map(|_| OnceLock::new()).collect(),
+            solved_t: (0..n_tdps * grid.workload_types.len()).map(|_| OnceLock::new()).collect(),
+            active_virus: (0..n_tdps).map(|_| OnceLock::new()).collect(),
+            idle_virus: (0..n_tdps).map(|_| OnceLock::new()).collect(),
             scenarios: (0..n_points).map(|_| OnceLock::new()).collect(),
             lookups: AtomicUsize::new(0),
             builds: AtomicUsize::new(0),
@@ -512,16 +541,59 @@ impl<'g, P: SocProvider + ?Sized> ScenarioCache<'g, P> {
             .get_or_init(|| self.provider.soc_for(Watts::new(self.grid.tdps[tdp_idx])))
     }
 
+    fn solved_t(&self, tdp_idx: usize, wl_idx: usize, soc: &SocSpec) -> &Result<f64, PdnError> {
+        self.solved_t[tdp_idx * self.grid.workload_types.len() + wl_idx]
+            .get_or_init(|| Scenario::solve_t_fixed_tdp(soc, self.grid.workload_types[wl_idx]))
+    }
+
+    fn active_virus(&self, tdp_idx: usize, soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
+        *self.active_virus[tdp_idx].get_or_init(|| Scenario::tdp_virus_loads(soc))
+    }
+
+    fn idle_virus(&self, tdp_idx: usize, soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
+        *self.idle_virus[tdp_idx].get_or_init(|| Scenario::fmin_virus_loads(soc))
+    }
+
+    /// Builds one point's scenario from the staged per-TDP ingredients.
+    /// Bit-identical to the unstaged [`Scenario`] constructors: the
+    /// staged values are exactly what those constructors would recompute
+    /// for every point of the row.
+    fn build_staged(&self, point: LatticePoint) -> Result<Scenario, PdnError> {
+        let soc = self.soc(point.tdp_idx());
+        match point {
+            LatticePoint::Active { tdp_idx, wl_idx, ar_idx } => {
+                let ar = ApplicationRatio::new(self.grid.ars[ar_idx]).map_err(PdnError::Units)?;
+                let t = self.solved_t(tdp_idx, wl_idx, soc).clone()?;
+                Scenario::active_fixed_tdp_staged(
+                    soc,
+                    self.grid.workload_types[wl_idx],
+                    ar,
+                    t,
+                    self.active_virus(tdp_idx, soc),
+                )
+            }
+            LatticePoint::Idle { tdp_idx, state_idx } => Ok(Scenario::idle_staged(
+                soc,
+                self.grid.idle_states[state_idx],
+                self.idle_virus(tdp_idx, soc),
+            )),
+        }
+    }
+
     fn scenario(&self, point_idx: usize, point: LatticePoint) -> &Result<Scenario, PdnError> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         self.scenarios[point_idx].get_or_init(|| {
             self.builds.fetch_add(1, Ordering::Relaxed);
-            self.grid.build_scenario(self.soc(point.tdp_idx()), point).map_err(|e| {
+            // Failures are stored pre-shared: every PDN consuming the
+            // point clones the error, and a clone of a shared error is a
+            // refcount bump instead of a deep copy.
+            self.build_staged(point).map_err(|e| {
                 PdnError::Lattice {
                     pdn: None,
                     point: self.grid.describe(point),
                     source: Box::new(e),
                 }
+                .into_shared()
             })
         })
     }
@@ -546,6 +618,13 @@ pub struct BatchStats {
     pub scenario_builds: usize,
     /// Scenario-cache lookups.
     pub scenario_lookups: usize,
+    /// ETEE memo-cache hits recorded during the run (all three memo
+    /// counters stay zero when the run had no [`MemoCache`]).
+    pub memo_hits: usize,
+    /// ETEE memo-cache misses recorded during the run.
+    pub memo_misses: usize,
+    /// ETEE memo-cache entries evicted during the run.
+    pub memo_evictions: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Items each worker claimed from another worker's range (work
@@ -569,6 +648,16 @@ impl BatchStats {
         (self.scenario_lookups - self.scenario_builds) as f64 / self.scenario_lookups as f64
     }
 
+    /// Fraction of ETEE memo-cache lookups served from the cache (zero
+    /// when the run performed no memo lookups).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let lookups = self.memo_hits + self.memo_misses;
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.memo_hits as f64 / lookups as f64
+    }
+
     /// The busiest worker's wall time.
     pub fn max_worker_wall(&self) -> Duration {
         self.worker_wall.iter().copied().max().unwrap_or_default()
@@ -589,6 +678,9 @@ impl BatchStats {
         self.failed += other.failed;
         self.scenario_builds += other.scenario_builds;
         self.scenario_lookups += other.scenario_lookups;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.memo_evictions += other.memo_evictions;
         self.workers = self.workers.max(other.workers);
         self.worker_stolen.extend(other.worker_stolen.iter().copied());
         self.worker_idle_probes.extend(other.worker_idle_probes.iter().copied());
@@ -616,6 +708,17 @@ impl fmt::Display for BatchStats {
         let stolen = self.total_stolen();
         if stolen > 0 {
             write!(f, "; {stolen} stolen")?;
+        }
+        let memo_lookups = self.memo_hits + self.memo_misses;
+        if memo_lookups > 0 {
+            write!(
+                f,
+                "; memo {:.1}% hits ({} hits / {} lookups, {} evicted)",
+                100.0 * self.memo_hit_rate(),
+                self.memo_hits,
+                memo_lookups,
+                self.memo_evictions,
+            )?;
         }
         Ok(())
     }
@@ -681,40 +784,85 @@ pub fn evaluate_grid_with(
     provider: &(impl SocProvider + ?Sized),
     workers: Workers,
 ) -> BatchOutcome {
-    let start = Instant::now();
-    let points = grid.points();
-    let cache = ScenarioCache::new(grid, provider, points.len());
-    let tasks: Vec<(usize, LatticePoint)> = pdns
-        .iter()
-        .enumerate()
-        .flat_map(|(pdn_idx, _)| points.iter().map(move |&p| (pdn_idx, p)))
-        .collect();
-    let n_points = points.len();
+    evaluate_grid_memo(pdns, grid, provider, workers, None)
+}
 
-    let run = par_map_timed(&tasks, workers, |task_idx, &(pdn_idx, point)| {
-        let point_idx = task_idx % n_points.max(1);
+/// [`evaluate_grid_with`] with an optional ETEE memo cache.
+///
+/// When `memo` is `Some`, every `pdn × point` evaluation goes through
+/// [`MemoCache::evaluate_staged`]: a repeat evaluation of a
+/// `(PDN fingerprint, scenario fingerprint)` pair — within this run or
+/// across earlier calls sharing the cache — returns the stored result
+/// instead of re-running the model. Memoization never changes a returned
+/// value (a hit is a clone of a bit-identical prior result), so this
+/// function upholds the module-level determinism contract with or
+/// without a cache; the run's hit/miss/eviction deltas are reported in
+/// the [`BatchStats`] memo counters.
+pub fn evaluate_grid_memo(
+    pdns: &[&dyn Pdn],
+    grid: &SweepGrid,
+    provider: &(impl SocProvider + ?Sized),
+    workers: Workers,
+    memo: Option<&MemoCache>,
+) -> BatchOutcome {
+    let start = Instant::now();
+    let n_points = grid.n_points();
+    let n_tasks = pdns.len() * n_points;
+    let cache = ScenarioCache::new(grid, provider, n_points);
+    // One shared staging area per lattice point: the first PDN to reach
+    // a point pays for the PDN-independent stages, the others reuse them.
+    let staged: Vec<StagedPoint> = (0..n_points).map(|_| StagedPoint::new()).collect();
+    let memo_before = memo.map(MemoCache::stats);
+
+    let run = par_map_run_indexed(n_tasks, workers, |task_idx| {
+        let pdn_idx = task_idx / n_points;
+        let point_idx = task_idx % n_points;
+        let point = grid.point_at(point_idx);
         match cache.scenario(point_idx, point) {
-            Ok(scenario) => pdns[pdn_idx].evaluate(scenario).map_err(|e| PdnError::Lattice {
-                pdn: Some(pdns[pdn_idx].kind().to_string()),
-                point: grid.describe(point),
-                source: Box::new(e),
-            }),
+            Ok(scenario) => {
+                let pdn = pdns[pdn_idx];
+                let result = match memo {
+                    Some(m) => m.evaluate_staged(pdn, scenario, &staged[point_idx]),
+                    None => pdn.evaluate_staged(scenario, &staged[point_idx]),
+                };
+                result.map_err(|e| PdnError::Lattice {
+                    pdn: Some(pdn.kind().to_string()),
+                    point: grid.describe(point),
+                    source: Box::new(e),
+                })
+            }
             Err(e) => Err(e.clone()),
         }
     });
 
-    let evaluations: Vec<PointEvaluation> = tasks
-        .iter()
-        .zip(run.results)
-        .map(|(&(pdn_idx, point), result)| PointEvaluation { pdn_idx, point, result })
+    let evaluations: Vec<PointEvaluation> = run
+        .results
+        .into_iter()
+        .enumerate()
+        .map(|(task_idx, result)| PointEvaluation {
+            pdn_idx: task_idx / n_points,
+            point: grid.point_at(task_idx % n_points),
+            result,
+        })
         .collect();
     let failed = evaluations.iter().filter(|e| e.result.is_err()).count();
+    let (memo_hits, memo_misses, memo_evictions) = match (memo_before, memo.map(MemoCache::stats)) {
+        (Some(before), Some(after)) => (
+            (after.hits - before.hits) as usize,
+            (after.misses - before.misses) as usize,
+            (after.evictions - before.evictions) as usize,
+        ),
+        _ => (0, 0, 0),
+    };
     let stats = BatchStats {
         points: n_points,
         evaluations: evaluations.len(),
         failed,
         scenario_builds: cache.builds.load(Ordering::Relaxed),
         scenario_lookups: cache.lookups.load(Ordering::Relaxed),
+        memo_hits,
+        memo_misses,
+        memo_evictions,
         workers: run.worker_wall.len(),
         worker_stolen: run.worker_stolen,
         worker_idle_probes: run.worker_idle_probes,
@@ -737,10 +885,10 @@ pub fn build_scenarios(
     workers: Workers,
 ) -> (Vec<Result<Scenario, PdnError>>, BatchStats) {
     let start = Instant::now();
-    let points = grid.points();
-    let cache = ScenarioCache::new(grid, provider, points.len());
-    let run = par_map_timed(&points, workers, |point_idx, &point| {
-        cache.scenario(point_idx, point).is_ok()
+    let n_points = grid.n_points();
+    let cache = ScenarioCache::new(grid, provider, n_points);
+    let run = par_map_run_indexed(n_points, workers, |point_idx| {
+        cache.scenario(point_idx, grid.point_at(point_idx)).is_ok()
     });
     let builds = cache.builds.load(Ordering::Relaxed);
     let lookups = cache.lookups.load(Ordering::Relaxed);
@@ -751,11 +899,14 @@ pub fn build_scenarios(
         .collect();
     let failed = scenarios.iter().filter(|s| s.is_err()).count();
     let stats = BatchStats {
-        points: points.len(),
-        evaluations: points.len(),
+        points: n_points,
+        evaluations: n_points,
         failed,
         scenario_builds: builds,
         scenario_lookups: lookups,
+        memo_hits: 0,
+        memo_misses: 0,
+        memo_evictions: 0,
         workers: run.worker_wall.len(),
         worker_stolen: run.worker_stolen,
         worker_idle_probes: run.worker_idle_probes,
@@ -810,6 +961,84 @@ mod tests {
         assert_eq!(points[4], LatticePoint::Active { tdp_idx: 1, wl_idx: 0, ar_idx: 0 });
         assert_eq!(points[8], LatticePoint::Idle { tdp_idx: 0, state_idx: 0 });
         assert_eq!(points[11], LatticePoint::Idle { tdp_idx: 1, state_idx: 1 });
+    }
+
+    #[test]
+    fn point_at_matches_the_materialised_enumeration() {
+        let grid = small_grid();
+        let mut expected = Vec::new();
+        for t in 0..2 {
+            for w in 0..2 {
+                for a in 0..2 {
+                    expected.push(LatticePoint::Active { tdp_idx: t, wl_idx: w, ar_idx: a });
+                }
+            }
+        }
+        for t in 0..2 {
+            for s in 0..2 {
+                expected.push(LatticePoint::Idle { tdp_idx: t, state_idx: s });
+            }
+        }
+        assert_eq!(grid.points(), expected);
+        for (i, &p) in expected.iter().enumerate() {
+            assert_eq!(grid.point_at(i), p, "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn point_at_rejects_out_of_range_indices() {
+        small_grid().point_at(12);
+    }
+
+    #[test]
+    fn staged_scenarios_match_direct_construction() {
+        // The per-TDP staging cache (solved frequency scalar + virus
+        // tables) must be invisible: every scenario equals the one the
+        // unstaged constructors build.
+        let grid = small_grid();
+        let (scenarios, _) = build_scenarios(&grid, &ClientSoc, Workers::Serial);
+        for (idx, got) in scenarios.iter().enumerate() {
+            let point = grid.point_at(idx);
+            let soc = client_soc(Watts::new(grid.tdps()[point.tdp_idx()]));
+            let direct = match point {
+                LatticePoint::Active { wl_idx, ar_idx, .. } => {
+                    Scenario::active_fixed_tdp_frequency(
+                        &soc,
+                        grid.workload_types()[wl_idx],
+                        ApplicationRatio::new(grid.ars()[ar_idx]).unwrap(),
+                    )
+                    .unwrap()
+                }
+                LatticePoint::Idle { state_idx, .. } => {
+                    Scenario::idle(&soc, grid.idle_states()[state_idx])
+                }
+            };
+            assert_eq!(*got.as_ref().unwrap(), direct, "{}", grid.describe(point));
+        }
+    }
+
+    #[test]
+    fn memoized_batch_is_bit_identical_and_hits_on_the_second_pass() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
+        let grid = small_grid();
+        let plain = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Serial);
+        let memo = MemoCache::new();
+        let first = evaluate_grid_memo(&pdns, &grid, &ClientSoc, Workers::Serial, Some(&memo));
+        let second = evaluate_grid_memo(&pdns, &grid, &ClientSoc, Workers::Fixed(3), Some(&memo));
+        assert_eq!(plain.evaluations, first.evaluations);
+        assert_eq!(plain.evaluations, second.evaluations);
+        assert_eq!(first.stats.memo_misses, 24, "cold cache misses every task");
+        assert_eq!(first.stats.memo_hits, 0);
+        assert_eq!(second.stats.memo_hits, 24, "warm cache hits every task");
+        assert_eq!(second.stats.memo_misses, 0);
+        assert!(second.stats.memo_hit_rate() > 0.8);
+        let footer = second.stats.to_string();
+        assert!(footer.contains("memo 100.0% hits"), "{footer}");
+        assert!(!plain.stats.to_string().contains("memo"), "{}", plain.stats);
     }
 
     #[test]

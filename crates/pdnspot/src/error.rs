@@ -25,6 +25,11 @@ pub enum PdnError {
         /// Human-readable description of the degradation.
         reason: String,
     },
+    /// A reference-counted view of another error, used where one failure
+    /// fans out to many consumers (a failing lattice point reported once
+    /// per PDN): cloning bumps a refcount instead of deep-copying the
+    /// error. Transparent in `Display` and `source`.
+    Shared(std::sync::Arc<PdnError>),
     /// A batch campaign failed at a specific lattice point (see
     /// [`crate::batch`]); carries the failing coordinates so a single bad
     /// point can be located inside a large sweep.
@@ -49,6 +54,7 @@ impl fmt::Display for PdnError {
             PdnError::Degraded { component, reason } => {
                 write!(f, "{component} degraded: {reason}")
             }
+            PdnError::Shared(inner) => fmt::Display::fmt(inner, f),
             PdnError::Lattice { pdn: Some(pdn), point, source } => {
                 write!(f, "evaluation of {pdn} failed at lattice point [{point}]: {source}")
             }
@@ -66,7 +72,20 @@ impl std::error::Error for PdnError {
             PdnError::Units(e) => Some(e),
             PdnError::Scenario(_) => None,
             PdnError::Degraded { .. } => None,
+            PdnError::Shared(inner) => std::error::Error::source(inner.as_ref()),
             PdnError::Lattice { source, .. } => Some(source.as_ref()),
+        }
+    }
+}
+
+impl PdnError {
+    /// Wraps this error in a reference-counted [`PdnError::Shared`] so
+    /// subsequent clones are refcount bumps; already-shared errors are
+    /// returned unchanged (no nesting).
+    pub fn into_shared(self) -> Self {
+        match self {
+            PdnError::Shared(_) => self,
+            other => PdnError::Shared(std::sync::Arc::new(other)),
         }
     }
 }
@@ -106,6 +125,23 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("MaxCurrentProtection") && msg.contains("positive"), "{msg}");
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn shared_errors_are_transparent() {
+        let inner = PdnError::Lattice {
+            pdn: None,
+            point: "tdp=4W state=C8".into(),
+            source: Box::new(PdnError::Scenario("no powered domain".into())),
+        };
+        let shared = inner.clone().into_shared();
+        assert_eq!(shared.to_string(), inner.to_string());
+        assert_eq!(
+            std::error::Error::source(&shared).map(ToString::to_string),
+            std::error::Error::source(&inner).map(ToString::to_string)
+        );
+        // Re-sharing does not nest.
+        assert_eq!(shared.clone().into_shared(), shared);
     }
 
     #[test]

@@ -17,11 +17,12 @@
 //! (guardband + gate) losses.
 
 use crate::error::PdnError;
-use crate::scenario::DomainLoad;
-use pdn_proc::guardband_power;
+use crate::scenario::{DomainLoad, Scenario};
+use pdn_proc::{guardband_power, DomainKind};
 use pdn_units::{Amps, ApplicationRatio, Efficiency, Ohms, Volts, Watts};
 use pdn_vr::{BuckConverter, OperatingPoint, VoltageRegulator, VrPowerState};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// A load after a voltage-raising stage: new power demand and rail voltage.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -170,6 +171,145 @@ pub fn board_vr_stage(
             efficiency,
         },
     ))
+}
+
+/// A provider of the PDN-independent half of an evaluation.
+///
+/// The guardband, power-gate, and virus-headroom stages depend only on the
+/// scenario and a handful of electrical parameters — not on which topology
+/// is asking. Topologies route those stages through a `Stager` so a batch
+/// sweep can hand every PDN at a lattice point the same [`StagedPoint`]
+/// and compute each partial once instead of once per PDN.
+///
+/// Every method's default computes directly via the pure stage functions,
+/// so [`DirectStager`] is a zero-cost pass-through and any caching
+/// implementation returning the same bits is observationally identical.
+pub trait Stager: Sync {
+    /// [`guardband_stage`] for one domain's load.
+    fn guardband(&self, kind: DomainKind, load: &DomainLoad, tob: Volts, delta: f64) -> StagedLoad {
+        let _ = kind;
+        guardband_stage(load, tob, delta)
+    }
+
+    /// [`guardband_stage`] followed by [`power_gate_stage`] for one
+    /// domain's load (the MBVR-style gated flow).
+    fn gated(
+        &self,
+        kind: DomainKind,
+        load: &DomainLoad,
+        tob: Volts,
+        r_pg: Ohms,
+        delta: f64,
+    ) -> StagedLoad {
+        power_gate_stage(self.guardband(kind, load, tob, delta), load, r_pg, delta)
+    }
+
+    /// The load-independent virus headroom of a rail serving `domains`
+    /// ([`Scenario::rail_virus_headroom`]).
+    fn virus_headroom(&self, scenario: &Scenario, domains: &[DomainKind]) -> Watts {
+        scenario.rail_virus_headroom(domains)
+    }
+
+    /// [`Scenario::rail_virus_power`]: the virus headroom clamped to never
+    /// fall below the rail's running power.
+    fn rail_virus_power(
+        &self,
+        scenario: &Scenario,
+        domains: &[DomainKind],
+        running: Watts,
+    ) -> Watts {
+        self.virus_headroom(scenario, domains).max(running)
+    }
+}
+
+/// The trivial [`Stager`]: every stage is computed on the spot. Used by
+/// single-scenario evaluation paths where there is nothing to share.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectStager;
+
+impl Stager for DirectStager {}
+
+/// Packs an ordered domain list into an exact small-integer key (4 bits
+/// per domain, ≤ 6 domains). Order-preserving, because the f64 summation
+/// order inside [`Scenario::rail_virus_headroom`] follows the slice order.
+fn domain_seq_key(domains: &[DomainKind]) -> u64 {
+    domains.iter().fold(0u64, |key, &k| (key << 4) | (k as u64 + 1))
+}
+
+/// Memoized PDN-independent stage results for **one** lattice point.
+///
+/// Caches are keyed by the exact `f64` bit patterns of the stage inputs
+/// (tolerance band, gate impedance, leakage exponent) plus the domain, so
+/// a hit returns precisely the bits a fresh computation would produce —
+/// PDNs that share a parameter value (e.g. the MBVR and LDO 18 mV TOB, or
+/// the universal 0.5 mΩ power gate) share the work, PDNs that differ miss
+/// and compute their own entry.
+///
+/// The caller must create one `StagedPoint` per scenario and never reuse
+/// it across scenarios: the scenario itself is deliberately *not* part of
+/// the cache keys (the batch engine owns one `StagedPoint` per lattice
+/// point, pinned to that point's scenario).
+#[derive(Debug, Default)]
+pub struct StagedPoint {
+    guardbands: StageCache<(u8, u64, u64)>,
+    gated: StageCache<(u8, u64, u64, u64)>,
+    headrooms: Mutex<Vec<(u64, Watts)>>,
+}
+
+/// A tiny linear-scan cache from an exact-bits key to a staged load.
+type StageCache<K> = Mutex<Vec<(K, StagedLoad)>>;
+
+impl StagedPoint {
+    /// An empty staging cache for one lattice point.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Stager for StagedPoint {
+    fn guardband(&self, kind: DomainKind, load: &DomainLoad, tob: Volts, delta: f64) -> StagedLoad {
+        let key = (kind as u8, tob.get().to_bits(), delta.to_bits());
+        let mut cache = self.guardbands.lock().expect("staging cache poisoned");
+        if let Some((_, hit)) = cache.iter().find(|(k, _)| *k == key) {
+            return *hit;
+        }
+        let value = guardband_stage(load, tob, delta);
+        cache.push((key, value));
+        value
+    }
+
+    fn gated(
+        &self,
+        kind: DomainKind,
+        load: &DomainLoad,
+        tob: Volts,
+        r_pg: Ohms,
+        delta: f64,
+    ) -> StagedLoad {
+        let key = (kind as u8, tob.get().to_bits(), r_pg.get().to_bits(), delta.to_bits());
+        if let Some((_, hit)) =
+            self.gated.lock().expect("staging cache poisoned").iter().find(|(k, _)| *k == key)
+        {
+            return *hit;
+        }
+        // Not held across the guardband call: both caches lock briefly and
+        // independently. A racing duplicate insert is benign (same bits;
+        // linear scan returns the first).
+        let value = power_gate_stage(self.guardband(kind, load, tob, delta), load, r_pg, delta);
+        self.gated.lock().expect("staging cache poisoned").push((key, value));
+        value
+    }
+
+    fn virus_headroom(&self, scenario: &Scenario, domains: &[DomainKind]) -> Watts {
+        let key = domain_seq_key(domains);
+        let mut cache = self.headrooms.lock().expect("staging cache poisoned");
+        if let Some((_, hit)) = cache.iter().find(|(k, _)| *k == key) {
+            return *hit;
+        }
+        let value = scenario.rail_virus_headroom(domains);
+        cache.push((key, value));
+        value
+    }
 }
 
 /// The Fig. 5 loss decomposition.
@@ -396,6 +536,66 @@ mod tests {
         .unwrap()
         .0;
         assert!(light < capped, "PS-capped rail must burn more: {light} vs {capped}");
+    }
+
+    #[test]
+    fn staged_point_matches_direct_stager_bit_for_bit() {
+        let soc = pdn_proc::client_soc(Watts::new(18.0));
+        let s = Scenario::active_fixed_tdp_frequency(
+            &soc,
+            pdn_workload::WorkloadType::MultiThread,
+            ApplicationRatio::new(0.6).unwrap(),
+        )
+        .unwrap();
+        let staged = StagedPoint::new();
+        let direct = DirectStager;
+        let tob = Volts::from_millivolts(18.0);
+        let r_pg = Ohms::from_milliohms(0.5);
+        for _ in 0..2 {
+            // Second iteration exercises the hit path of every cache.
+            for kind in DomainKind::ALL {
+                let l = s.load(kind);
+                let a = staged.guardband(kind, l, tob, 2.8);
+                let b = direct.guardband(kind, l, tob, 2.8);
+                assert_eq!(a.power.get().to_bits(), b.power.get().to_bits());
+                assert_eq!(a.voltage.get().to_bits(), b.voltage.get().to_bits());
+                let ga = staged.gated(kind, l, tob, r_pg, 2.8);
+                let gb = direct.gated(kind, l, tob, r_pg, 2.8);
+                assert_eq!(ga.power.get().to_bits(), gb.power.get().to_bits());
+            }
+            for domains in
+                [&[DomainKind::Core0, DomainKind::Core1, DomainKind::Llc][..], &[DomainKind::Sa]]
+            {
+                let a = staged.rail_virus_power(&s, domains, Watts::new(1.0));
+                let b = direct.rail_virus_power(&s, domains, Watts::new(1.0));
+                assert_eq!(a.get().to_bits(), b.get().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn staged_point_distinguishes_stage_parameters() {
+        let soc = pdn_proc::client_soc(Watts::new(18.0));
+        let s = Scenario::active_fixed_tdp_frequency(
+            &soc,
+            pdn_workload::WorkloadType::MultiThread,
+            ApplicationRatio::new(0.6).unwrap(),
+        )
+        .unwrap();
+        let staged = StagedPoint::new();
+        let l = s.load(DomainKind::Core0);
+        let at_18 = staged.guardband(DomainKind::Core0, l, Volts::from_millivolts(18.0), 2.8);
+        let at_20 = staged.guardband(DomainKind::Core0, l, Volts::from_millivolts(20.0), 2.8);
+        assert_ne!(at_18.power, at_20.power, "different TOBs must not share a cache entry");
+        // Ordered sequence keys: distinct rails never collide.
+        assert_ne!(
+            super::domain_seq_key(&[DomainKind::Sa]),
+            super::domain_seq_key(&[DomainKind::Io])
+        );
+        assert_ne!(
+            super::domain_seq_key(&[DomainKind::Core0, DomainKind::Core1]),
+            super::domain_seq_key(&[DomainKind::Core1, DomainKind::Core0])
+        );
     }
 
     #[test]

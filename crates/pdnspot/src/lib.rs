@@ -54,6 +54,7 @@ pub mod areabom;
 pub mod batch;
 pub mod error;
 pub mod etee;
+pub mod memo;
 pub mod params;
 pub mod perf;
 pub mod prelude;
@@ -65,7 +66,8 @@ pub mod validation;
 
 pub use batch::{BatchStats, ClientSoc, SocProvider, SweepGrid, Workers};
 pub use error::PdnError;
-pub use etee::{LossBreakdown, PdnEvaluation, RailReport};
+pub use etee::{DirectStager, LossBreakdown, PdnEvaluation, RailReport, StagedPoint, Stager};
+pub use memo::{MemoCache, MemoPdn, MemoStats};
 pub use params::ModelParams;
 pub use scenario::{DomainLoad, Scenario};
 pub use topology::{IPlusMbvrPdn, IvrPdn, LdoPdn, MbvrPdn, Pdn, PdnKind};

@@ -1,0 +1,466 @@
+//! A sharded, bounded memo cache over `(PDN, scenario) → evaluation`.
+//!
+//! Design-space exploration answers many *overlapping* queries: every
+//! figure kernel, the crossover bisection, and predictor training evaluate
+//! the same `(PDN, lattice point)` pairs over and over. [`MemoCache`]
+//! eliminates that redundancy without changing a single reported value:
+//!
+//! * **Keys** pair a PDN identity token ([`crate::topology::Pdn::memo_token`],
+//!   a hash of the topology kind and its full parameter set) with a
+//!   [`crate::scenario::Scenario::fingerprint`] — exact `f64` bit patterns,
+//!   no rounding — so two lookups collide only when every input a power
+//!   model reads is numerically identical, and the cached value is the very
+//!   value a recomputation would produce, bit for bit.
+//! * **Sharding**: keys are striped over independently locked shards so
+//!   parallel batch workers rarely contend on the same mutex.
+//! * **Bounded capacity**: each shard evicts in FIFO order past its
+//!   capacity share, keeping memory flat on unbounded query streams.
+//! * Only `Ok` evaluations are cached; errors always propagate fresh.
+//!
+//! Wrap any [`Pdn`] with [`MemoCache::wrap`] to thread caching through
+//! code that only knows the trait.
+
+use crate::error::PdnError;
+use crate::etee::{PdnEvaluation, StagedPoint};
+use crate::params::ModelParams;
+use crate::scenario::Scenario;
+use crate::topology::{OffchipRail, Pdn, PdnKind};
+use pdn_proc::SocSpec;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Streaming 64-bit FNV-1a hasher used for memo keys and fingerprints.
+///
+/// Deterministic across runs and platforms (unlike `std`'s randomly seeded
+/// `DefaultHasher`), which keeps memo behaviour — and therefore hit-rate
+/// digests — reproducible.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a new hash at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// Feeds one 64-bit word (little-endian byte order) into the hash.
+    pub fn write(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The `(PDN identity, scenario fingerprint)` cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MemoKey {
+    pdn: u64,
+    scenario: u64,
+}
+
+impl MemoKey {
+    fn mixed(self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(self.pdn);
+        h.write(self.scenario);
+        h.finish()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<MemoKey, PdnEvaluation>,
+    order: VecDeque<MemoKey>,
+}
+
+/// Counter snapshot of a [`MemoCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a real evaluation.
+    pub misses: u64,
+    /// Entries dropped by the bounded-capacity FIFO policy.
+    pub evictions: u64,
+    /// Evaluations that skipped the cache because the PDN declares no
+    /// identity token.
+    pub bypasses: u64,
+}
+
+impl MemoStats {
+    /// Total cacheable lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of cacheable lookups answered from the cache (0 when no
+    /// lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Number of independently locked shards.
+const SHARDS: usize = 16;
+
+/// Default total entry capacity of [`MemoCache::new`].
+pub const DEFAULT_CAPACITY: usize = 8192;
+
+/// A lock-striped, bounded memo cache of PDN evaluations (see the module
+/// docs for the key and determinism contract).
+///
+/// # Examples
+///
+/// ```
+/// use pdn_units::{ApplicationRatio, Watts};
+/// use pdn_workload::WorkloadType;
+/// use pdnspot::{memo::MemoCache, IvrPdn, ModelParams, Pdn, Scenario};
+///
+/// let pdn = IvrPdn::new(ModelParams::paper_defaults());
+/// let soc = pdn_proc::client_soc(Watts::new(18.0));
+/// let s = Scenario::active_budget(
+///     &soc,
+///     WorkloadType::MultiThread,
+///     ApplicationRatio::new(0.6)?,
+///     pdn.params(),
+/// )?;
+/// let cache = MemoCache::new();
+/// let first = cache.evaluate(&pdn, &s)?;
+/// let second = cache.evaluate(&pdn, &s)?;
+/// assert_eq!(first, second);
+/// assert_eq!(cache.stats().hits, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct MemoCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+impl MemoCache {
+    /// A cache bounded at [`DEFAULT_CAPACITY`] entries.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A cache bounded at `capacity` total entries (rounded up to a
+    /// multiple of the shard count; at least one entry per shard).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard: capacity.div_ceil(SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: MemoKey) -> &Mutex<Shard> {
+        &self.shards[(key.mixed() % SHARDS as u64) as usize]
+    }
+
+    /// Evaluates `pdn` on `scenario` through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying evaluation error (never cached).
+    pub fn evaluate(&self, pdn: &dyn Pdn, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
+        self.evaluate_impl(pdn, scenario, None)
+    }
+
+    /// [`MemoCache::evaluate`] with a per-point [`StagedPoint`] forwarded
+    /// to the PDN on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying evaluation error (never cached).
+    pub fn evaluate_staged(
+        &self,
+        pdn: &dyn Pdn,
+        scenario: &Scenario,
+        staged: &StagedPoint,
+    ) -> Result<PdnEvaluation, PdnError> {
+        self.evaluate_impl(pdn, scenario, Some(staged))
+    }
+
+    fn evaluate_impl(
+        &self,
+        pdn: &dyn Pdn,
+        scenario: &Scenario,
+        staged: Option<&StagedPoint>,
+    ) -> Result<PdnEvaluation, PdnError> {
+        let run = |staged: Option<&StagedPoint>| match staged {
+            Some(s) => pdn.evaluate_staged(scenario, s),
+            None => pdn.evaluate(scenario),
+        };
+        let Some(token) = pdn.memo_token() else {
+            self.bypasses.fetch_add(1, Ordering::Relaxed);
+            return run(staged);
+        };
+        let key = MemoKey { pdn: token, scenario: scenario.fingerprint() };
+        if let Some(hit) = self.shard_of(key).lock().expect("memo shard poisoned").map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = run(staged)?;
+        let mut shard = self.shard_of(key).lock().expect("memo shard poisoned");
+        // A racing worker may have inserted the same key; both computed
+        // identical bits, so keeping the first insertion is safe.
+        if !shard.map.contains_key(&key) {
+            if shard.order.len() >= self.capacity_per_shard {
+                if let Some(oldest) = shard.order.pop_front() {
+                    shard.map.remove(&oldest);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            shard.order.push_back(key);
+            shard.map.insert(key, value.clone());
+        }
+        Ok(value)
+    }
+
+    /// Current number of cached evaluations across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("memo shard poisoned").map.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss/eviction/bypass counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Wraps a PDN so every [`Pdn::evaluate`] call routes through this
+    /// cache — the plumbing used by figure kernels that only know the
+    /// trait.
+    pub fn wrap<'a>(&'a self, inner: &'a dyn Pdn) -> MemoPdn<'a> {
+        MemoPdn { cache: self, inner }
+    }
+}
+
+impl Default for MemoCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A [`Pdn`] adaptor that routes evaluations through a [`MemoCache`],
+/// delegating everything else (kind, params, rail sizing, identity token)
+/// to the wrapped topology.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoPdn<'a> {
+    cache: &'a MemoCache,
+    inner: &'a dyn Pdn,
+}
+
+impl Pdn for MemoPdn<'_> {
+    fn kind(&self) -> PdnKind {
+        self.inner.kind()
+    }
+
+    fn params(&self) -> &ModelParams {
+        self.inner.params()
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
+        self.cache.evaluate(self.inner, scenario)
+    }
+
+    fn evaluate_staged(
+        &self,
+        scenario: &Scenario,
+        staged: &StagedPoint,
+    ) -> Result<PdnEvaluation, PdnError> {
+        self.cache.evaluate_staged(self.inner, scenario, staged)
+    }
+
+    fn memo_token(&self) -> Option<u64> {
+        self.inner.memo_token()
+    }
+
+    fn offchip_rails(&self, soc: &SocSpec) -> Result<Vec<OffchipRail>, PdnError> {
+        // Preserve any override (e.g. FlexWatts sizes rails for the union
+        // of its modes) instead of re-running the trait default.
+        self.inner.offchip_rails(soc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{IvrPdn, MbvrPdn};
+    use pdn_proc::{client_soc, PackageCState};
+    use pdn_units::{ApplicationRatio, Watts};
+    use pdn_workload::WorkloadType;
+
+    fn scenario(tdp: f64, ar: f64) -> Scenario {
+        let soc = client_soc(Watts::new(tdp));
+        Scenario::active_fixed_tdp_frequency(
+            &soc,
+            WorkloadType::MultiThread,
+            ApplicationRatio::new(ar).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fnv1a_is_deterministic_and_order_sensitive() {
+        let mut a = Fnv1a::new();
+        a.write(1);
+        a.write(2);
+        let mut b = Fnv1a::new();
+        b.write(2);
+        b.write(1);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv1a::new();
+        c.write(1);
+        c.write(2);
+        assert_eq!(a.finish(), c.finish());
+        // The FNV-1a hash of the empty input is the offset basis.
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn hit_returns_the_identical_evaluation() {
+        let pdn = IvrPdn::new(ModelParams::paper_defaults());
+        let s = scenario(18.0, 0.6);
+        let cache = MemoCache::new();
+        let miss = cache.evaluate(&pdn, &s).unwrap();
+        let hit = cache.evaluate(&pdn, &s).unwrap();
+        assert_eq!(miss, hit);
+        assert_eq!(miss.input_power.get().to_bits(), hit.input_power.get().to_bits());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_pdns_and_scenarios_do_not_collide() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let s18 = scenario(18.0, 0.6);
+        let s50 = scenario(50.0, 0.6);
+        let cache = MemoCache::new();
+        let a = cache.evaluate(&ivr, &s18).unwrap();
+        let b = cache.evaluate(&mbvr, &s18).unwrap();
+        let c = cache.evaluate(&ivr, &s50).unwrap();
+        assert_ne!(a.input_power, b.input_power, "different PDNs must not share entries");
+        assert_ne!(a.input_power, c.input_power, "different scenarios must not share entries");
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn capacity_is_bounded_with_fifo_eviction() {
+        let pdn = IvrPdn::new(ModelParams::paper_defaults());
+        let cache = MemoCache::with_capacity(16); // one entry per shard
+        let soc = client_soc(Watts::new(18.0));
+        for i in 0..40 {
+            let ar = 0.40 + 0.01 * i as f64;
+            let s = Scenario::active_fixed_tdp_frequency(
+                &soc,
+                WorkloadType::MultiThread,
+                ApplicationRatio::new(ar).unwrap(),
+            )
+            .unwrap();
+            cache.evaluate(&pdn, &s).unwrap();
+        }
+        assert!(cache.len() <= 16, "cache must stay bounded: {}", cache.len());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 40);
+        assert_eq!(stats.evictions as usize, 40 - cache.len());
+    }
+
+    #[test]
+    fn evicted_entries_recompute_identically() {
+        let pdn = IvrPdn::new(ModelParams::paper_defaults());
+        let unbounded = MemoCache::new();
+        let tiny = MemoCache::with_capacity(1);
+        let soc = client_soc(Watts::new(18.0));
+        let scenarios: Vec<Scenario> = (0..8)
+            .map(|i| {
+                Scenario::active_fixed_tdp_frequency(
+                    &soc,
+                    WorkloadType::MultiThread,
+                    ApplicationRatio::new(0.40 + 0.05 * i as f64).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        for _ in 0..2 {
+            for s in &scenarios {
+                let a = unbounded.evaluate(&pdn, s).unwrap();
+                let b = tiny.evaluate(&pdn, s).unwrap();
+                assert_eq!(a.input_power.get().to_bits(), b.input_power.get().to_bits());
+                assert_eq!(a.etee.get().to_bits(), b.etee.get().to_bits());
+            }
+        }
+        assert!(tiny.stats().evictions > 0, "the tiny cache must have evicted");
+    }
+
+    #[test]
+    fn idle_and_active_fingerprints_differ() {
+        let soc = client_soc(Watts::new(18.0));
+        let active = scenario(18.0, 0.6);
+        let idle = Scenario::idle(&soc, PackageCState::C8);
+        assert_ne!(active.fingerprint(), idle.fingerprint());
+        let c6 = Scenario::idle(&soc, PackageCState::C6);
+        assert_ne!(idle.fingerprint(), c6.fingerprint());
+    }
+
+    #[test]
+    fn wrapped_pdn_delegates_identity_and_caches() {
+        let pdn = IvrPdn::new(ModelParams::paper_defaults());
+        let cache = MemoCache::new();
+        let wrapped = cache.wrap(&pdn);
+        assert_eq!(wrapped.kind(), pdn.kind());
+        assert_eq!(wrapped.memo_token(), pdn.memo_token());
+        assert_eq!(wrapped.params(), pdn.params());
+        let s = scenario(18.0, 0.6);
+        let direct = pdn.evaluate(&s).unwrap();
+        let through = wrapped.evaluate(&s).unwrap();
+        let again = wrapped.evaluate(&s).unwrap();
+        assert_eq!(direct, through);
+        assert_eq!(through, again);
+        assert_eq!(cache.stats().hits, 1);
+        let soc = client_soc(Watts::new(18.0));
+        assert_eq!(wrapped.offchip_rails(&soc).unwrap(), pdn.offchip_rails(&soc).unwrap());
+    }
+}

@@ -71,6 +71,36 @@ pub struct ModelParams {
 }
 
 impl ModelParams {
+    /// A 64-bit fingerprint over every parameter (exact `f64` bit
+    /// patterns, no rounding): two parameter sets share a fingerprint only
+    /// when they are numerically indistinguishable to the power models.
+    /// Used as the parameter half of [`crate::topology::pdn_memo_token`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::memo::Fnv1a::new();
+        h.write(self.supply_voltage.get().to_bits());
+        for ll in [
+            &self.ivr_loadlines,
+            &self.mbvr_loadlines,
+            &self.ldo_loadlines,
+            &self.flexwatts_loadlines,
+        ] {
+            h.write(ll.vin.get().to_bits());
+            h.write(ll.compute.get().to_bits());
+            h.write(ll.sa.get().to_bits());
+            h.write(ll.io.get().to_bits());
+        }
+        for tob in [&self.ivr_tob, &self.mbvr_tob, &self.ldo_tob] {
+            h.write(tob.controller.get().to_bits());
+            h.write(tob.current_sense.get().to_bits());
+            h.write(tob.ripple.get().to_bits());
+        }
+        h.write(self.vin_level.get().to_bits());
+        h.write(self.leakage_exponent.to_bits());
+        h.write(self.ivr_lightload_cap as u64);
+        h.write(self.board_lightload_cap as u64);
+        h.finish()
+    }
+
     /// The paper's Table 2 parameter values.
     pub fn paper_defaults() -> Self {
         Self {
@@ -146,5 +176,17 @@ mod tests {
     #[test]
     fn default_trait_matches_paper_defaults() {
         assert_eq!(ModelParams::default(), ModelParams::paper_defaults());
+    }
+
+    #[test]
+    fn fingerprint_separates_parameter_sets() {
+        let base = ModelParams::paper_defaults();
+        assert_eq!(base.fingerprint(), ModelParams::paper_defaults().fingerprint());
+        let mut tweaked = ModelParams::paper_defaults();
+        tweaked.leakage_exponent += 1e-9;
+        assert_ne!(base.fingerprint(), tweaked.fingerprint());
+        let mut capped = ModelParams::paper_defaults();
+        capped.ivr_lightload_cap = VrPowerState::Ps0;
+        assert_ne!(base.fingerprint(), capped.fingerprint());
     }
 }

@@ -14,15 +14,19 @@
 //! ```
 
 pub use crate::batch::{
-    build_scenarios, evaluate_grid, evaluate_grid_with, par_map, par_map_stats, BatchOutcome,
-    BatchStats, ClientSoc, LatticePoint, PointEvaluation, SocProvider, SweepGrid, SweepGridBuilder,
-    Workers,
+    build_scenarios, evaluate_grid, evaluate_grid_memo, evaluate_grid_with, par_map, par_map_stats,
+    BatchOutcome, BatchStats, ClientSoc, LatticePoint, PointEvaluation, SocProvider, SweepGrid,
+    SweepGridBuilder, Workers,
 };
 pub use crate::error::PdnError;
 pub use crate::etee::{LossBreakdown, PdnEvaluation, RailReport};
+pub use crate::memo::{MemoCache, MemoPdn, MemoStats};
 pub use crate::params::ModelParams;
 pub use crate::scenario::{DomainLoad, Scenario};
-pub use crate::sweep::{etee_surfaces, Crossover, EteeSurface};
+pub use crate::sweep::{
+    crossover_tdp_memo, crossover_tdp_with, etee_surfaces, etee_surfaces_memo, Crossover,
+    EteeSurface,
+};
 pub use crate::topology::{IPlusMbvrPdn, IvrPdn, LdoPdn, MbvrPdn, Pdn, PdnKind};
 pub use crate::validation::{validate, validate_with, ReferenceSystem, ValidationReport};
 pub use pdn_units::{ApplicationRatio, Watts};

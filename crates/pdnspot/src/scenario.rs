@@ -91,6 +91,21 @@ impl Scenario {
         f_cores: Hertz,
         f_gfx: Hertz,
     ) -> Result<Self, PdnError> {
+        Self::active_with_virus(soc, workload_type, ar, f_cores, f_gfx, Self::tdp_virus_loads(soc))
+    }
+
+    /// [`Scenario::active`] with the TDP virus load sets supplied by the
+    /// caller. The virus sets depend only on the SoC, so batch sweeps
+    /// compute them once per TDP and pass the cached tables here; the
+    /// construction is otherwise identical to [`Scenario::active`].
+    fn active_with_virus(
+        soc: &SocSpec,
+        workload_type: WorkloadType,
+        ar: ApplicationRatio,
+        f_cores: Hertz,
+        f_gfx: Hertz,
+        virus: [DomainTable<DomainLoad>; 2],
+    ) -> Result<Self, PdnError> {
         let loads = Self::domain_loads_at(soc, workload_type, ar, f_cores, f_gfx);
         if loads.values().all(|l| !l.powered) {
             return Err(PdnError::Scenario("no powered domain in scenario".into()));
@@ -103,7 +118,7 @@ impl Scenario {
             tj: soc.tj_active,
             tdp: soc.tdp,
             loads,
-            virus: Self::tdp_virus_loads(soc),
+            virus,
             virus_margin: TURBO_VIRUS_MARGIN,
         })
     }
@@ -174,7 +189,7 @@ impl Scenario {
     /// the highest frequency the TDP sustains for the workload type that
     /// stresses that domain hardest (multi-thread for cores/LLC, graphics
     /// for GFX).
-    fn tdp_virus_loads(soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
+    pub(crate) fn tdp_virus_loads(soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
         [WorkloadType::MultiThread, WorkloadType::Graphics].map(|wl| {
             let t = Self::solve_t_for_nominal(soc, wl, soc.tdp);
             let (f_cores, f_gfx) = Self::frequency_point(soc, wl, t);
@@ -225,6 +240,14 @@ impl Scenario {
     ///
     /// Never less than the rail's running power.
     pub fn rail_virus_power(&self, domains: &[DomainKind], running: Watts) -> Watts {
+        self.rail_virus_headroom(domains).max(running)
+    }
+
+    /// The load-independent part of [`Scenario::rail_virus_power`]: the
+    /// margined virus total for a rail serving `domains`. Depends only on
+    /// the scenario, so batch sweeps cache it per (point, rail) and clamp
+    /// against the running power afterwards.
+    pub fn rail_virus_headroom(&self, domains: &[DomainKind]) -> Watts {
         // In graphics configurations the second core is parked by the
         // configuration itself (the driver/scheduler keeps it off), so
         // the sibling-wake rule does not apply there.
@@ -247,7 +270,7 @@ impl Scenario {
                     .sum::<Watts>()
             })
             .fold(Watts::ZERO, Watts::max);
-        (virus * self.virus_margin).max(running)
+        virus * self.virus_margin
     }
 
     /// Builds an active scenario whose compute frequency is chosen so that
@@ -299,10 +322,34 @@ impl Scenario {
         workload_type: WorkloadType,
         ar: ApplicationRatio,
     ) -> Result<Self, PdnError> {
-        let t =
-            Self::solve_t_for_budget(soc, workload_type, ApplicationRatio::POWER_VIRUS, soc.tdp)?;
+        let t = Self::solve_t_fixed_tdp(soc, workload_type)?;
         let (f_cores, f_gfx) = Self::frequency_point(soc, workload_type, t);
         Scenario::active(soc, workload_type, ar, f_cores, f_gfx)
+    }
+
+    /// The frequency scalar of the [`Scenario::active_fixed_tdp_frequency`]
+    /// design point. Independent of AR, so a sweep along the AR axis
+    /// solves it once per (SoC, workload type).
+    pub(crate) fn solve_t_fixed_tdp(
+        soc: &SocSpec,
+        workload_type: WorkloadType,
+    ) -> Result<f64, PdnError> {
+        Self::solve_t_for_budget(soc, workload_type, ApplicationRatio::POWER_VIRUS, soc.tdp)
+    }
+
+    /// [`Scenario::active_fixed_tdp_frequency`] with the frequency scalar
+    /// and virus tables precomputed by the caller. Feeding back the values
+    /// the unstaged constructor would itself compute yields a bit-identical
+    /// scenario — the batch engine's per-TDP cache relies on this.
+    pub(crate) fn active_fixed_tdp_staged(
+        soc: &SocSpec,
+        workload_type: WorkloadType,
+        ar: ApplicationRatio,
+        t: f64,
+        virus: [DomainTable<DomainLoad>; 2],
+    ) -> Result<Self, PdnError> {
+        let (f_cores, f_gfx) = Self::frequency_point(soc, workload_type, t);
+        Self::active_with_virus(soc, workload_type, ar, f_cores, f_gfx, virus)
     }
 
     /// Bisects the frequency scalar `t` so that the scenario's nominal
@@ -370,6 +417,17 @@ impl Scenario {
     /// [`PackageCState::nominal_domain_powers`]; voltages are the fixed
     /// SA/IO rail levels and the minimum compute voltage for C0MIN.
     pub fn idle(soc: &SocSpec, state: PackageCState) -> Self {
+        Self::idle_staged(soc, state, Self::fmin_virus_loads(soc))
+    }
+
+    /// [`Scenario::idle`] with the fmin virus tables precomputed by the
+    /// caller (they depend only on the SoC; same bit-identity contract as
+    /// [`Scenario::active_fixed_tdp_staged`]).
+    pub(crate) fn idle_staged(
+        soc: &SocSpec,
+        state: PackageCState,
+        virus: [DomainTable<DomainLoad>; 2],
+    ) -> Self {
         let powers = state.nominal_domain_powers();
         let loads = DomainTable::from_fn(|kind| {
             let cfg = soc.domain(kind);
@@ -396,7 +454,7 @@ impl Scenario {
             // configuration, so the guardband covers the virus at the
             // *minimum* frequency, not the TDP design point, and turbo is
             // not reachable without first leaving the idle state.
-            virus: Self::fmin_virus_loads(soc),
+            virus,
             virus_margin: 1.0,
         }
     }
@@ -404,7 +462,7 @@ impl Scenario {
     /// Per-domain power-virus loads at the minimum operating frequencies —
     /// the rail guardband basis for C0MIN/idle configurations, where DVFS
     /// has already lowered every setpoint.
-    fn fmin_virus_loads(soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
+    pub(crate) fn fmin_virus_loads(soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
         [WorkloadType::MultiThread, WorkloadType::Graphics].map(|wl| {
             let cores = soc.domain(DomainKind::Core0);
             let gfx = soc.domain(DomainKind::Gfx);
@@ -463,6 +521,39 @@ impl Scenario {
     /// Whether this scenario is an idle/C-state scenario.
     pub fn is_idle(&self) -> bool {
         self.power_state.is_some_and(|s| !s.compute_powered())
+    }
+
+    /// A 64-bit fingerprint of every field the power-flow models read,
+    /// hashing exact `f64` bit patterns (no rounding): two scenarios share
+    /// a fingerprint only if they are numerically indistinguishable to
+    /// every PDN. The derived `name` label is excluded. Used as the
+    /// scenario half of the [`crate::memo`] cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::memo::Fnv1a::new();
+        h.write(self.workload_type as u64);
+        h.write(self.ar.get().to_bits());
+        h.write(match self.power_state {
+            None => u64::MAX,
+            Some(s) => s as u64,
+        });
+        h.write(self.tj.get().to_bits());
+        h.write(self.tdp.get().to_bits());
+        let mut write_load = |l: &DomainLoad| {
+            h.write(l.nominal_power.get().to_bits());
+            h.write(l.voltage.get().to_bits());
+            h.write(l.leakage_fraction.get().to_bits());
+            h.write(u64::from(l.powered));
+        };
+        for l in self.loads.values() {
+            write_load(l);
+        }
+        for set in &self.virus {
+            for l in set.values() {
+                write_load(l);
+            }
+        }
+        h.write(self.virus_margin.to_bits());
+        h.finish()
     }
 
     /// The highest rail voltage among a set of powered domains — the level

@@ -13,8 +13,9 @@
 //! built once and reused, workers fanned out over the lattice. The old
 //! closure-parameter free functions remain as deprecated wrappers.
 
-use crate::batch::{evaluate_grid_with, SocProvider, SweepGrid, Workers};
+use crate::batch::{evaluate_grid_memo, SocProvider, SweepGrid, Workers};
 use crate::error::PdnError;
+use crate::memo::MemoCache;
 use crate::scenario::Scenario;
 use crate::topology::Pdn;
 use pdn_units::{ApplicationRatio, Watts};
@@ -66,6 +67,24 @@ impl EteeSurface {
         })
     }
 
+    /// The ETEE at an arbitrary `(tdp, ar)` query, bilinearly
+    /// interpolated between the surface's knots
+    /// ([`pdn_units::bilinear`]).
+    ///
+    /// Returns `None` when the query lies outside the axis hull (no
+    /// extrapolation) or is not finite. A query landing exactly on a
+    /// lattice knot returns the stored value bit-for-bit — identical to
+    /// [`EteeSurface::at`] on the corresponding indices.
+    pub fn sample(&self, tdp: f64, ar: f64) -> Option<f64> {
+        pdn_units::bilinear(&self.tdps, &self.ars, &self.values, tdp, ar)
+    }
+
+    /// [`EteeSurface::sample`] over a batch of `(tdp, ar)` queries,
+    /// returned in query order.
+    pub fn sample_many(&self, queries: &[(f64, f64)]) -> Vec<Option<f64>> {
+        queries.iter().map(|&(tdp, ar)| self.sample(tdp, ar)).collect()
+    }
+
     /// The fixed-AR series over TDP (one Fig. 8-style line).
     pub fn tdp_series(&self, ar_idx: usize) -> Vec<(f64, f64)> {
         self.tdps
@@ -103,6 +122,23 @@ pub fn etee_surfaces(
     provider: &(impl SocProvider + ?Sized),
     workers: Workers,
 ) -> Result<(Vec<EteeSurface>, crate::batch::BatchStats), PdnError> {
+    etee_surfaces_memo(pdns, grid, provider, workers, None)
+}
+
+/// [`etee_surfaces`] with an optional ETEE memo cache threaded through
+/// to [`evaluate_grid_memo`]. Memoization never changes a surface value;
+/// a warm cache only skips re-evaluations.
+///
+/// # Errors
+///
+/// Same contract as [`etee_surfaces`].
+pub fn etee_surfaces_memo(
+    pdns: &[&dyn Pdn],
+    grid: &SweepGrid,
+    provider: &(impl SocProvider + ?Sized),
+    workers: Workers,
+    memo: Option<&MemoCache>,
+) -> Result<(Vec<EteeSurface>, crate::batch::BatchStats), PdnError> {
     if !grid.idle_states().is_empty() {
         return Err(PdnError::Scenario(
             "ETEE surfaces are defined on active lattices only; build the grid without \
@@ -110,7 +146,7 @@ pub fn etee_surfaces(
                 .into(),
         ));
     }
-    let outcome = evaluate_grid_with(pdns, grid, provider, workers);
+    let outcome = evaluate_grid_memo(pdns, grid, provider, workers, memo);
     let (n_wl, n_ars) = (grid.workload_types().len(), grid.ars().len());
     let mut surfaces = Vec::with_capacity(pdns.len() * n_wl);
     for (pdn_idx, pdn) in pdns.iter().enumerate() {
@@ -177,13 +213,38 @@ pub fn crossover_tdp_with(
     provider: &(impl SocProvider + ?Sized),
     workers: Workers,
 ) -> Result<Crossover, PdnError> {
+    crossover_tdp_memo(a, b, workload_type, ar, range, provider, workers, None)
+}
+
+/// [`crossover_tdp_with`] with an optional ETEE memo cache.
+///
+/// Both the bracketing scan and the bisection probes route their
+/// evaluations through `memo` when it is `Some`, so repeated searches
+/// over the same PDN pair (or searches sharing scan scenarios with other
+/// campaigns) skip re-evaluation. Memoization never changes the result:
+/// a cached search returns exactly what the uncached one would.
+///
+/// # Errors
+///
+/// Same contract as [`crossover_tdp_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn crossover_tdp_memo(
+    a: &dyn Pdn,
+    b: &dyn Pdn,
+    workload_type: WorkloadType,
+    ar: ApplicationRatio,
+    range: (f64, f64),
+    provider: &(impl SocProvider + ?Sized),
+    workers: Workers,
+    memo: Option<&MemoCache>,
+) -> Result<Crossover, PdnError> {
     let (lo, hi) = range;
     let scan_tdps: Vec<f64> = (0..CROSSOVER_SCAN_POINTS)
         .map(|i| lo + (hi - lo) * i as f64 / (CROSSOVER_SCAN_POINTS - 1) as f64)
         .collect();
     let grid = SweepGrid::active(&scan_tdps, &[workload_type], &[ar.get()])?;
     let pdns: [&dyn Pdn; 2] = [a, b];
-    let outcome = evaluate_grid_with(&pdns, &grid, provider, workers);
+    let outcome = evaluate_grid_memo(&pdns, &grid, provider, workers, memo);
     let advantage_at = |idx: usize| -> Result<f64, PdnError> {
         let etee = |pdn_idx: usize| -> Result<f64, PdnError> {
             match &outcome.for_pdn(pdn_idx)[idx].result {
@@ -218,7 +279,11 @@ pub fn crossover_tdp_with(
     let advantage = |tdp: f64| -> Result<f64, PdnError> {
         let soc = provider.soc_for(Watts::new(tdp));
         let s = Scenario::active_fixed_tdp_frequency(&soc, workload_type, ar)?;
-        Ok(a.evaluate(&s)?.etee.get() - b.evaluate(&s)?.etee.get())
+        let (ea, eb) = match memo {
+            Some(m) => (m.evaluate(a, &s)?, m.evaluate(b, &s)?),
+            None => (a.evaluate(&s)?, b.evaluate(&s)?),
+        };
+        Ok(ea.etee.get() - eb.etee.get())
     };
     let (mut blo, mut bhi) = (scan_tdps[bracket.0], scan_tdps[bracket.1]);
     let rising = advantage_at(bracket.1)? > advantage_at(bracket.0)?;
@@ -360,6 +425,113 @@ mod tests {
             .build()
             .unwrap();
         assert!(etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Auto).is_err());
+    }
+
+    #[test]
+    fn sample_matches_at_on_every_knot_bit_for_bit() {
+        let ivr = IvrPdn::new(ModelParams::paper_defaults());
+        let pdns: [&dyn Pdn; 1] = [&ivr];
+        let grid =
+            SweepGrid::active(&[4.0, 18.0, 50.0], &[WorkloadType::MultiThread], &[0.4, 0.56, 0.8])
+                .unwrap();
+        let (surfaces, _) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Auto).unwrap();
+        let surface = &surfaces[0];
+        for (i, &tdp) in surface.tdps.iter().enumerate() {
+            for (j, &ar) in surface.ars.iter().enumerate() {
+                let sampled = surface.sample(tdp, ar).unwrap();
+                assert_eq!(
+                    sampled.to_bits(),
+                    surface.at(i, j).to_bits(),
+                    "on-knot sample must equal at({i}, {j}) exactly"
+                );
+            }
+        }
+        // Interior queries interpolate within the bracketing knots.
+        let mid = surface.sample(11.0, 0.48).unwrap();
+        let corners = [surface.at(0, 0), surface.at(0, 1), surface.at(1, 0), surface.at(1, 1)];
+        let (lo, hi) = corners
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        assert!((lo..=hi).contains(&mid), "{mid} outside [{lo}, {hi}]");
+        // Outside the hull: no extrapolation.
+        assert_eq!(surface.sample(3.9, 0.5), None);
+        assert_eq!(surface.sample(50.1, 0.5), None);
+        assert_eq!(surface.sample(18.0, 0.39), None);
+        // Batched queries match the scalar path.
+        let queries = [(4.0, 0.4), (11.0, 0.48), (60.0, 0.5)];
+        assert_eq!(
+            surface.sample_many(&queries),
+            queries.iter().map(|&(t, a)| surface.sample(t, a)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn memoized_crossover_matches_uncached_and_hits_when_warm() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let ar = ApplicationRatio::new(0.56).unwrap();
+        let plain = crossover_tdp_with(
+            &ivr,
+            &mbvr,
+            WorkloadType::MultiThread,
+            ar,
+            (4.0, 50.0),
+            &ClientSoc,
+            Workers::Serial,
+        )
+        .unwrap();
+        let memo = crate::memo::MemoCache::new();
+        let cold = crossover_tdp_memo(
+            &ivr,
+            &mbvr,
+            WorkloadType::MultiThread,
+            ar,
+            (4.0, 50.0),
+            &ClientSoc,
+            Workers::Serial,
+            Some(&memo),
+        )
+        .unwrap();
+        let after_cold = memo.stats();
+        let warm = crossover_tdp_memo(
+            &ivr,
+            &mbvr,
+            WorkloadType::MultiThread,
+            ar,
+            (4.0, 50.0),
+            &ClientSoc,
+            Workers::Serial,
+            Some(&memo),
+        )
+        .unwrap();
+        assert_eq!(plain, cold, "memoization must not change the crossover");
+        assert_eq!(plain, warm);
+        assert_eq!(after_cold.hits, 0, "cold cache cannot hit");
+        let after_warm = memo.stats();
+        let warm_lookups = after_warm.lookups() - after_cold.lookups();
+        let warm_hits = after_warm.hits - after_cold.hits;
+        assert_eq!(warm_hits, warm_lookups, "a repeated search is fully cached");
+        assert!(warm_lookups > 0);
+    }
+
+    #[test]
+    fn memoized_surfaces_match_uncached() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
+        let grid =
+            SweepGrid::active(&[4.0, 18.0], &[WorkloadType::MultiThread], &[0.4, 0.8]).unwrap();
+        let (plain, _) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Serial).unwrap();
+        let memo = crate::memo::MemoCache::new();
+        let (cold, _) =
+            etee_surfaces_memo(&pdns, &grid, &ClientSoc, Workers::Serial, Some(&memo)).unwrap();
+        let (warm, warm_stats) =
+            etee_surfaces_memo(&pdns, &grid, &ClientSoc, Workers::Serial, Some(&memo)).unwrap();
+        assert_eq!(plain, cold);
+        assert_eq!(plain, warm);
+        assert_eq!(warm_stats.memo_hits, 8, "2 PDNs x 4 points all hit on the second pass");
     }
 
     #[test]

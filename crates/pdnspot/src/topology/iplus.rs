@@ -1,9 +1,12 @@
 //! The I+MBVR hybrid PDN (§7, Intel Skylake-X): IVRs for the compute
 //! domains, dedicated board VRs for SA and IO.
 
-use super::{dedicated_rail_flow, ivr_domain_stage, Pdn, PdnKind};
+use super::{dedicated_rail_flow_with, ivr_domain_stage_with, pdn_memo_token, Pdn, PdnKind};
 use crate::error::PdnError;
-use crate::etee::{board_vr_stage, load_line_stage, LossBreakdown, PdnEvaluation, RailReport};
+use crate::etee::{
+    board_vr_stage, load_line_stage, DirectStager, LossBreakdown, PdnEvaluation, RailReport,
+    StagedPoint, Stager,
+};
 use crate::params::ModelParams;
 use crate::scenario::Scenario;
 use pdn_proc::DomainKind;
@@ -61,18 +64,14 @@ impl IPlusMbvrPdn {
             ivrs,
         }
     }
-}
 
-impl Pdn for IPlusMbvrPdn {
-    fn kind(&self) -> PdnKind {
-        PdnKind::IPlusMbvr
-    }
-
-    fn params(&self) -> &ModelParams {
-        &self.params
-    }
-
-    fn evaluate(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
+    /// [`Pdn::evaluate`] with the PDN-independent stages routed through a
+    /// [`Stager`]; returns the same bits for any stager implementation.
+    pub fn evaluate_with(
+        &self,
+        scenario: &Scenario,
+        stager: &impl Stager,
+    ) -> Result<PdnEvaluation, PdnError> {
         let p = &self.params;
         let mut breakdown = LossBreakdown::default();
         let mut rails: Vec<RailReport> = Vec::new();
@@ -83,7 +82,7 @@ impl Pdn for IPlusMbvrPdn {
         // wide-range group.
         let mut p_in = Watts::ZERO;
         for &kind in &DomainKind::WIDE_RANGE {
-            let stage = ivr_domain_stage(scenario, kind, p, &self.ivrs[&kind])?;
+            let stage = ivr_domain_stage_with(scenario, kind, p, &self.ivrs[&kind], stager)?;
             p_in += stage.input_power;
             breakdown.other += stage.overhead;
             breakdown.vr_loss += stage.vr_loss;
@@ -109,7 +108,7 @@ impl Pdn for IPlusMbvrPdn {
             (DomainKind::Sa, p.mbvr_loadlines.sa, &self.sa_vr),
             (DomainKind::Io, p.mbvr_loadlines.io, &self.io_vr),
         ] {
-            let (pin, overhead, conduction, vr_loss, rail) = dedicated_rail_flow(
+            let (pin, overhead, conduction, vr_loss, rail) = dedicated_rail_flow_with(
                 scenario,
                 kind,
                 p.ivr_tob.total(),
@@ -117,6 +116,7 @@ impl Pdn for IPlusMbvrPdn {
                 r_ll,
                 vr,
                 p,
+                stager,
             )?;
             if pin.get() > 0.0 {
                 breakdown.other += overhead;
@@ -135,6 +135,32 @@ impl Pdn for IPlusMbvrPdn {
             chip_current,
             rails,
         )
+    }
+}
+
+impl Pdn for IPlusMbvrPdn {
+    fn kind(&self) -> PdnKind {
+        PdnKind::IPlusMbvr
+    }
+
+    fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
+        self.evaluate_with(scenario, &DirectStager)
+    }
+
+    fn evaluate_staged(
+        &self,
+        scenario: &Scenario,
+        staged: &StagedPoint,
+    ) -> Result<PdnEvaluation, PdnError> {
+        self.evaluate_with(scenario, staged)
+    }
+
+    fn memo_token(&self) -> Option<u64> {
+        Some(pdn_memo_token(PdnKind::IPlusMbvr, 0, &self.params))
     }
 }
 

@@ -1,9 +1,12 @@
 //! The IVR PDN (Fig. 1a; Eqs. 6–9): one board `V_IN` VR at 1.8 V feeding
 //! six on-die integrated voltage regulators.
 
-use super::{ivr_domain_stage, Pdn, PdnKind};
+use super::{ivr_domain_stage_with, pdn_memo_token, Pdn, PdnKind};
 use crate::error::PdnError;
-use crate::etee::{board_vr_stage, load_line_stage, LossBreakdown, PdnEvaluation};
+use crate::etee::{
+    board_vr_stage, load_line_stage, DirectStager, LossBreakdown, PdnEvaluation, StagedPoint,
+    Stager,
+};
 use crate::params::ModelParams;
 use crate::scenario::Scenario;
 use pdn_proc::DomainKind;
@@ -49,18 +52,14 @@ impl IvrPdn {
             .collect();
         Self { params, vin_vr: presets::vin_board_vr(), ivrs }
     }
-}
 
-impl Pdn for IvrPdn {
-    fn kind(&self) -> PdnKind {
-        PdnKind::Ivr
-    }
-
-    fn params(&self) -> &ModelParams {
-        &self.params
-    }
-
-    fn evaluate(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
+    /// [`Pdn::evaluate`] with the PDN-independent stages routed through a
+    /// [`Stager`]; returns the same bits for any stager implementation.
+    pub fn evaluate_with(
+        &self,
+        scenario: &Scenario,
+        stager: &impl Stager,
+    ) -> Result<PdnEvaluation, PdnError> {
         let p = &self.params;
         let mut breakdown = LossBreakdown::default();
         let mut p_in = Watts::ZERO;
@@ -68,7 +67,7 @@ impl Pdn for IvrPdn {
         let mut p_in_sa_io = Watts::ZERO;
 
         for kind in DomainKind::ALL {
-            let stage = ivr_domain_stage(scenario, kind, p, &self.ivrs[&kind])?;
+            let stage = ivr_domain_stage_with(scenario, kind, p, &self.ivrs[&kind], stager)?;
             p_in += stage.input_power;
             breakdown.other += stage.overhead;
             breakdown.vr_loss += stage.vr_loss;
@@ -108,6 +107,32 @@ impl Pdn for IvrPdn {
             chip_input_current,
             vec![rail],
         )
+    }
+}
+
+impl Pdn for IvrPdn {
+    fn kind(&self) -> PdnKind {
+        PdnKind::Ivr
+    }
+
+    fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
+        self.evaluate_with(scenario, &DirectStager)
+    }
+
+    fn evaluate_staged(
+        &self,
+        scenario: &Scenario,
+        staged: &StagedPoint,
+    ) -> Result<PdnEvaluation, PdnError> {
+        self.evaluate_with(scenario, staged)
+    }
+
+    fn memo_token(&self) -> Option<u64> {
+        Some(pdn_memo_token(PdnKind::Ivr, 0, &self.params))
     }
 }
 

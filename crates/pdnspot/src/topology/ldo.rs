@@ -2,11 +2,11 @@
 //! compute voltage feeding on-die LDO VRs, with SA/IO on dedicated board
 //! VRs (AMD Zen style).
 
-use super::{dedicated_rail_flow, Pdn, PdnKind};
+use super::{dedicated_rail_flow_with, pdn_memo_token, Pdn, PdnKind};
 use crate::error::PdnError;
 use crate::etee::{
-    board_vr_stage, guardband_stage, load_line_domain_stage, LossBreakdown, PdnEvaluation,
-    RailReport,
+    board_vr_stage, load_line_domain_stage, DirectStager, LossBreakdown, PdnEvaluation, RailReport,
+    StagedPoint, Stager,
 };
 use crate::params::ModelParams;
 use crate::scenario::Scenario;
@@ -65,18 +65,14 @@ impl LdoPdn {
             ldos,
         }
     }
-}
 
-impl Pdn for LdoPdn {
-    fn kind(&self) -> PdnKind {
-        PdnKind::Ldo
-    }
-
-    fn params(&self) -> &ModelParams {
-        &self.params
-    }
-
-    fn evaluate(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
+    /// [`Pdn::evaluate`] with the PDN-independent stages routed through a
+    /// [`Stager`]; returns the same bits for any stager implementation.
+    pub fn evaluate_with(
+        &self,
+        scenario: &Scenario,
+        stager: &impl Stager,
+    ) -> Result<PdnEvaluation, PdnError> {
         let p = &self.params;
         let tob = p.ldo_tob.total();
         let mut breakdown = LossBreakdown::default();
@@ -96,7 +92,7 @@ impl Pdn for LdoPdn {
                     continue; // the LDO acts as a power gate
                 }
                 // Eq. 2 guardband, then Eq. 10/11 LDO conversion.
-                let gb = guardband_stage(load, tob, p.leakage_exponent);
+                let gb = stager.guardband(kind, load, tob, p.leakage_exponent);
                 breakdown.other += gb.power - load.nominal_power;
                 let iout = gb.power / gb.voltage;
                 let op = OperatingPoint::new(vin_rail, gb.voltage, iout);
@@ -116,7 +112,7 @@ impl Pdn for LdoPdn {
                 let step = load_line_domain_stage(
                     p_in,
                     vin_rail,
-                    scenario.rail_virus_power(&DomainKind::WIDE_RANGE, p_in),
+                    stager.rail_virus_power(scenario, &DomainKind::WIDE_RANGE, p_in),
                     p.ldo_loadlines.vin,
                     fl,
                     p.leakage_exponent,
@@ -142,7 +138,7 @@ impl Pdn for LdoPdn {
             (DomainKind::Sa, p.ldo_loadlines.sa, &self.sa_vr),
             (DomainKind::Io, p.ldo_loadlines.io, &self.io_vr),
         ] {
-            let (pin, overhead, conduction, vr_loss, rail) = dedicated_rail_flow(
+            let (pin, overhead, conduction, vr_loss, rail) = dedicated_rail_flow_with(
                 scenario,
                 kind,
                 tob,
@@ -150,6 +146,7 @@ impl Pdn for LdoPdn {
                 r_ll,
                 vr,
                 p,
+                stager,
             )?;
             if pin.get() > 0.0 {
                 breakdown.other += overhead;
@@ -168,6 +165,32 @@ impl Pdn for LdoPdn {
             chip_current,
             rails,
         )
+    }
+}
+
+impl Pdn for LdoPdn {
+    fn kind(&self) -> PdnKind {
+        PdnKind::Ldo
+    }
+
+    fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
+        self.evaluate_with(scenario, &DirectStager)
+    }
+
+    fn evaluate_staged(
+        &self,
+        scenario: &Scenario,
+        staged: &StagedPoint,
+    ) -> Result<PdnEvaluation, PdnError> {
+        self.evaluate_with(scenario, staged)
+    }
+
+    fn memo_token(&self) -> Option<u64> {
+        Some(pdn_memo_token(PdnKind::Ldo, 0, &self.params))
     }
 }
 

@@ -1,10 +1,11 @@
 //! The MBVR PDN (Fig. 1b; Eqs. 2–5): one-stage motherboard VRs per domain
 //! group, with on-die power gates.
 
-use super::{gated_domain_stage, power_gate_impedance, Pdn, PdnKind};
+use super::{gated_domain_stage_with, pdn_memo_token, power_gate_impedance, Pdn, PdnKind};
 use crate::error::PdnError;
 use crate::etee::{
-    board_vr_stage, load_line_domain_stage, LossBreakdown, PdnEvaluation, RailReport,
+    board_vr_stage, load_line_domain_stage, DirectStager, LossBreakdown, PdnEvaluation, RailReport,
+    StagedPoint, Stager,
 };
 use crate::params::ModelParams;
 use crate::scenario::Scenario;
@@ -78,18 +79,14 @@ impl MbvrPdn {
             self.params.mbvr_loadlines.io
         }
     }
-}
 
-impl Pdn for MbvrPdn {
-    fn kind(&self) -> PdnKind {
-        PdnKind::Mbvr
-    }
-
-    fn params(&self) -> &ModelParams {
-        &self.params
-    }
-
-    fn evaluate(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
+    /// [`Pdn::evaluate`] with the PDN-independent stages routed through a
+    /// [`Stager`]; returns the same bits for any stager implementation.
+    pub fn evaluate_with(
+        &self,
+        scenario: &Scenario,
+        stager: &impl Stager,
+    ) -> Result<PdnEvaluation, PdnError> {
         let p = &self.params;
         let tob = p.mbvr_tob.total();
         let r_pg = power_gate_impedance();
@@ -105,7 +102,7 @@ impl Pdn for MbvrPdn {
             let mut fl_weighted = 0.0;
             for &kind in &group.domains {
                 let (pwr, v, overhead) =
-                    gated_domain_stage(scenario, kind, tob, r_pg, p.leakage_exponent);
+                    gated_domain_stage_with(scenario, kind, tob, r_pg, p.leakage_exponent, stager);
                 p_d += pwr;
                 breakdown.other += overhead;
                 fl_weighted += scenario.load(kind).leakage_fraction.get() * pwr.get();
@@ -125,7 +122,7 @@ impl Pdn for MbvrPdn {
             let step = load_line_domain_stage(
                 p_d,
                 v_d,
-                scenario.rail_virus_power(&group.domains, p_d),
+                stager.rail_virus_power(scenario, &group.domains, p_d),
                 self.group_loadline(group),
                 group_fl,
                 p.leakage_exponent,
@@ -157,6 +154,32 @@ impl Pdn for MbvrPdn {
             chip_current,
             rails,
         )
+    }
+}
+
+impl Pdn for MbvrPdn {
+    fn kind(&self) -> PdnKind {
+        PdnKind::Mbvr
+    }
+
+    fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError> {
+        self.evaluate_with(scenario, &DirectStager)
+    }
+
+    fn evaluate_staged(
+        &self,
+        scenario: &Scenario,
+        staged: &StagedPoint,
+    ) -> Result<PdnEvaluation, PdnError> {
+        self.evaluate_with(scenario, staged)
+    }
+
+    fn memo_token(&self) -> Option<u64> {
+        Some(pdn_memo_token(PdnKind::Mbvr, 0, &self.params))
     }
 }
 

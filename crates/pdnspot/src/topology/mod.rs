@@ -27,9 +27,10 @@ pub use mbvr::MbvrPdn;
 
 use crate::error::PdnError;
 use crate::etee::{
-    board_vr_stage, guardband_stage, load_line_domain_stage, power_gate_stage, PdnEvaluation,
-    RailReport,
+    board_vr_stage, load_line_domain_stage, DirectStager, PdnEvaluation, RailReport, StagedPoint,
+    Stager,
 };
+use crate::memo::Fnv1a;
 use crate::params::ModelParams;
 use crate::scenario::Scenario;
 use pdn_proc::{DomainKind, SocSpec};
@@ -96,6 +97,33 @@ pub trait Pdn: fmt::Debug + Send + Sync {
     /// point or the scenario is inconsistent.
     fn evaluate(&self, scenario: &Scenario) -> Result<PdnEvaluation, PdnError>;
 
+    /// [`Pdn::evaluate`] with a shared per-point staging cache: topologies
+    /// that route their PDN-independent stages through a [`Stager`] reuse
+    /// partials other PDNs already computed at the same lattice point.
+    /// Must return exactly the bits [`Pdn::evaluate`] would; the default
+    /// ignores the cache and evaluates directly.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Pdn::evaluate`].
+    fn evaluate_staged(
+        &self,
+        scenario: &Scenario,
+        staged: &StagedPoint,
+    ) -> Result<PdnEvaluation, PdnError> {
+        let _ = staged;
+        self.evaluate(scenario)
+    }
+
+    /// A 64-bit identity token for result memoization: two PDNs may share
+    /// a token only if they evaluate every scenario to identical bits
+    /// (same topology, same full parameter set). `None` — the default —
+    /// opts out of caching entirely ([`crate::memo::MemoCache`] bypasses
+    /// PDNs without a token rather than risking a stale identity).
+    fn memo_token(&self) -> Option<u64> {
+        None
+    }
+
     /// The off-chip rails the topology needs for a SoC, sized at the
     /// TDP-limited power virus with a 10 % electrical design margin (§3.2).
     ///
@@ -149,6 +177,18 @@ pub fn ivr_domain_stage(
     params: &ModelParams,
     ivr: &BuckConverter,
 ) -> Result<DomainStage, PdnError> {
+    ivr_domain_stage_with(scenario, kind, params, ivr, &DirectStager)
+}
+
+/// [`ivr_domain_stage`] with the guardband routed through a [`Stager`], so
+/// batch sweeps share the Eq. 2 partial across PDNs with the same TOB.
+pub fn ivr_domain_stage_with(
+    scenario: &Scenario,
+    kind: DomainKind,
+    params: &ModelParams,
+    ivr: &BuckConverter,
+    stager: &impl Stager,
+) -> Result<DomainStage, PdnError> {
     let load = scenario.load(kind);
     if !load.powered || load.nominal_power.get() <= 0.0 {
         return Ok(DomainStage {
@@ -157,7 +197,7 @@ pub fn ivr_domain_stage(
             vr_loss: Watts::ZERO,
         });
     }
-    let gb = guardband_stage(load, params.ivr_tob.total(), params.leakage_exponent);
+    let gb = stager.guardband(kind, load, params.ivr_tob.total(), params.leakage_exponent);
     let iout = gb.power / gb.voltage;
     let ps = ivr.best_power_state(iout).min(params.ivr_lightload_cap);
     let op = OperatingPoint::new(params.vin_level, gb.voltage, iout).with_power_state(ps);
@@ -178,12 +218,24 @@ pub fn gated_domain_stage(
     r_pg: Ohms,
     delta: f64,
 ) -> (Watts, Volts, Watts) {
+    gated_domain_stage_with(scenario, kind, tob, r_pg, delta, &DirectStager)
+}
+
+/// [`gated_domain_stage`] with the guardband + gate routed through a
+/// [`Stager`].
+pub fn gated_domain_stage_with(
+    scenario: &Scenario,
+    kind: DomainKind,
+    tob: Volts,
+    r_pg: Ohms,
+    delta: f64,
+    stager: &impl Stager,
+) -> (Watts, Volts, Watts) {
     let load = scenario.load(kind);
     if !load.powered || load.nominal_power.get() <= 0.0 {
         return (Watts::ZERO, load.voltage, Watts::ZERO);
     }
-    let gb = guardband_stage(load, tob, delta);
-    let pg = power_gate_stage(gb, load, r_pg, delta);
+    let pg = stager.gated(kind, load, tob, r_pg, delta);
     (pg.power, pg.voltage, pg.power - load.nominal_power)
 }
 
@@ -200,12 +252,28 @@ pub fn dedicated_rail_flow(
     vr: &BuckConverter,
     params: &ModelParams,
 ) -> Result<(Watts, Watts, Watts, Watts, RailReport), PdnError> {
+    dedicated_rail_flow_with(scenario, kind, tob, r_pg, r_ll, vr, params, &DirectStager)
+}
+
+/// [`dedicated_rail_flow`] with the PDN-independent stages routed through
+/// a [`Stager`].
+#[allow(clippy::too_many_arguments)]
+pub fn dedicated_rail_flow_with(
+    scenario: &Scenario,
+    kind: DomainKind,
+    tob: Volts,
+    r_pg: Ohms,
+    r_ll: Ohms,
+    vr: &BuckConverter,
+    params: &ModelParams,
+    stager: &impl Stager,
+) -> Result<(Watts, Watts, Watts, Watts, RailReport), PdnError> {
     let (p_d, v_d, overhead) =
-        gated_domain_stage(scenario, kind, tob, r_pg, params.leakage_exponent);
+        gated_domain_stage_with(scenario, kind, tob, r_pg, params.leakage_exponent, stager);
     let step = load_line_domain_stage(
         p_d,
         v_d,
-        scenario.rail_virus_power(&[kind], p_d),
+        stager.rail_virus_power(scenario, &[kind], p_d),
         r_ll,
         scenario.load(kind).leakage_fraction,
         params.leakage_exponent,
@@ -219,6 +287,18 @@ pub fn dedicated_rail_flow(
     )?;
     let vr_loss = pin - step.p_ll;
     Ok((pin, overhead, step.extra, vr_loss, rail))
+}
+
+/// Builds a [`Pdn::memo_token`] from a topology kind, a topology-private
+/// `flavor` discriminating sub-configurations (e.g. FlexWatts modes), and
+/// the full parameter fingerprint. Two tokens collide only when all three
+/// inputs match, which is exactly the "identical evaluations" contract.
+pub fn pdn_memo_token(kind: PdnKind, flavor: u64, params: &ModelParams) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(kind as u64);
+    h.write(flavor);
+    h.write(params.fingerprint());
+    h.finish()
 }
 
 /// The on-die power-gate impedance used by all topologies. Table 2 quotes

@@ -8,7 +8,7 @@
 use pdn_proc::{PackageCState, SocSpec};
 use pdn_units::{ApplicationRatio, Efficiency, Grid2, UnitsError, Watts};
 use pdn_workload::WorkloadType;
-use pdnspot::{Pdn, PdnError, Scenario};
+use pdnspot::{MemoCache, Pdn, PdnError, Scenario};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -40,6 +40,29 @@ impl EteeCurveSet {
         ar_axis: &[f64],
         soc_for: impl Fn(Watts) -> SocSpec,
     ) -> Result<Self, PdnError> {
+        Self::tabulate_with(pdn, tdp_axis, ar_axis, soc_for, None)
+    }
+
+    /// [`EteeCurveSet::tabulate`] with an optional shared [`MemoCache`]:
+    /// retraining over overlapping lattices (mode-predictor ablations,
+    /// fault campaigns) reuses previously evaluated `(PDN, scenario)`
+    /// results instead of re-running the full PDNspot flow. Cache hits
+    /// return bit-identical values, so the tables are the same either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PDNspot evaluation errors and grid-construction errors.
+    pub fn tabulate_with(
+        pdn: &dyn Pdn,
+        tdp_axis: &[f64],
+        ar_axis: &[f64],
+        soc_for: impl Fn(Watts) -> SocSpec,
+        memo: Option<&MemoCache>,
+    ) -> Result<Self, PdnError> {
+        let evaluate = |scenario: &Scenario| match memo {
+            Some(m) => m.evaluate(pdn, scenario),
+            None => pdn.evaluate(scenario),
+        };
         let mut active = BTreeMap::new();
         for wl in WorkloadType::ACTIVE_TYPES {
             let mut values = Vec::with_capacity(tdp_axis.len() * ar_axis.len());
@@ -48,7 +71,7 @@ impl EteeCurveSet {
                 for &ar in ar_axis {
                     let ar = ApplicationRatio::new(ar).map_err(PdnError::Units)?;
                     let scenario = Scenario::active_fixed_tdp_frequency(&soc, wl, ar)?;
-                    values.push(pdn.evaluate(&scenario)?.etee.get());
+                    values.push(evaluate(&scenario)?.etee.get());
                 }
             }
             let grid = Grid2::from_rows(tdp_axis.to_vec(), ar_axis.to_vec(), values)
@@ -64,7 +87,7 @@ impl EteeCurveSet {
             for &tdp in &idle_tdps {
                 let soc = soc_for(Watts::new(tdp));
                 let scenario = Scenario::idle(&soc, state);
-                let etee = pdn.evaluate(&scenario)?.etee.get();
+                let etee = evaluate(&scenario)?.etee.get();
                 // Store the same value on both AR knots (idle has no AR).
                 values.push(etee);
                 values.push(etee);
@@ -174,6 +197,35 @@ mod tests {
         let set = small_set(&pdn);
         // 3 workload types × 3×3 grid + 6 states × 2×2 grid.
         assert_eq!(set.table_entries(), 3 * 9 + 6 * 4);
+    }
+
+    #[test]
+    fn memoized_tabulation_matches_plain_and_hits_on_retrain() {
+        let pdn = IvrPdn::new(ModelParams::paper_defaults());
+        let plain = small_set(&pdn);
+        let memo = MemoCache::new();
+        let cold = EteeCurveSet::tabulate_with(
+            &pdn,
+            &[4.0, 18.0, 50.0],
+            &[0.4, 0.6, 0.8],
+            client_soc,
+            Some(&memo),
+        )
+        .unwrap();
+        assert_eq!(plain, cold, "memoization must not change a single table entry");
+        assert_eq!(memo.stats().hits, 0, "first tabulation sees a cold cache");
+        let warm = EteeCurveSet::tabulate_with(
+            &pdn,
+            &[4.0, 18.0, 50.0],
+            &[0.4, 0.6, 0.8],
+            client_soc,
+            Some(&memo),
+        )
+        .unwrap();
+        assert_eq!(plain, warm);
+        let stats = memo.stats();
+        assert_eq!(stats.misses as usize, memo.len(), "every distinct scenario cached once");
+        assert!(stats.hit_rate() > 0.45, "retraining must be served from cache: {stats:?}");
     }
 
     #[test]

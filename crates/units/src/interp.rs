@@ -1,0 +1,159 @@
+//! Interpolation over rectilinear grids.
+//!
+//! [`bilinear`] is the query primitive behind PDNspot's surface sampling
+//! (`EteeSurface::sample`): computed (TDP × AR) surfaces are dense
+//! lattices, and consumers — power-management firmware, plot overlays,
+//! design-space search — want values between the knots.
+//!
+//! # Exactness contract
+//!
+//! A query landing exactly on a grid knot returns the stored value
+//! **bit-for-bit**: every interpolation weight that would be zero is
+//! short-circuited instead of multiplied out, so no `0.0 * x` or
+//! `v + 0.0` rounding artefacts (including `-0.0` sign flips) can leak
+//! into an on-knot answer.
+
+/// Locates `v` on a strictly increasing axis.
+///
+/// Returns `(lo, hi, t)` with `axis[lo] <= v <= axis[hi]` and the
+/// parametric offset `t ∈ [0, 1)` inside the cell. A query exactly on a
+/// knot returns `(i, i, 0.0)`, which lets the caller skip the lerp
+/// entirely (see the module-level exactness contract). Queries outside
+/// `[axis[0], axis[last]]`, non-finite queries, and empty axes return
+/// `None`.
+fn locate(axis: &[f64], v: f64) -> Option<(usize, usize, f64)> {
+    let n = axis.len();
+    if n == 0 || !v.is_finite() || v < axis[0] || v > axis[n - 1] {
+        return None;
+    }
+    // First index whose knot is >= v; equality is the on-knot fast path.
+    let hi = axis.partition_point(|&k| k < v);
+    if hi < n && axis[hi] == v {
+        return Some((hi, hi, 0.0));
+    }
+    let lo = hi - 1;
+    Some((lo, hi, (v - axis[lo]) / (axis[hi] - axis[lo])))
+}
+
+/// Linear interpolation that preserves endpoint bits: `t == 0` returns
+/// `a` and `t == 1` returns `b` without arithmetic.
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    if t == 0.0 {
+        a
+    } else if t == 1.0 {
+        b
+    } else {
+        a + t * (b - a)
+    }
+}
+
+/// Bilinear interpolation of a row-major rectilinear grid.
+///
+/// `values` holds one value per `(x, y)` knot pair, x-major
+/// (`values[i * ys.len() + j]` is the value at `(xs[i], ys[j])`). Both
+/// axes must be strictly increasing; single-knot axes are allowed (the
+/// query must then hit the knot exactly on that axis). Returns `None`
+/// when the query lies outside the axis hull or is not finite. A query
+/// on a knot returns the stored value bit-for-bit (see the module-level
+/// exactness contract).
+///
+/// # Panics
+///
+/// Panics if `values.len() != xs.len() * ys.len()`.
+///
+/// # Examples
+///
+/// ```
+/// let xs = [0.0, 10.0];
+/// let ys = [0.0, 1.0];
+/// let values = [0.0, 1.0, 2.0, 3.0]; // row-major: (0,0) (0,1) (10,0) (10,1)
+/// assert_eq!(pdn_units::bilinear(&xs, &ys, &values, 0.0, 1.0), Some(1.0));
+/// assert_eq!(pdn_units::bilinear(&xs, &ys, &values, 5.0, 0.5), Some(1.5));
+/// assert_eq!(pdn_units::bilinear(&xs, &ys, &values, 11.0, 0.5), None);
+/// ```
+pub fn bilinear(xs: &[f64], ys: &[f64], values: &[f64], x: f64, y: f64) -> Option<f64> {
+    assert_eq!(
+        values.len(),
+        xs.len() * ys.len(),
+        "bilinear grid needs {}x{} values, got {}",
+        xs.len(),
+        ys.len(),
+        values.len()
+    );
+    let (x0, x1, tx) = locate(xs, x)?;
+    let (y0, y1, ty) = locate(ys, y)?;
+    let at = |i: usize, j: usize| values[i * ys.len() + j];
+    let row0 = lerp(at(x0, y0), at(x0, y1), ty);
+    let row1 = lerp(at(x1, y0), at(x1, y1), ty);
+    Some(lerp(row0, row1, tx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_knot_queries_return_stored_bits() {
+        let xs = [4.0, 18.0, 50.0];
+        let ys = [0.4, 0.56, 0.8];
+        let values: Vec<f64> = (0..9).map(|i| 0.1 + 0.07 * i as f64).collect();
+        for (i, &x) in xs.iter().enumerate() {
+            for (j, &y) in ys.iter().enumerate() {
+                let got = bilinear(&xs, &ys, &values, x, y).unwrap();
+                assert_eq!(got.to_bits(), values[i * 3 + j].to_bits(), "knot ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn on_knot_exactness_survives_negative_zero() {
+        let xs = [0.0, 1.0];
+        let ys = [0.0, 1.0];
+        let values = [-0.0, 2.0, 3.0, 4.0];
+        let got = bilinear(&xs, &ys, &values, 0.0, 0.0).unwrap();
+        assert_eq!(got.to_bits(), (-0.0f64).to_bits(), "sign of -0.0 must be preserved");
+    }
+
+    #[test]
+    fn interior_queries_interpolate_linearly() {
+        // A plane v = 2x + 3y is reproduced exactly by bilinear
+        // interpolation up to rounding.
+        let xs = [0.0, 4.0, 10.0];
+        let ys = [0.0, 1.0];
+        let values: Vec<f64> =
+            xs.iter().flat_map(|&x| ys.iter().map(move |&y| 2.0 * x + 3.0 * y)).collect();
+        for (x, y) in [(2.0, 0.5), (7.0, 0.25), (9.9, 0.99)] {
+            let got = bilinear(&xs, &ys, &values, x, y).unwrap();
+            assert!((got - (2.0 * x + 3.0 * y)).abs() < 1e-12, "({x}, {y}) -> {got}");
+        }
+    }
+
+    #[test]
+    fn out_of_hull_and_non_finite_queries_return_none() {
+        let xs = [4.0, 18.0];
+        let ys = [0.4, 0.8];
+        let values = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(bilinear(&xs, &ys, &values, 3.9, 0.5), None);
+        assert_eq!(bilinear(&xs, &ys, &values, 18.1, 0.5), None);
+        assert_eq!(bilinear(&xs, &ys, &values, 10.0, 0.39), None);
+        assert_eq!(bilinear(&xs, &ys, &values, 10.0, 0.81), None);
+        assert_eq!(bilinear(&xs, &ys, &values, f64::NAN, 0.5), None);
+        assert_eq!(bilinear(&xs, &ys, &values, 10.0, f64::INFINITY), None);
+    }
+
+    #[test]
+    fn single_knot_axes_accept_only_their_knot() {
+        let xs = [18.0];
+        let ys = [0.4, 0.8];
+        let values = [0.6, 0.7];
+        let mid = bilinear(&xs, &ys, &values, 18.0, 0.6).unwrap();
+        assert!((mid - 0.65).abs() < 1e-12, "{mid}");
+        assert_eq!(bilinear(&xs, &ys, &values, 17.9, 0.6), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bilinear grid needs")]
+    fn mismatched_value_count_panics() {
+        bilinear(&[1.0, 2.0], &[1.0], &[0.0], 1.0, 1.0);
+    }
+}

@@ -30,10 +30,12 @@
 
 pub mod curve;
 pub mod error;
+pub mod interp;
 pub mod quantity;
 pub mod ratio;
 
 pub use curve::{Curve1, Curve1Builder, Grid2, Grid2Builder};
 pub use error::UnitsError;
+pub use interp::bilinear;
 pub use quantity::{Amps, Celsius, Hertz, Ohms, Seconds, SquareMillimeters, Usd, Volts, Watts};
 pub use ratio::{ApplicationRatio, Efficiency, Ratio};
