@@ -27,8 +27,9 @@ fn batch_sweep(c: &mut Criterion) {
             BenchmarkId::new("evaluate_grid", label),
             &workers,
             |b, &workers| {
+                let cfg = EngineConfig::builder().workers(workers).build().expect("valid config");
                 b.iter(|| {
-                    let outcome = evaluate_grid_with(&pdns, &grid, &ClientSoc, workers);
+                    let outcome = evaluate(&pdns, &grid, &ClientSoc, &cfg, None);
                     assert_eq!(outcome.stats.failed, 0);
                     outcome
                 })

@@ -7,7 +7,7 @@
 //! timed:
 //!
 //! * **batch_sweep** — the full design-space lattice sweep
-//!   ([`pdnspot::batch::evaluate_grid_with`]) over the four baseline
+//!   ([`pdnspot::batch::evaluate`]) over the four baseline
 //!   PDN topologies;
 //! * **validation** — the Fig. 4-style campaign: model evaluation plus
 //!   reference-system reintegration through tabulated VR surfaces;
@@ -34,7 +34,7 @@
 use pdn_proc::PackageCState;
 use pdn_units::{ApplicationRatio, Seconds, Watts};
 use pdn_workload::{Trace, TraceInterval, WorkloadType};
-use pdnspot::batch::{evaluate_grid_memo, evaluate_grid_with, ClientSoc, SweepGrid, Workers};
+use pdnspot::batch::{evaluate, ClientSoc, SweepGrid, Workers};
 use pdnspot::prelude::*;
 use pdnspot::validation::{validate_with, ReferenceSystem};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -133,9 +133,9 @@ pub fn batch_kernel(quick: bool) -> KernelReport {
     let grid = sweep_grid(quick);
     // Warm up (allocator pools, curve segment hints); the scenario cache
     // itself is per-call, so the timed run still pays every build.
-    let _ = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Serial);
-    let (outcome, wall_s, allocations) =
-        measure(|| evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Serial));
+    let cfg = EngineConfig::builder().workers(Workers::Serial).build().expect("valid config");
+    let _ = evaluate(&pdns, &grid, &ClientSoc, &cfg, None);
+    let (outcome, wall_s, allocations) = measure(|| evaluate(&pdns, &grid, &ClientSoc, &cfg, None));
     assert_eq!(outcome.stats.failed, 0, "sweep lattice must evaluate cleanly");
     let mut etee_sum = 0.0;
     let mut input_sum = 0.0;
@@ -268,8 +268,9 @@ pub fn memo_kernel(quick: bool) -> KernelReport {
         // cache *at* the entry count would FIFO-thrash the shards the key
         // hash happens to overfill.
         let memo = MemoCache::new();
-        let cold = evaluate_grid_memo(&pdns, &grid, &ClientSoc, Workers::Serial, Some(&memo));
-        let warm = evaluate_grid_memo(&pdns, &grid, &ClientSoc, Workers::Serial, Some(&memo));
+        let cfg = EngineConfig::builder().workers(Workers::Serial).build().expect("valid config");
+        let cold = evaluate(&pdns, &grid, &ClientSoc, &cfg, Some(&memo));
+        let warm = evaluate(&pdns, &grid, &ClientSoc, &cfg, Some(&memo));
         (cold, warm)
     };
     let _ = run();
@@ -304,7 +305,7 @@ pub fn memo_kernel(quick: bool) -> KernelReport {
 /// probe); round 2 re-runs the same searches and must find every
 /// evaluation already cached.
 pub fn crossover_kernel(quick: bool) -> KernelReport {
-    use pdnspot::sweep::crossover_tdp_memo;
+    use pdnspot::sweep::crossover;
 
     let params = ModelParams::paper_defaults();
     let ivr = IvrPdn::new(params.clone());
@@ -313,6 +314,7 @@ pub fn crossover_kernel(quick: bool) -> KernelReport {
     let iplus = IPlusMbvrPdn::new(params);
     let pairs: [(&dyn Pdn, &dyn Pdn); 3] = [(&mbvr, &ivr), (&ldo, &ivr), (&iplus, &ivr)];
     let ars: &[f64] = if quick { &[0.6] } else { &[0.4, 0.6, 0.8] };
+    let cfg = EngineConfig::builder().workers(Workers::Serial).build().expect("valid config");
     let run = || {
         let memo = MemoCache::new();
         let mut crossover_sum = 0.0;
@@ -322,14 +324,14 @@ pub fn crossover_kernel(quick: bool) -> KernelReport {
             for &(challenger, incumbent) in &pairs {
                 for &ar in ars {
                     let ar = ApplicationRatio::new(ar).expect("static ARs are valid");
-                    let c = crossover_tdp_memo(
+                    let c = crossover(
                         challenger,
                         incumbent,
                         WorkloadType::MultiThread,
                         ar,
                         (4.0, 50.0),
                         &ClientSoc,
-                        Workers::Serial,
+                        &cfg,
                         Some(&memo),
                     )
                     .expect("crossover search succeeds");

@@ -6,9 +6,13 @@ use pdn_bench::fig4::PANEL_TDPS;
 use pdn_bench::suite::{five_pdns, ARS, TDPS};
 use pdn_proc::PackageCState;
 use pdn_workload::WorkloadType;
-use pdnspot::batch::{evaluate_grid_with, BatchOutcome, ClientSoc};
-use pdnspot::{ModelParams, Pdn, SweepGrid, Workers};
+use pdnspot::batch::{evaluate, BatchOutcome, ClientSoc};
+use pdnspot::{EngineConfig, ModelParams, Pdn, SweepGrid, Workers};
 use proptest::prelude::*;
+
+fn cfg(workers: Workers) -> EngineConfig {
+    EngineConfig::builder().workers(workers).build().expect("worker-only config is valid")
+}
 
 fn fig4_grid() -> SweepGrid {
     SweepGrid::builder()
@@ -65,10 +69,10 @@ fn named_worker_counts_are_bit_identical_on_figure_grids() {
     let pdns: Vec<&dyn Pdn> = pdns_boxed.iter().map(Box::as_ref).collect();
     let ncpu = std::thread::available_parallelism().map_or(1, |n| n.get());
     for (grid, label) in [(fig4_grid(), "fig4"), (fig8_grid(), "fig8")] {
-        let serial = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Serial);
+        let serial = evaluate(&pdns, &grid, &ClientSoc, &cfg(Workers::Serial), None);
         assert_eq!(serial.stats.failed, 0, "{label}: clean baseline");
         for w in [1, 2, 7, ncpu] {
-            let run = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Fixed(w));
+            let run = evaluate(&pdns, &grid, &ClientSoc, &cfg(Workers::Fixed(w)), None);
             assert_bit_identical(&serial, &run, &format!("{label} w={w}"));
         }
     }
@@ -86,8 +90,8 @@ proptest! {
         let mbvr = pdnspot::MbvrPdn::new(params);
         let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
         let grid = fig4_grid();
-        let serial = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Serial);
-        let run = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Fixed(w));
+        let serial = evaluate(&pdns, &grid, &ClientSoc, &cfg(Workers::Serial), None);
+        let run = evaluate(&pdns, &grid, &ClientSoc, &cfg(Workers::Fixed(w)), None);
         assert_bit_identical(&serial, &run, &format!("fig4 w={w}"));
         prop_assert_eq!(run.stats.workers, w.min(serial.stats.evaluations));
     }

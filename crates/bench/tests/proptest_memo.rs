@@ -6,9 +6,13 @@
 use pdn_bench::suite::{five_pdns, ARS, TDPS};
 use pdn_proc::PackageCState;
 use pdn_workload::WorkloadType;
-use pdnspot::batch::{evaluate_grid_memo, evaluate_grid_with, BatchOutcome, ClientSoc};
-use pdnspot::{MemoCache, ModelParams, Pdn, SweepGrid, Workers};
+use pdnspot::batch::{evaluate, BatchOutcome, ClientSoc};
+use pdnspot::{EngineConfig, MemoCache, ModelParams, Pdn, SweepGrid, Workers};
 use proptest::prelude::*;
+
+fn cfg(workers: Workers) -> EngineConfig {
+    EngineConfig::builder().workers(workers).build().expect("worker-only config is valid")
+}
 
 /// Asserts every evaluation of `run` is bit-identical to `baseline`.
 fn assert_bit_identical(baseline: &BatchOutcome, run: &BatchOutcome, label: &str) {
@@ -63,19 +67,19 @@ proptest! {
         }
         let grid = builder.build().unwrap();
 
-        let plain = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Serial);
+        let plain = evaluate(&pdns, &grid, &ClientSoc, &cfg(Workers::Serial), None);
         let label = format!("tdps={n_tdps} ars={n_ars} idle={with_idle} w={workers}");
 
         let memo = MemoCache::new();
         let cold =
-            evaluate_grid_memo(&pdns, &grid, &ClientSoc, Workers::Fixed(workers), Some(&memo));
+            evaluate(&pdns, &grid, &ClientSoc, &cfg(Workers::Fixed(workers)), Some(&memo));
         assert_bit_identical(&plain, &cold, &format!("cold {label}"));
         // Every (PDN, point) key is unique within one pass, so a cold
         // cache misses exactly once per successful evaluation.
         prop_assert_eq!(cold.stats.memo_hits, 0, "cold pass cannot hit");
 
         let warm =
-            evaluate_grid_memo(&pdns, &grid, &ClientSoc, Workers::Fixed(workers), Some(&memo));
+            evaluate(&pdns, &grid, &ClientSoc, &cfg(Workers::Fixed(workers)), Some(&memo));
         assert_bit_identical(&plain, &warm, &format!("warm {label}"));
         prop_assert_eq!(warm.stats.memo_misses, 0, "warm pass must be fully cached");
         prop_assert_eq!(warm.stats.memo_hits, cold.stats.memo_misses);

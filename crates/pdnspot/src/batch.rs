@@ -24,14 +24,15 @@
 //!
 //! # Determinism contract
 //!
-//! For a fixed grid, PDN set, and provider, [`evaluate_grid_with`]
-//! returns the same [`BatchOutcome::evaluations`] (same order, same
-//! floating-point bits) for every [`Workers`] choice. Scheduling only
-//! changes *which thread* computes a task, never the arithmetic: tasks
-//! share no mutable state besides the write-once scenario cache, and
-//! results are merged by task index. Only [`BatchStats`] (timings,
-//! worker count) varies between runs.
+//! For a fixed grid, PDN set, and provider, [`evaluate`] returns the
+//! same [`BatchOutcome::evaluations`] (same order, same floating-point
+//! bits) for every [`Workers`] and chunk-size choice in the
+//! [`EngineConfig`]. Scheduling only changes *which thread* computes a
+//! task, never the arithmetic: tasks share no mutable state besides the
+//! write-once scenario cache, and results are merged by task index.
+//! Only [`BatchStats`] (timings, worker count) varies between runs.
 
+use crate::config::EngineConfig;
 use crate::error::PdnError;
 use crate::etee::{PdnEvaluation, StagedPoint};
 use crate::memo::MemoCache;
@@ -390,13 +391,13 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    par_map_run_indexed(items.len(), workers, |i| f(i, &items[i]))
+    par_map_run_indexed(items.len(), workers, None, |i| f(i, &items[i]))
 }
 
 /// The index-driven scheduling core: applies `f` to every index in
 /// `0..n` on a scoped worker pool and returns the results in index
 /// order. Fan-outs whose work items are pure index arithmetic (the
-/// `pdn × point` lattice of [`evaluate_grid_with`]) drive this directly
+/// `pdn × point` lattice of [`evaluate`]) drive this directly
 /// and never allocate a task list.
 ///
 /// Scheduling: the indices are split into one contiguous range per
@@ -408,7 +409,12 @@ where
 /// exactly once. Which worker computes an index never affects the
 /// index's arithmetic, and the final index-keyed merge restores lattice
 /// order — results are bit-identical for every worker count.
-fn par_map_run_indexed<R, F>(n: usize, workers: Workers, f: F) -> ParMapRun<R>
+fn par_map_run_indexed<R, F>(
+    n: usize,
+    workers: Workers,
+    chunk_override: Option<usize>,
+    f: F,
+) -> ParMapRun<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
@@ -435,8 +441,10 @@ where
         next_start += len;
     }
     // Chunked claiming amortises the atomic over several items while
-    // keeping the range tails small enough to steal.
-    let chunk = (base / 8).clamp(1, 16);
+    // keeping the range tails small enough to steal. Chunk size affects
+    // only claim granularity, never values (the determinism contract),
+    // so an override is safe to expose as a tuning knob.
+    let chunk = chunk_override.map_or_else(|| (base / 8).clamp(1, 16), |c| c.max(1));
 
     let (mut pairs, worker_wall, worker_stolen, worker_idle_probes) = std::thread::scope(|scope| {
         let ranges = &ranges;
@@ -735,7 +743,7 @@ pub struct PointEvaluation {
     pub result: Result<PdnEvaluation, PdnError>,
 }
 
-/// The result of [`evaluate_grid`]: ordered evaluations plus run
+/// The result of [`evaluate`]: ordered evaluations plus run
 /// statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchOutcome {
@@ -760,34 +768,59 @@ impl BatchOutcome {
 }
 
 /// Evaluates every PDN over every lattice point with an automatically
-/// sized worker pool (see [`evaluate_grid_with`]).
+/// sized worker pool.
+#[deprecated(since = "0.1.0", note = "use `batch::evaluate` with an `EngineConfig`")]
 pub fn evaluate_grid(
     pdns: &[&dyn Pdn],
     grid: &SweepGrid,
     provider: &(impl SocProvider + ?Sized),
 ) -> BatchOutcome {
-    evaluate_grid_with(pdns, grid, provider, Workers::Auto)
+    evaluate(pdns, grid, provider, &EngineConfig::default(), None)
 }
 
-/// Evaluates every PDN over every lattice point of `grid`.
-///
-/// Scenarios are built at most once each through the shared cache and
-/// reused across PDNs and workers. Per-point failures are captured in
-/// the corresponding [`PointEvaluation::result`] with their lattice
-/// coordinates; the rest of the campaign always completes. The
-/// evaluations come back PDN-major in [`SweepGrid::points`] order — the
-/// same values and order for every `workers` choice (see the module-
-/// level determinism contract).
+/// Evaluates every PDN over every lattice point with an explicit worker
+/// choice.
+#[deprecated(since = "0.1.0", note = "use `batch::evaluate` with an `EngineConfig`")]
 pub fn evaluate_grid_with(
     pdns: &[&dyn Pdn],
     grid: &SweepGrid,
     provider: &(impl SocProvider + ?Sized),
     workers: Workers,
 ) -> BatchOutcome {
-    evaluate_grid_memo(pdns, grid, provider, workers, None)
+    evaluate(pdns, grid, provider, &config_for(workers), None)
 }
 
-/// [`evaluate_grid_with`] with an optional ETEE memo cache.
+/// Evaluates every PDN over every lattice point with an explicit worker
+/// choice and an optional ETEE memo cache.
+#[deprecated(since = "0.1.0", note = "use `batch::evaluate` with an `EngineConfig`")]
+pub fn evaluate_grid_memo(
+    pdns: &[&dyn Pdn],
+    grid: &SweepGrid,
+    provider: &(impl SocProvider + ?Sized),
+    workers: Workers,
+    memo: Option<&MemoCache>,
+) -> BatchOutcome {
+    evaluate(pdns, grid, provider, &config_for(workers), memo)
+}
+
+/// An all-defaults config with only the worker choice overridden — the
+/// translation the deprecated shims apply, shared with the sweep module.
+pub(crate) fn config_for(workers: Workers) -> EngineConfig {
+    EngineConfig::builder().workers(workers).build().expect("worker-only config is valid")
+}
+
+/// Evaluates every PDN over every lattice point of `grid` — the unified
+/// batch entry point, replacing `evaluate_grid`/`evaluate_grid_with`/
+/// `evaluate_grid_memo`.
+///
+/// Scenarios are built at most once each through the shared cache and
+/// reused across PDNs and workers. Per-point failures are captured in
+/// the corresponding [`PointEvaluation::result`] with their lattice
+/// coordinates; the rest of the campaign always completes. The
+/// evaluations come back PDN-major in [`SweepGrid::points`] order — the
+/// same values and order for every [`EngineConfig::workers`] and
+/// [`EngineConfig::chunk_size`] choice (see the module-level determinism
+/// contract).
 ///
 /// When `memo` is `Some`, every `pdn × point` evaluation goes through
 /// [`MemoCache::evaluate_staged`]: a repeat evaluation of a
@@ -795,14 +828,15 @@ pub fn evaluate_grid_with(
 /// across earlier calls sharing the cache — returns the stored result
 /// instead of re-running the model. Memoization never changes a returned
 /// value (a hit is a clone of a bit-identical prior result), so this
-/// function upholds the module-level determinism contract with or
-/// without a cache; the run's hit/miss/eviction deltas are reported in
-/// the [`BatchStats`] memo counters.
-pub fn evaluate_grid_memo(
+/// function upholds the determinism contract with or without a cache;
+/// the run's hit/miss/eviction deltas are reported in the [`BatchStats`]
+/// memo counters. Pass `Some(&config.memo_cache())` for a run-local
+/// cache, or share one cache across calls to amortise warm entries.
+pub fn evaluate(
     pdns: &[&dyn Pdn],
     grid: &SweepGrid,
     provider: &(impl SocProvider + ?Sized),
-    workers: Workers,
+    config: &EngineConfig,
     memo: Option<&MemoCache>,
 ) -> BatchOutcome {
     let start = Instant::now();
@@ -814,7 +848,7 @@ pub fn evaluate_grid_memo(
     let staged: Vec<StagedPoint> = (0..n_points).map(|_| StagedPoint::new()).collect();
     let memo_before = memo.map(MemoCache::stats);
 
-    let run = par_map_run_indexed(n_tasks, workers, |task_idx| {
+    let run = par_map_run_indexed(n_tasks, config.workers(), config.chunk_size(), |task_idx| {
         let pdn_idx = task_idx / n_points;
         let point_idx = task_idx % n_points;
         let point = grid.point_at(point_idx);
@@ -887,7 +921,7 @@ pub fn build_scenarios(
     let start = Instant::now();
     let n_points = grid.n_points();
     let cache = ScenarioCache::new(grid, provider, n_points);
-    let run = par_map_run_indexed(n_points, workers, |point_idx| {
+    let run = par_map_run_indexed(n_points, workers, None, |point_idx| {
         cache.scenario(point_idx, grid.point_at(point_idx)).is_ok()
     });
     let builds = cache.builds.load(Ordering::Relaxed);
@@ -1025,10 +1059,11 @@ mod tests {
         let mbvr = MbvrPdn::new(params);
         let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
         let grid = small_grid();
-        let plain = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Serial);
+        let plain = evaluate(&pdns, &grid, &ClientSoc, &config_for(Workers::Serial), None);
         let memo = MemoCache::new();
-        let first = evaluate_grid_memo(&pdns, &grid, &ClientSoc, Workers::Serial, Some(&memo));
-        let second = evaluate_grid_memo(&pdns, &grid, &ClientSoc, Workers::Fixed(3), Some(&memo));
+        let first = evaluate(&pdns, &grid, &ClientSoc, &config_for(Workers::Serial), Some(&memo));
+        let second =
+            evaluate(&pdns, &grid, &ClientSoc, &config_for(Workers::Fixed(3)), Some(&memo));
         assert_eq!(plain.evaluations, first.evaluations);
         assert_eq!(plain.evaluations, second.evaluations);
         assert_eq!(first.stats.memo_misses, 24, "cold cache misses every task");
@@ -1048,11 +1083,17 @@ mod tests {
         let mbvr = MbvrPdn::new(params);
         let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
         let grid = small_grid();
-        let serial = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Serial);
-        let parallel = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Fixed(4));
+        let serial = evaluate(&pdns, &grid, &ClientSoc, &config_for(Workers::Serial), None);
+        let parallel = evaluate(&pdns, &grid, &ClientSoc, &config_for(Workers::Fixed(4)), None);
         assert_eq!(serial.evaluations, parallel.evaluations);
         assert_eq!(serial.stats.workers, 1);
         assert_eq!(parallel.stats.workers, 4.min(serial.stats.evaluations));
+        // An explicit chunk size changes claim granularity only, never
+        // values (the EngineConfig determinism contract).
+        let chunked =
+            EngineConfig::builder().workers(Workers::Fixed(4)).chunk_size(1).build().unwrap();
+        let chunky = evaluate(&pdns, &grid, &ClientSoc, &chunked, None);
+        assert_eq!(serial.evaluations, chunky.evaluations);
     }
 
     #[test]
@@ -1062,7 +1103,7 @@ mod tests {
         let mbvr = MbvrPdn::new(params);
         let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
         let grid = small_grid();
-        let outcome = evaluate_grid(&pdns, &grid, &ClientSoc);
+        let outcome = evaluate(&pdns, &grid, &ClientSoc, &EngineConfig::default(), None);
         let stats = &outcome.stats;
         assert_eq!(stats.points, 12);
         assert_eq!(stats.evaluations, 24);
@@ -1082,7 +1123,7 @@ mod tests {
         let mbvr = MbvrPdn::new(params);
         let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
         let grid = small_grid();
-        let outcome = evaluate_grid(&pdns, &grid, &ClientSoc);
+        let outcome = evaluate(&pdns, &grid, &ClientSoc, &EngineConfig::default(), None);
         let block = outcome.for_pdn(1);
         assert_eq!(block.len(), 12);
         assert!(block.iter().all(|e| e.pdn_idx == 1));
@@ -1121,7 +1162,7 @@ mod tests {
             FailsAbove { inner: IvrPdn::new(ModelParams::paper_defaults()), threshold: 10.0 };
         let pdns: [&dyn Pdn; 1] = [&flaky];
         let grid = SweepGrid::active(&[4.0, 18.0], &[WorkloadType::MultiThread], &[0.56]).unwrap();
-        let outcome = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Fixed(2));
+        let outcome = evaluate(&pdns, &grid, &ClientSoc, &config_for(Workers::Fixed(2)), None);
         assert_eq!(outcome.stats.failed, 1);
         assert!(outcome.evaluations[0].result.is_ok(), "4 W point completes");
         let err = outcome.evaluations[1].result.as_ref().unwrap_err();
@@ -1197,6 +1238,25 @@ mod tests {
         assert_eq!(stats.worker_stolen, vec![0]);
         assert_eq!(stats.worker_idle_probes, vec![0]);
         assert!(!stats.to_string().contains("stolen"));
+    }
+
+    /// The satellite-3 contract: the deprecated grid shims are pure
+    /// translations to [`evaluate`] — same values, same bits.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_grid_shims_match_evaluate() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
+        let grid = small_grid();
+        let unified = evaluate(&pdns, &grid, &ClientSoc, &EngineConfig::default(), None);
+        let plain = evaluate_grid(&pdns, &grid, &ClientSoc);
+        let with = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Auto);
+        let memo = evaluate_grid_memo(&pdns, &grid, &ClientSoc, Workers::Auto, None);
+        assert_eq!(unified.evaluations, plain.evaluations);
+        assert_eq!(unified.evaluations, with.evaluations);
+        assert_eq!(unified.evaluations, memo.evaluations);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! One validated configuration object for the evaluation engine.
+//!
+//! Before this module, the engine's knobs were free-floating parameters
+//! scattered across call sites: a [`Workers`] argument here, a memo
+//! capacity there, a hard-coded chunk heuristic inside the scheduler,
+//! and (with `pdn-serve`) an admission-queue depth that had nowhere to
+//! live at all. [`EngineConfig`] consolidates them behind one
+//! builder-style API with a validated [`build`](EngineConfigBuilder::build):
+//! every consumer — the unified [`crate::batch::evaluate`] entry point,
+//! the sweep helpers, and the serve daemon — reads the same struct, and
+//! an invalid combination is rejected once, at construction, instead of
+//! panicking mid-campaign.
+//!
+//! ```
+//! use pdnspot::prelude::*;
+//!
+//! let cfg = EngineConfig::builder()
+//!     .workers(Workers::Fixed(4))
+//!     .memo_capacity(1 << 14)
+//!     .build()?;
+//! assert_eq!(cfg.workers(), Workers::Fixed(4));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::batch::Workers;
+use crate::error::PdnError;
+use crate::memo::{MemoCache, DEFAULT_CAPACITY, DEFAULT_SHARDS};
+use serde::{Deserialize, Serialize};
+
+/// Default bound on the serve daemon's admission queue
+/// ([`EngineConfig::admission_depth`]).
+pub const DEFAULT_ADMISSION_DEPTH: usize = 1024;
+
+/// Validated engine configuration (see the module docs).
+///
+/// Construct with [`EngineConfig::builder`]; [`EngineConfig::default`]
+/// is the validated all-defaults configuration. The struct is plain data
+/// — cloning is cheap and it is `Send + Sync`, so one instance can be
+/// shared by every worker of a daemon.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    workers: Workers,
+    chunk_size: Option<usize>,
+    memo_shards: usize,
+    memo_capacity: usize,
+    admission_depth: usize,
+}
+
+impl EngineConfig {
+    /// Starts a builder preloaded with the defaults.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+
+    /// Worker-pool sizing for batch runs (default [`Workers::Auto`]).
+    pub fn workers(&self) -> Workers {
+        self.workers
+    }
+
+    /// Scheduler chunk-claim size override; `None` (the default) keeps
+    /// the built-in heuristic. The chunk size never affects reported
+    /// values (the determinism contract of [`crate::batch`]), only how
+    /// many items a worker claims per atomic operation.
+    pub fn chunk_size(&self) -> Option<usize> {
+        self.chunk_size
+    }
+
+    /// Lock-stripe count of memo caches built from this config (default
+    /// [`DEFAULT_SHARDS`]).
+    pub fn memo_shards(&self) -> usize {
+        self.memo_shards
+    }
+
+    /// Total entry budget of memo caches built from this config —
+    /// doubling as the per-tenant eviction budget in `pdn-serve`
+    /// (default [`DEFAULT_CAPACITY`]).
+    pub fn memo_capacity(&self) -> usize {
+        self.memo_capacity
+    }
+
+    /// Bound on the serve daemon's admission queue; requests beyond it
+    /// are shed with an `Overloaded` error (default
+    /// [`DEFAULT_ADMISSION_DEPTH`]).
+    pub fn admission_depth(&self) -> usize {
+        self.admission_depth
+    }
+
+    /// Builds a [`MemoCache`] with this config's shard count and
+    /// capacity budget.
+    pub fn memo_cache(&self) -> MemoCache {
+        MemoCache::with_shards(self.memo_shards, self.memo_capacity)
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfigBuilder::default().build().expect("defaults are valid")
+    }
+}
+
+/// Builder for [`EngineConfig`]; see the module docs.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    workers: Workers,
+    chunk_size: Option<usize>,
+    memo_shards: usize,
+    memo_capacity: usize,
+    admission_depth: usize,
+}
+
+impl Default for EngineConfigBuilder {
+    fn default() -> Self {
+        Self {
+            workers: Workers::Auto,
+            chunk_size: None,
+            memo_shards: DEFAULT_SHARDS,
+            memo_capacity: DEFAULT_CAPACITY,
+            admission_depth: DEFAULT_ADMISSION_DEPTH,
+        }
+    }
+}
+
+impl EngineConfigBuilder {
+    /// Sets the worker-pool sizing.
+    pub fn workers(mut self, workers: Workers) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the scheduler's chunk-claim size (must be ≥ 1).
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk_size = Some(chunk);
+        self
+    }
+
+    /// Sets the memo-cache shard count (must be ≥ 1).
+    pub fn memo_shards(mut self, shards: usize) -> Self {
+        self.memo_shards = shards;
+        self
+    }
+
+    /// Sets the memo-cache total entry budget (must be ≥ 1).
+    pub fn memo_capacity(mut self, capacity: usize) -> Self {
+        self.memo_capacity = capacity;
+        self
+    }
+
+    /// Sets the admission-queue bound (must be ≥ 1).
+    pub fn admission_depth(mut self, depth: usize) -> Self {
+        self.admission_depth = depth;
+        self
+    }
+
+    /// Validates and freezes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::Scenario`] naming the offending knob when a
+    /// value is out of range (`Fixed(0)` workers, a zero chunk size,
+    /// zero memo shards or capacity, a zero admission depth).
+    pub fn build(self) -> Result<EngineConfig, PdnError> {
+        if self.workers == Workers::Fixed(0) {
+            return Err(PdnError::Scenario(
+                "EngineConfig: workers must be Fixed(n >= 1), Serial, or Auto".into(),
+            ));
+        }
+        if self.chunk_size == Some(0) {
+            return Err(PdnError::Scenario("EngineConfig: chunk_size must be >= 1".into()));
+        }
+        if self.memo_shards == 0 {
+            return Err(PdnError::Scenario("EngineConfig: memo_shards must be >= 1".into()));
+        }
+        if self.memo_capacity == 0 {
+            return Err(PdnError::Scenario("EngineConfig: memo_capacity must be >= 1".into()));
+        }
+        if self.admission_depth == 0 {
+            return Err(PdnError::Scenario("EngineConfig: admission_depth must be >= 1".into()));
+        }
+        Ok(EngineConfig {
+            workers: self.workers,
+            chunk_size: self.chunk_size,
+            memo_shards: self.memo_shards,
+            memo_capacity: self.memo_capacity,
+            admission_depth: self.admission_depth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorCode;
+
+    #[test]
+    fn defaults_build_and_expose_every_knob() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.workers(), Workers::Auto);
+        assert_eq!(cfg.chunk_size(), None);
+        assert_eq!(cfg.memo_shards(), DEFAULT_SHARDS);
+        assert_eq!(cfg.memo_capacity(), DEFAULT_CAPACITY);
+        assert_eq!(cfg.admission_depth(), DEFAULT_ADMISSION_DEPTH);
+        let cache = cfg.memo_cache();
+        assert_eq!(cache.shard_count(), DEFAULT_SHARDS);
+        assert_eq!(cache.capacity(), DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn builder_round_trips_every_knob() {
+        let cfg = EngineConfig::builder()
+            .workers(Workers::Fixed(3))
+            .chunk_size(4)
+            .memo_shards(8)
+            .memo_capacity(256)
+            .admission_depth(32)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.workers(), Workers::Fixed(3));
+        assert_eq!(cfg.chunk_size(), Some(4));
+        assert_eq!(cfg.memo_shards(), 8);
+        assert_eq!(cfg.memo_capacity(), 256);
+        assert_eq!(cfg.admission_depth(), 32);
+        assert_eq!(cfg.memo_cache().shard_count(), 8);
+    }
+
+    #[test]
+    fn invalid_knobs_are_rejected_by_name() {
+        let cases: Vec<(EngineConfigBuilder, &str)> = vec![
+            (EngineConfig::builder().workers(Workers::Fixed(0)), "workers"),
+            (EngineConfig::builder().chunk_size(0), "chunk_size"),
+            (EngineConfig::builder().memo_shards(0), "memo_shards"),
+            (EngineConfig::builder().memo_capacity(0), "memo_capacity"),
+            (EngineConfig::builder().admission_depth(0), "admission_depth"),
+        ];
+        for (builder, knob) in cases {
+            let err = builder.build().unwrap_err();
+            assert_eq!(err.code(), ErrorCode::Scenario);
+            assert!(err.to_string().contains(knob), "{err} should name {knob}");
+        }
+    }
+}

@@ -1,9 +1,127 @@
-//! Error type for PDN evaluation.
+//! Error type for PDN evaluation, designed to cross a wire.
+//!
+//! [`PdnError`] started life as a library-only enum; the `pdn-serve`
+//! daemon forces it to be **wire-ready**:
+//!
+//! * the enum is `#[non_exhaustive]` so new failure classes can ship
+//!   without breaking downstream matches;
+//! * every error maps to a stable [`ErrorCode`] (via [`PdnError::code`])
+//!   whose `u16` discriminants are frozen protocol constants — clients
+//!   on older protocol revisions can still classify errors they have
+//!   never seen spelled out;
+//! * the [`PdnError::Wire`] variant is the decoded form of an error that
+//!   crossed the wire: it preserves the original code and rendered
+//!   message even when the native variant (a regulator error full of
+//!   `&'static str` fields) cannot be rebuilt on the receiving side.
+//!
+//! The serve protocol's `ServeError` frame (in the `pdn-serve` crate)
+//! converts losslessly to and from this type: structured variants
+//! (scenario, degradation, lattice coordinates) round-trip field by
+//! field, and leaf regulator/units errors round-trip as code + message.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Stable wire-level classification of a [`PdnError`].
+///
+/// The `u16` values are frozen protocol constants: they are what the
+/// `pdn-serve` framing writes on the wire, so **never renumber them** —
+/// add new codes at the end instead. [`ErrorCode::from_wire`] maps
+/// unknown discriminants to [`ErrorCode::Unknown`] rather than failing,
+/// which keeps old clients compatible with new servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// A regulator rejected its operating point ([`PdnError::Vr`]).
+    Vr,
+    /// A quantity or curve failed validation ([`PdnError::Units`]).
+    Units,
+    /// The scenario is inconsistent ([`PdnError::Scenario`]).
+    Scenario,
+    /// A component degraded out of its envelope ([`PdnError::Degraded`]).
+    Degraded,
+    /// A batch campaign failed at a lattice point ([`PdnError::Lattice`]).
+    Lattice,
+    /// A malformed, truncated, or corrupt protocol frame.
+    Protocol,
+    /// The server's admission queue is full; retry later.
+    Overloaded,
+    /// A snapshot could not be written, read, or validated.
+    Snapshot,
+    /// The server is shutting down and no longer accepts work.
+    Shutdown,
+    /// The request is well-formed but names something the server does not
+    /// serve (an unknown PDN, an unresident surface, a disabled feature).
+    Unsupported,
+    /// An error code this build does not know (sent by a newer peer).
+    Unknown,
+}
+
+impl ErrorCode {
+    /// The frozen wire discriminant.
+    pub fn to_wire(self) -> u16 {
+        match self {
+            ErrorCode::Vr => 1,
+            ErrorCode::Units => 2,
+            ErrorCode::Scenario => 3,
+            ErrorCode::Degraded => 4,
+            ErrorCode::Lattice => 5,
+            ErrorCode::Protocol => 6,
+            ErrorCode::Overloaded => 7,
+            ErrorCode::Snapshot => 8,
+            ErrorCode::Shutdown => 9,
+            ErrorCode::Unsupported => 10,
+            ErrorCode::Unknown => 0xFFFF,
+        }
+    }
+
+    /// Decodes a wire discriminant; unknown values map to
+    /// [`ErrorCode::Unknown`] (never an error — forward compatibility).
+    pub fn from_wire(raw: u16) -> Self {
+        match raw {
+            1 => ErrorCode::Vr,
+            2 => ErrorCode::Units,
+            3 => ErrorCode::Scenario,
+            4 => ErrorCode::Degraded,
+            5 => ErrorCode::Lattice,
+            6 => ErrorCode::Protocol,
+            7 => ErrorCode::Overloaded,
+            8 => ErrorCode::Snapshot,
+            9 => ErrorCode::Shutdown,
+            10 => ErrorCode::Unsupported,
+            _ => ErrorCode::Unknown,
+        }
+    }
+
+    /// Whether a client may retry the same request unchanged and expect
+    /// it to eventually succeed (load shedding, not a broken request).
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::Vr => "vr",
+            ErrorCode::Units => "units",
+            ErrorCode::Scenario => "scenario",
+            ErrorCode::Degraded => "degraded",
+            ErrorCode::Lattice => "lattice",
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Snapshot => "snapshot",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Error produced by PDNspot evaluations.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum PdnError {
     /// A regulator rejected its operating point.
     Vr(pdn_vr::VrError),
@@ -43,6 +161,18 @@ pub enum PdnError {
         /// The underlying failure.
         source: Box<PdnError>,
     },
+    /// An error that crossed the wire and whose native variant cannot be
+    /// rebuilt on this side (regulator/units errors carry `&'static str`
+    /// fields that only exist in the producing process). The original
+    /// [`ErrorCode`] and rendered message are preserved, so
+    /// [`PdnError::code`] and `Display` behave exactly as they did at the
+    /// sender.
+    Wire {
+        /// The stable classification the sender reported.
+        code: ErrorCode,
+        /// The sender's rendered error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for PdnError {
@@ -61,6 +191,7 @@ impl fmt::Display for PdnError {
             PdnError::Lattice { pdn: None, point, source } => {
                 write!(f, "scenario construction failed at lattice point [{point}]: {source}")
             }
+            PdnError::Wire { message, .. } => f.write_str(message),
         }
     }
 }
@@ -74,6 +205,7 @@ impl std::error::Error for PdnError {
             PdnError::Degraded { .. } => None,
             PdnError::Shared(inner) => std::error::Error::source(inner.as_ref()),
             PdnError::Lattice { source, .. } => Some(source.as_ref()),
+            PdnError::Wire { .. } => None,
         }
     }
 }
@@ -86,6 +218,24 @@ impl PdnError {
         match self {
             PdnError::Shared(_) => self,
             other => PdnError::Shared(std::sync::Arc::new(other)),
+        }
+    }
+
+    /// The stable wire-level classification of this error.
+    ///
+    /// [`PdnError::Shared`] is transparent (reports the inner code);
+    /// [`PdnError::Lattice`] reports [`ErrorCode::Lattice`] — the
+    /// coordinates, not the leaf cause, are what a sweeping client routes
+    /// on, and the leaf code survives in the serialized cause chain.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            PdnError::Vr(_) => ErrorCode::Vr,
+            PdnError::Units(_) => ErrorCode::Units,
+            PdnError::Scenario(_) => ErrorCode::Scenario,
+            PdnError::Degraded { .. } => ErrorCode::Degraded,
+            PdnError::Shared(inner) => inner.code(),
+            PdnError::Lattice { .. } => ErrorCode::Lattice,
+            PdnError::Wire { code, .. } => *code,
         }
     }
 }
@@ -136,6 +286,7 @@ mod tests {
         };
         let shared = inner.clone().into_shared();
         assert_eq!(shared.to_string(), inner.to_string());
+        assert_eq!(shared.code(), inner.code());
         assert_eq!(
             std::error::Error::source(&shared).map(ToString::to_string),
             std::error::Error::source(&inner).map(ToString::to_string)
@@ -162,5 +313,72 @@ mod tests {
             source: Box::new(inner),
         };
         assert!(build.to_string().contains("scenario construction"), "{build}");
+    }
+
+    #[test]
+    fn every_variant_reports_its_stable_code() {
+        let cases: Vec<(PdnError, ErrorCode)> = vec![
+            (PdnError::from(pdn_units::UnitsError::NotFinite { what: "x" }), ErrorCode::Units),
+            (
+                PdnError::Vr(pdn_vr::VrError::UnsupportedOperatingPoint {
+                    regulator: "buck".into(),
+                    reason: "duty".into(),
+                }),
+                ErrorCode::Vr,
+            ),
+            (PdnError::Scenario("bad".into()), ErrorCode::Scenario),
+            (
+                PdnError::Degraded { component: "PMU".into(), reason: "latched".into() },
+                ErrorCode::Degraded,
+            ),
+            (
+                PdnError::Lattice {
+                    pdn: None,
+                    point: "tdp=4W".into(),
+                    source: Box::new(PdnError::Scenario("bad".into())),
+                },
+                ErrorCode::Lattice,
+            ),
+            (
+                PdnError::Wire { code: ErrorCode::Overloaded, message: "queue full".into() },
+                ErrorCode::Overloaded,
+            ),
+        ];
+        for (err, code) in cases {
+            assert_eq!(err.code(), code, "{err}");
+        }
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_tolerate_unknowns() {
+        let all = [
+            ErrorCode::Vr,
+            ErrorCode::Units,
+            ErrorCode::Scenario,
+            ErrorCode::Degraded,
+            ErrorCode::Lattice,
+            ErrorCode::Protocol,
+            ErrorCode::Overloaded,
+            ErrorCode::Snapshot,
+            ErrorCode::Shutdown,
+            ErrorCode::Unsupported,
+            ErrorCode::Unknown,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for code in all {
+            assert_eq!(ErrorCode::from_wire(code.to_wire()), code);
+            assert!(seen.insert(code.to_wire()), "duplicate wire value for {code}");
+        }
+        assert_eq!(ErrorCode::from_wire(31999), ErrorCode::Unknown);
+        assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(!ErrorCode::Scenario.is_retryable());
+    }
+
+    #[test]
+    fn wire_errors_preserve_sender_rendering() {
+        let native = PdnError::from(pdn_units::UnitsError::NotFinite { what: "ratio" });
+        let decoded = PdnError::Wire { code: native.code(), message: native.to_string() };
+        assert_eq!(decoded.to_string(), native.to_string());
+        assert_eq!(decoded.code(), native.code());
     }
 }

@@ -52,6 +52,7 @@
 
 pub mod areabom;
 pub mod batch;
+pub mod config;
 pub mod error;
 pub mod etee;
 pub mod memo;
@@ -65,9 +66,10 @@ pub mod transient;
 pub mod validation;
 
 pub use batch::{BatchStats, ClientSoc, SocProvider, SweepGrid, Workers};
-pub use error::PdnError;
+pub use config::{EngineConfig, EngineConfigBuilder};
+pub use error::{ErrorCode, PdnError};
 pub use etee::{DirectStager, LossBreakdown, PdnEvaluation, RailReport, StagedPoint, Stager};
-pub use memo::{MemoCache, MemoPdn, MemoStats};
+pub use memo::{MemoCache, MemoEntry, MemoPdn, MemoStats};
 pub use params::ModelParams;
 pub use scenario::{DomainLoad, Scenario};
 pub use topology::{IPlusMbvrPdn, IvrPdn, LdoPdn, MbvrPdn, Pdn, PdnKind};

@@ -26,6 +26,7 @@ use crate::params::ModelParams;
 use crate::scenario::Scenario;
 use crate::topology::{OffchipRail, Pdn, PdnKind};
 use pdn_proc::SocSpec;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -121,11 +122,31 @@ impl MemoStats {
     }
 }
 
-/// Number of independently locked shards.
-const SHARDS: usize = 16;
+/// Default number of independently locked shards
+/// ([`MemoCache::new`] / [`MemoCache::with_capacity`]).
+pub const DEFAULT_SHARDS: usize = 16;
 
 /// Default total entry capacity of [`MemoCache::new`].
 pub const DEFAULT_CAPACITY: usize = 8192;
+
+/// One exported cache entry — the raw key pair plus the cached value.
+///
+/// Produced by [`MemoCache::export`] and consumed by
+/// [`MemoCache::import`]; the key fields are the exact
+/// [`crate::topology::Pdn::memo_token`] and
+/// [`crate::scenario::Scenario::fingerprint`] values, so an entry
+/// re-imported into any cache (regardless of shard count) lands via the
+/// same deterministic FNV-1a striping and is indistinguishable from a
+/// fresh insertion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoEntry {
+    /// The PDN identity token half of the key.
+    pub pdn_token: u64,
+    /// The scenario fingerprint half of the key.
+    pub scenario_fingerprint: u64,
+    /// The cached evaluation.
+    pub value: PdnEvaluation,
+}
 
 /// A lock-striped, bounded memo cache of PDN evaluations (see the module
 /// docs for the key and determinism contract).
@@ -168,12 +189,22 @@ impl MemoCache {
         Self::with_capacity(DEFAULT_CAPACITY)
     }
 
-    /// A cache bounded at `capacity` total entries (rounded up to a
-    /// multiple of the shard count; at least one entry per shard).
+    /// A cache bounded at `capacity` total entries over
+    /// [`DEFAULT_SHARDS`] shards (capacity rounded up to a multiple of
+    /// the shard count; at least one entry per shard).
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_shards(DEFAULT_SHARDS, capacity)
+    }
+
+    /// A cache with an explicit shard count and total entry capacity —
+    /// the constructor `EngineConfig` uses. `shards` is clamped to at
+    /// least 1; the capacity is rounded up to a multiple of the shard
+    /// count with at least one entry per shard.
+    pub fn with_shards(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
         Self {
-            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
-            capacity_per_shard: capacity.div_ceil(SHARDS).max(1),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard: capacity.div_ceil(shards).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -181,8 +212,18 @@ impl MemoCache {
         }
     }
 
+    /// Number of independently locked shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total entry capacity (the per-shard budget times the shard count).
+    pub fn capacity(&self) -> usize {
+        self.capacity_per_shard * self.shards.len()
+    }
+
     fn shard_of(&self, key: MemoKey) -> &Mutex<Shard> {
-        &self.shards[(key.mixed() % SHARDS as u64) as usize]
+        &self.shards[(key.mixed() % self.shards.len() as u64) as usize]
     }
 
     /// Evaluates `pdn` on `scenario` through the cache.
@@ -254,6 +295,57 @@ impl MemoCache {
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Exports every cached entry in deterministic order: shard index
+    /// ascending, then insertion (FIFO) order within each shard. The
+    /// snapshot path in `pdn-serve` writes this list to disk so a
+    /// restarted daemon can [`MemoCache::import`] it and serve hot.
+    pub fn export(&self) -> Vec<MemoEntry> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("memo shard poisoned");
+            for key in &shard.order {
+                if let Some(value) = shard.map.get(key) {
+                    out.push(MemoEntry {
+                        pdn_token: key.pdn,
+                        scenario_fingerprint: key.scenario,
+                        value: value.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Re-inserts previously [`export`](MemoCache::export)ed entries.
+    ///
+    /// Entries are striped over this cache's shards by the same
+    /// deterministic FNV-1a mix used at evaluation time, so the shard
+    /// count of the exporting cache does not need to match. Imports do
+    /// not count as hits or misses; entries past the capacity budget
+    /// evict in FIFO order exactly as live insertions do. Returns the
+    /// number of entries actually added (duplicates are kept-first, like
+    /// racing live insertions).
+    pub fn import<I: IntoIterator<Item = MemoEntry>>(&self, entries: I) -> usize {
+        let mut added = 0;
+        for entry in entries {
+            let key = MemoKey { pdn: entry.pdn_token, scenario: entry.scenario_fingerprint };
+            let mut shard = self.shard_of(key).lock().expect("memo shard poisoned");
+            if shard.map.contains_key(&key) {
+                continue;
+            }
+            if shard.order.len() >= self.capacity_per_shard {
+                if let Some(oldest) = shard.order.pop_front() {
+                    shard.map.remove(&oldest);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            shard.order.push_back(key);
+            shard.map.insert(key, entry.value);
+            added += 1;
+        }
+        added
     }
 
     /// Snapshot of the hit/miss/eviction/bypass counters.
@@ -443,6 +535,43 @@ mod tests {
         assert_ne!(active.fingerprint(), idle.fingerprint());
         let c6 = Scenario::idle(&soc, PackageCState::C6);
         assert_ne!(idle.fingerprint(), c6.fingerprint());
+    }
+
+    #[test]
+    fn export_import_round_trips_and_reshards() {
+        let pdn = IvrPdn::new(ModelParams::paper_defaults());
+        let warm = MemoCache::new();
+        let scenarios: Vec<Scenario> =
+            (0..6).map(|i| scenario(18.0, 0.40 + 0.05 * i as f64)).collect();
+        for s in &scenarios {
+            warm.evaluate(&pdn, s).unwrap();
+        }
+        let entries = warm.export();
+        assert_eq!(entries.len(), warm.len());
+
+        // Restore into a cache with a different shard count: every entry
+        // must land, and lookups must hit without re-evaluating.
+        let cold = MemoCache::with_shards(4, 64);
+        assert_eq!(cold.import(entries.clone()), entries.len());
+        assert_eq!(cold.len(), entries.len());
+        for s in &scenarios {
+            let a = warm.evaluate(&pdn, s).unwrap();
+            let b = cold.evaluate(&pdn, s).unwrap();
+            assert_eq!(a.input_power.get().to_bits(), b.input_power.get().to_bits());
+        }
+        let stats = cold.stats();
+        assert_eq!(stats.hits, scenarios.len() as u64, "restored entries must hit");
+        assert_eq!(stats.misses, 0);
+
+        // Duplicate import is kept-first (no double insertion).
+        assert_eq!(cold.import(entries), 0);
+
+        // Export order is deterministic for an identical rebuild.
+        let rebuilt = MemoCache::new();
+        for s in &scenarios {
+            rebuilt.evaluate(&pdn, s).unwrap();
+        }
+        assert_eq!(warm.export(), rebuilt.export());
     }
 
     #[test]

@@ -8,25 +8,27 @@
 //! let mbvr = MbvrPdn::new(params);
 //! let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
 //! let grid = SweepGrid::active(&[4.0, 18.0], &[WorkloadType::MultiThread], &[0.56])?;
-//! let outcome = evaluate_grid(&pdns, &grid, &ClientSoc);
+//! let cfg = EngineConfig::default();
+//! let outcome = evaluate(&pdns, &grid, &ClientSoc, &cfg, None);
 //! assert_eq!(outcome.stats.failed, 0);
 //! # Ok::<(), pdnspot::PdnError>(())
 //! ```
 
 pub use crate::batch::{
-    build_scenarios, evaluate_grid, evaluate_grid_memo, evaluate_grid_with, par_map, par_map_stats,
-    BatchOutcome, BatchStats, ClientSoc, LatticePoint, PointEvaluation, SocProvider, SweepGrid,
-    SweepGridBuilder, Workers,
+    build_scenarios, evaluate, par_map, par_map_stats, BatchOutcome, BatchStats, ClientSoc,
+    LatticePoint, PointEvaluation, SocProvider, SweepGrid, SweepGridBuilder, Workers,
 };
-pub use crate::error::PdnError;
+#[allow(deprecated)]
+pub use crate::batch::{evaluate_grid, evaluate_grid_memo, evaluate_grid_with};
+pub use crate::config::{EngineConfig, EngineConfigBuilder, DEFAULT_ADMISSION_DEPTH};
+pub use crate::error::{ErrorCode, PdnError};
 pub use crate::etee::{LossBreakdown, PdnEvaluation, RailReport};
-pub use crate::memo::{MemoCache, MemoPdn, MemoStats};
+pub use crate::memo::{MemoCache, MemoEntry, MemoPdn, MemoStats};
 pub use crate::params::ModelParams;
 pub use crate::scenario::{DomainLoad, Scenario};
-pub use crate::sweep::{
-    crossover_tdp_memo, crossover_tdp_with, etee_surfaces, etee_surfaces_memo, Crossover,
-    EteeSurface,
-};
+pub use crate::sweep::{crossover, surfaces, Crossover, EteeSurface};
+#[allow(deprecated)]
+pub use crate::sweep::{crossover_tdp_memo, crossover_tdp_with, etee_surfaces, etee_surfaces_memo};
 pub use crate::topology::{IPlusMbvrPdn, IvrPdn, LdoPdn, MbvrPdn, Pdn, PdnKind};
 pub use crate::validation::{validate, validate_with, ReferenceSystem, ValidationReport};
 pub use pdn_units::{ApplicationRatio, Watts};

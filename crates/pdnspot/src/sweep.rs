@@ -13,7 +13,8 @@
 //! built once and reused, workers fanned out over the lattice. The old
 //! closure-parameter free functions remain as deprecated wrappers.
 
-use crate::batch::{evaluate_grid_memo, SocProvider, SweepGrid, Workers};
+use crate::batch::{config_for, SocProvider, SweepGrid, Workers};
+use crate::config::EngineConfig;
 use crate::error::PdnError;
 use crate::memo::MemoCache;
 use crate::scenario::Scenario;
@@ -116,27 +117,53 @@ impl EteeSurface {
 ///
 /// Returns the first captured per-point error (with lattice
 /// coordinates), or [`PdnError::Scenario`] if the grid has idle states.
+#[deprecated(since = "0.1.0", note = "use `sweep::surfaces` with an `EngineConfig`")]
 pub fn etee_surfaces(
     pdns: &[&dyn Pdn],
     grid: &SweepGrid,
     provider: &(impl SocProvider + ?Sized),
     workers: Workers,
 ) -> Result<(Vec<EteeSurface>, crate::batch::BatchStats), PdnError> {
-    etee_surfaces_memo(pdns, grid, provider, workers, None)
+    surfaces(pdns, grid, provider, &config_for(workers), None)
 }
 
-/// [`etee_surfaces`] with an optional ETEE memo cache threaded through
-/// to [`evaluate_grid_memo`]. Memoization never changes a surface value;
-/// a warm cache only skips re-evaluations.
+/// `etee_surfaces` with an optional ETEE memo cache.
 ///
 /// # Errors
 ///
-/// Same contract as [`etee_surfaces`].
+/// Same contract as `etee_surfaces`.
+#[deprecated(since = "0.1.0", note = "use `sweep::surfaces` with an `EngineConfig`")]
 pub fn etee_surfaces_memo(
     pdns: &[&dyn Pdn],
     grid: &SweepGrid,
     provider: &(impl SocProvider + ?Sized),
     workers: Workers,
+    memo: Option<&MemoCache>,
+) -> Result<(Vec<EteeSurface>, crate::batch::BatchStats), PdnError> {
+    surfaces(pdns, grid, provider, &config_for(workers), memo)
+}
+
+/// Sweeps every PDN's ETEE over the active lattice of `grid` at the
+/// fixed-TDP-frequency operating points (the Fig. 4 methodology) — the
+/// unified surface entry point, replacing `etee_surfaces`/
+/// `etee_surfaces_memo`.
+///
+/// Returns one surface per `(pdn, workload type)` pair, PDN-major, plus
+/// the run's [`crate::batch::BatchStats`]. The grid must be active-only
+/// (no idle states): an idle point has no (AR, TDP) surface position.
+/// When `memo` is `Some`, evaluations route through the cache via
+/// [`crate::batch::evaluate`]; memoization never changes a surface
+/// value, a warm cache only skips re-evaluations.
+///
+/// # Errors
+///
+/// Returns the first captured per-point error (with lattice
+/// coordinates), or [`PdnError::Scenario`] if the grid has idle states.
+pub fn surfaces(
+    pdns: &[&dyn Pdn],
+    grid: &SweepGrid,
+    provider: &(impl SocProvider + ?Sized),
+    config: &EngineConfig,
     memo: Option<&MemoCache>,
 ) -> Result<(Vec<EteeSurface>, crate::batch::BatchStats), PdnError> {
     if !grid.idle_states().is_empty() {
@@ -146,7 +173,7 @@ pub fn etee_surfaces_memo(
                 .into(),
         ));
     }
-    let outcome = evaluate_grid_memo(pdns, grid, provider, workers, memo);
+    let outcome = crate::batch::evaluate(pdns, grid, provider, config, memo);
     let (n_wl, n_ars) = (grid.workload_types().len(), grid.ars().len());
     let mut surfaces = Vec::with_capacity(pdns.len() * n_wl);
     for (pdn_idx, pdn) in pdns.iter().enumerate() {
@@ -187,23 +214,17 @@ pub enum Crossover {
 }
 
 /// How many TDP samples the parallel bracketing scan of
-/// [`crossover_tdp_with`] evaluates before bisecting.
+/// [`crossover`] evaluates before bisecting.
 const CROSSOVER_SCAN_POINTS: usize = 9;
 
 /// Finds the TDP at which `a` overtakes `b` (or vice versa) for a workload
 /// type and AR over `[lo, hi]` watts.
 ///
-/// The comparison uses the Fig. 4 fixed-TDP-frequency operating points.
-/// A coarse [`CROSSOVER_SCAN_POINTS`]-sample scan runs on the batch
-/// engine (both PDNs share each scan scenario through the cache); the
-/// sign change it brackets is then polished by serial bisection. The
-/// search assumes a single crossover in the range, which holds for the
-/// paper's PDN pairs (the ETEE difference is monotone in TDP).
-///
 /// # Errors
 ///
 /// Propagates evaluation errors (with lattice coordinates for scan
 /// failures).
+#[deprecated(since = "0.1.0", note = "use `sweep::crossover` with an `EngineConfig`")]
 pub fn crossover_tdp_with(
     a: &dyn Pdn,
     b: &dyn Pdn,
@@ -213,21 +234,16 @@ pub fn crossover_tdp_with(
     provider: &(impl SocProvider + ?Sized),
     workers: Workers,
 ) -> Result<Crossover, PdnError> {
-    crossover_tdp_memo(a, b, workload_type, ar, range, provider, workers, None)
+    crossover(a, b, workload_type, ar, range, provider, &config_for(workers), None)
 }
 
-/// [`crossover_tdp_with`] with an optional ETEE memo cache.
-///
-/// Both the bracketing scan and the bisection probes route their
-/// evaluations through `memo` when it is `Some`, so repeated searches
-/// over the same PDN pair (or searches sharing scan scenarios with other
-/// campaigns) skip re-evaluation. Memoization never changes the result:
-/// a cached search returns exactly what the uncached one would.
+/// `crossover_tdp_with` with an optional ETEE memo cache.
 ///
 /// # Errors
 ///
-/// Same contract as [`crossover_tdp_with`].
+/// Same contract as `crossover_tdp_with`.
 #[allow(clippy::too_many_arguments)]
+#[deprecated(since = "0.1.0", note = "use `sweep::crossover` with an `EngineConfig`")]
 pub fn crossover_tdp_memo(
     a: &dyn Pdn,
     b: &dyn Pdn,
@@ -238,13 +254,48 @@ pub fn crossover_tdp_memo(
     workers: Workers,
     memo: Option<&MemoCache>,
 ) -> Result<Crossover, PdnError> {
+    crossover(a, b, workload_type, ar, range, provider, &config_for(workers), memo)
+}
+
+/// Finds the TDP at which `a` overtakes `b` (or vice versa) for a
+/// workload type and AR over `[lo, hi]` watts — the unified crossover
+/// entry point, replacing `crossover_tdp_with`/`crossover_tdp_memo`.
+///
+/// The comparison uses the Fig. 4 fixed-TDP-frequency operating points.
+/// A coarse [`CROSSOVER_SCAN_POINTS`]-sample scan runs on the batch
+/// engine (both PDNs share each scan scenario through the cache); the
+/// sign change it brackets is then polished by serial bisection. The
+/// search assumes a single crossover in the range, which holds for the
+/// paper's PDN pairs (the ETEE difference is monotone in TDP).
+///
+/// Both the bracketing scan and the bisection probes route their
+/// evaluations through `memo` when it is `Some`, so repeated searches
+/// over the same PDN pair (or searches sharing scan scenarios with other
+/// campaigns) skip re-evaluation. Memoization never changes the result:
+/// a cached search returns exactly what the uncached one would.
+///
+/// # Errors
+///
+/// Propagates evaluation errors (with lattice coordinates for scan
+/// failures).
+#[allow(clippy::too_many_arguments)]
+pub fn crossover(
+    a: &dyn Pdn,
+    b: &dyn Pdn,
+    workload_type: WorkloadType,
+    ar: ApplicationRatio,
+    range: (f64, f64),
+    provider: &(impl SocProvider + ?Sized),
+    config: &EngineConfig,
+    memo: Option<&MemoCache>,
+) -> Result<Crossover, PdnError> {
     let (lo, hi) = range;
     let scan_tdps: Vec<f64> = (0..CROSSOVER_SCAN_POINTS)
         .map(|i| lo + (hi - lo) * i as f64 / (CROSSOVER_SCAN_POINTS - 1) as f64)
         .collect();
     let grid = SweepGrid::active(&scan_tdps, &[workload_type], &[ar.get()])?;
     let pdns: [&dyn Pdn; 2] = [a, b];
-    let outcome = evaluate_grid_memo(&pdns, &grid, provider, workers, memo);
+    let outcome = crate::batch::evaluate(&pdns, &grid, provider, config, memo);
     let advantage_at = |idx: usize| -> Result<f64, PdnError> {
         let etee = |pdn_idx: usize| -> Result<f64, PdnError> {
             match &outcome.for_pdn(pdn_idx)[idx].result {
@@ -318,8 +369,8 @@ pub fn etee_surface(
     soc_for: impl Fn(Watts) -> pdn_proc::SocSpec + Sync,
 ) -> Result<EteeSurface, PdnError> {
     let grid = SweepGrid::active(tdps, &[workload_type], ars)?;
-    let (mut surfaces, _) = etee_surfaces(&[pdn], &grid, &soc_for, Workers::Serial)?;
-    Ok(surfaces.remove(0))
+    let (mut all, _) = surfaces(&[pdn], &grid, &soc_for, &config_for(Workers::Serial), None)?;
+    Ok(all.remove(0))
 }
 
 /// Finds the TDP at which `a` overtakes `b` (or vice versa) for a workload
@@ -341,7 +392,7 @@ pub fn crossover_tdp(
     range: (f64, f64),
     soc_for: impl Fn(Watts) -> pdn_proc::SocSpec + Sync,
 ) -> Result<Crossover, PdnError> {
-    crossover_tdp_with(a, b, workload_type, ar, range, &soc_for, Workers::Serial)
+    crossover(a, b, workload_type, ar, range, &soc_for, &config_for(Workers::Serial), None)
 }
 
 #[cfg(test)]
@@ -352,13 +403,18 @@ mod tests {
     use crate::topology::{IvrPdn, MbvrPdn};
     use pdn_proc::client_soc;
 
+    fn cfg(workers: Workers) -> EngineConfig {
+        config_for(workers)
+    }
+
     #[test]
     fn surface_series_extraction() {
         let ivr = IvrPdn::new(ModelParams::paper_defaults());
         let pdns: [&dyn Pdn; 1] = [&ivr];
         let grid = SweepGrid::active(&[4.0, 18.0, 50.0], &[WorkloadType::MultiThread], &[0.4, 0.8])
             .unwrap();
-        let (surfaces, stats) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Auto).unwrap();
+        let (surfaces, stats) =
+            surfaces(&pdns, &grid, &ClientSoc, &cfg(Workers::Auto), None).unwrap();
         assert_eq!(surfaces.len(), 1);
         let surface = &surfaces[0];
         assert_eq!(surface.values.len(), 6);
@@ -402,7 +458,8 @@ mod tests {
             &[0.56],
         )
         .unwrap();
-        let (surfaces, stats) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Auto).unwrap();
+        let (surfaces, stats) =
+            surfaces(&pdns, &grid, &ClientSoc, &cfg(Workers::Auto), None).unwrap();
         assert_eq!(surfaces.len(), 4);
         assert_eq!(surfaces[0].pdn, "IVR");
         assert_eq!(surfaces[0].workload_type, WorkloadType::MultiThread);
@@ -424,7 +481,7 @@ mod tests {
             .idle_states(&[pdn_proc::PackageCState::C8])
             .build()
             .unwrap();
-        assert!(etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Auto).is_err());
+        assert!(surfaces(&pdns, &grid, &ClientSoc, &cfg(Workers::Auto), None).is_err());
     }
 
     #[test]
@@ -434,7 +491,7 @@ mod tests {
         let grid =
             SweepGrid::active(&[4.0, 18.0, 50.0], &[WorkloadType::MultiThread], &[0.4, 0.56, 0.8])
                 .unwrap();
-        let (surfaces, _) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Auto).unwrap();
+        let (surfaces, _) = surfaces(&pdns, &grid, &ClientSoc, &cfg(Workers::Auto), None).unwrap();
         let surface = &surfaces[0];
         for (i, &tdp) in surface.tdps.iter().enumerate() {
             for (j, &ar) in surface.ars.iter().enumerate() {
@@ -471,37 +528,38 @@ mod tests {
         let ivr = IvrPdn::new(params.clone());
         let mbvr = MbvrPdn::new(params);
         let ar = ApplicationRatio::new(0.56).unwrap();
-        let plain = crossover_tdp_with(
+        let plain = crossover(
             &ivr,
             &mbvr,
             WorkloadType::MultiThread,
             ar,
             (4.0, 50.0),
             &ClientSoc,
-            Workers::Serial,
+            &cfg(Workers::Serial),
+            None,
         )
         .unwrap();
         let memo = crate::memo::MemoCache::new();
-        let cold = crossover_tdp_memo(
+        let cold = crossover(
             &ivr,
             &mbvr,
             WorkloadType::MultiThread,
             ar,
             (4.0, 50.0),
             &ClientSoc,
-            Workers::Serial,
+            &cfg(Workers::Serial),
             Some(&memo),
         )
         .unwrap();
         let after_cold = memo.stats();
-        let warm = crossover_tdp_memo(
+        let warm = crossover(
             &ivr,
             &mbvr,
             WorkloadType::MultiThread,
             ar,
             (4.0, 50.0),
             &ClientSoc,
-            Workers::Serial,
+            &cfg(Workers::Serial),
             Some(&memo),
         )
         .unwrap();
@@ -523,12 +581,12 @@ mod tests {
         let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
         let grid =
             SweepGrid::active(&[4.0, 18.0], &[WorkloadType::MultiThread], &[0.4, 0.8]).unwrap();
-        let (plain, _) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Serial).unwrap();
+        let (plain, _) = surfaces(&pdns, &grid, &ClientSoc, &cfg(Workers::Serial), None).unwrap();
         let memo = crate::memo::MemoCache::new();
         let (cold, _) =
-            etee_surfaces_memo(&pdns, &grid, &ClientSoc, Workers::Serial, Some(&memo)).unwrap();
+            surfaces(&pdns, &grid, &ClientSoc, &cfg(Workers::Serial), Some(&memo)).unwrap();
         let (warm, warm_stats) =
-            etee_surfaces_memo(&pdns, &grid, &ClientSoc, Workers::Serial, Some(&memo)).unwrap();
+            surfaces(&pdns, &grid, &ClientSoc, &cfg(Workers::Serial), Some(&memo)).unwrap();
         assert_eq!(plain, cold);
         assert_eq!(plain, warm);
         assert_eq!(warm_stats.memo_hits, 8, "2 PDNs x 4 points all hit on the second pass");
@@ -542,14 +600,15 @@ mod tests {
         let ivr = IvrPdn::new(params.clone());
         let mbvr = MbvrPdn::new(params);
         let ar = ApplicationRatio::new(0.56).unwrap();
-        match crossover_tdp_with(
+        match crossover(
             &ivr,
             &mbvr,
             WorkloadType::MultiThread,
             ar,
             (4.0, 50.0),
             &ClientSoc,
-            Workers::Auto,
+            &cfg(Workers::Auto),
+            None,
         )
         .unwrap()
         {
@@ -569,24 +628,26 @@ mod tests {
         let ivr = IvrPdn::new(params.clone());
         let mbvr = MbvrPdn::new(params);
         let ar = ApplicationRatio::new(0.56).unwrap();
-        let spec = crossover_tdp_with(
+        let spec = crossover(
             &ivr,
             &mbvr,
             WorkloadType::MultiThread,
             ar,
             (4.0, 50.0),
             &ClientSoc,
-            Workers::Auto,
+            &cfg(Workers::Auto),
+            None,
         )
         .unwrap();
-        let gfx = crossover_tdp_with(
+        let gfx = crossover(
             &ivr,
             &mbvr,
             WorkloadType::Graphics,
             ar,
             (4.0, 50.0),
             &ClientSoc,
-            Workers::Auto,
+            &cfg(Workers::Auto),
+            None,
         )
         .unwrap();
         let (Crossover::At(spec), Crossover::At(gfx)) = (spec, gfx) else {
@@ -605,25 +666,27 @@ mod tests {
         let mbvr = MbvrPdn::new(params);
         let ar = ApplicationRatio::new(0.56).unwrap();
         // Restricted to low TDPs, MBVR dominates outright.
-        let c = crossover_tdp_with(
+        let c = crossover(
             &mbvr,
             &ivr,
             WorkloadType::MultiThread,
             ar,
             (4.0, 10.0),
             &ClientSoc,
-            Workers::Auto,
+            &cfg(Workers::Auto),
+            None,
         )
         .unwrap();
         assert_eq!(c, Crossover::AlwaysFirst);
-        let c = crossover_tdp_with(
+        let c = crossover(
             &ivr,
             &mbvr,
             WorkloadType::MultiThread,
             ar,
             (4.0, 10.0),
             &ClientSoc,
-            Workers::Auto,
+            &cfg(Workers::Auto),
+            None,
         )
         .unwrap();
         assert_eq!(c, Crossover::AlwaysSecond);
@@ -641,23 +704,81 @@ mod tests {
             etee_surface(&ivr, WorkloadType::MultiThread, &tdps, &ars, client_soc).unwrap();
         let grid = SweepGrid::active(&tdps, &[WorkloadType::MultiThread], &ars).unwrap();
         let pdns: [&dyn Pdn; 1] = [&ivr];
-        let (engine, _) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Auto).unwrap();
+        let (engine, _) = surfaces(&pdns, &grid, &ClientSoc, &cfg(Workers::Auto), None).unwrap();
         assert_eq!(legacy, engine[0], "wrapper and engine must agree bit-for-bit");
 
         let ar = ApplicationRatio::new(0.56).unwrap();
         let legacy_cross =
             crossover_tdp(&ivr, &mbvr, WorkloadType::MultiThread, ar, (4.0, 50.0), client_soc)
                 .unwrap();
-        let engine_cross = crossover_tdp_with(
+        let engine_cross = crossover(
             &ivr,
             &mbvr,
             WorkloadType::MultiThread,
             ar,
             (4.0, 50.0),
             &ClientSoc,
-            Workers::Auto,
+            &cfg(Workers::Auto),
+            None,
         )
         .unwrap();
         assert_eq!(legacy_cross, engine_cross);
+    }
+
+    /// The satellite-3 contract: every deprecated shim is a pure
+    /// translation to the unified entry points — same values, same bits.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_unified_entry_points() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
+        let grid =
+            SweepGrid::active(&[4.0, 18.0], &[WorkloadType::MultiThread], &[0.4, 0.8]).unwrap();
+
+        let (new_surfaces, _) =
+            surfaces(&pdns, &grid, &ClientSoc, &cfg(Workers::Serial), None).unwrap();
+        let (shim_plain, _) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Serial).unwrap();
+        let (shim_memo, _) =
+            etee_surfaces_memo(&pdns, &grid, &ClientSoc, Workers::Serial, None).unwrap();
+        assert_eq!(new_surfaces, shim_plain);
+        assert_eq!(new_surfaces, shim_memo);
+
+        let ar = ApplicationRatio::new(0.56).unwrap();
+        let new_cross = crossover(
+            &ivr,
+            &mbvr,
+            WorkloadType::MultiThread,
+            ar,
+            (4.0, 50.0),
+            &ClientSoc,
+            &cfg(Workers::Serial),
+            None,
+        )
+        .unwrap();
+        let shim_with = crossover_tdp_with(
+            &ivr,
+            &mbvr,
+            WorkloadType::MultiThread,
+            ar,
+            (4.0, 50.0),
+            &ClientSoc,
+            Workers::Serial,
+        )
+        .unwrap();
+        let shim_memo = crossover_tdp_memo(
+            &ivr,
+            &mbvr,
+            WorkloadType::MultiThread,
+            ar,
+            (4.0, 50.0),
+            &ClientSoc,
+            Workers::Serial,
+            None,
+        )
+        .unwrap();
+        assert_eq!(new_cross, shim_with);
+        assert_eq!(new_cross, shim_memo);
     }
 }

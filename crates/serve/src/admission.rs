@@ -1,0 +1,211 @@
+//! Admission control: a bounded request queue plus a dispatcher that
+//! coalesces concurrent point queries into batch jobs on the existing
+//! work-stealing pool.
+//!
+//! Connections enqueue decoded requests; a full queue rejects the
+//! request immediately with [`ErrorCode::Overloaded`] (retryable by
+//! contract) instead of buffering without bound. The dispatcher drains
+//! whatever has accumulated, dedupes Eval queries that name the same
+//! `(tenant, pdn, point)` bit-for-bit, fans the unique points out via
+//! [`pdnspot::batch::par_map`] — the same scheduler the figure sweeps
+//! use — and answers every waiter, the duplicates from their twin's
+//! result. Non-Eval requests (sweeps, crossovers, stats, snapshots)
+//! run inline in the dispatcher; sweeps and crossovers parallelise
+//! internally through the same pool.
+
+use crate::engine::ServeEngine;
+use crate::protocol::{PdnId, PointSpec, Request, RequestBody, Response, ResponseBody, ServeError};
+use pdnspot::batch::par_map;
+use pdnspot::ErrorCode;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+
+/// One admitted request waiting for the dispatcher.
+#[derive(Debug)]
+pub struct Job {
+    /// The decoded request (tenant, correlation id, body).
+    pub request: Request,
+    /// Where the response goes (the connection's writer).
+    pub reply: Sender<Response>,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+/// The bounded admission queue shared by all transports.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    depth: usize,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `depth` waiting requests.
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState { jobs: VecDeque::new(), open: true }),
+            available: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// The configured depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Admits a job, or returns it when the queue is full or closed —
+    /// the caller answers with [`ErrorCode::Overloaded`] /
+    /// [`ErrorCode::Shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected job.
+    #[allow(clippy::result_large_err)] // handing the job back is the contract
+    pub fn submit(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.state.lock().expect("admission queue lock");
+        if !state.open || state.jobs.len() >= self.depth {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue: future submissions are rejected and the
+    /// dispatcher exits once drained.
+    pub fn close(&self) {
+        self.state.lock().expect("admission queue lock").open = false;
+        self.available.notify_all();
+    }
+
+    /// Blocks until jobs are available, returning everything queued.
+    /// `None` means the queue is closed and drained.
+    fn drain(&self) -> Option<Vec<Job>> {
+        let mut state = self.state.lock().expect("admission queue lock");
+        loop {
+            if !state.jobs.is_empty() {
+                return Some(state.jobs.drain(..).collect());
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.available.wait(state).expect("admission queue wait");
+        }
+    }
+}
+
+/// The response an over-capacity queue sends back.
+#[must_use]
+pub fn overloaded_response(id: u64, depth: usize) -> Response {
+    Response {
+        id,
+        body: ResponseBody::Error(ServeError::new(
+            ErrorCode::Overloaded,
+            format!("admission queue full ({depth} requests waiting); retry"),
+        )),
+    }
+}
+
+/// The response a closed (shutting-down) queue sends back.
+#[must_use]
+pub fn shutdown_response(id: u64) -> Response {
+    Response {
+        id,
+        body: ResponseBody::Error(ServeError::new(ErrorCode::Shutdown, "daemon is shutting down")),
+    }
+}
+
+/// The dispatcher loop: drains batches until the queue closes.
+pub fn dispatch(engine: &ServeEngine, queue: &AdmissionQueue) {
+    while let Some(batch) = queue.drain() {
+        run_batch(engine, batch);
+    }
+}
+
+/// The bit-exact identity of one eval query: tenant, topology wire id,
+/// and the [`PointSpec::key`] encoding. Concurrent queries sharing a
+/// key are coalesced into one evaluation.
+type CoalesceKey = (u32, u8, (u8, u64, u8, u64));
+
+/// Answers one drained batch. Exposed for the loopback tests.
+pub fn run_batch(engine: &ServeEngine, batch: Vec<Job>) {
+    let mut evals: Vec<(Job, usize)> = Vec::new();
+    let mut unique: Vec<(u32, PdnId, PointSpec)> = Vec::new();
+    let mut index: HashMap<CoalesceKey, usize> = HashMap::new();
+    let mut others: Vec<Job> = Vec::new();
+
+    for job in batch {
+        if let RequestBody::Eval { pdn, point } = &job.request.body {
+            let key = (job.request.tenant, pdn.to_wire(), point.key());
+            let slot = *index.entry(key).or_insert_with(|| {
+                unique.push((job.request.tenant, *pdn, *point));
+                unique.len() - 1
+            });
+            evals.push((job, slot));
+        } else {
+            others.push(job);
+        }
+    }
+
+    if !unique.is_empty() {
+        engine.note_coalesced((evals.len() - unique.len()) as u64);
+        let results = par_map(&unique, engine.config().workers(), |_, (tenant, pdn, point)| {
+            engine.handle(*tenant, &RequestBody::Eval { pdn: *pdn, point: *point })
+        });
+        for (job, slot) in evals {
+            let response = Response { id: job.request.id, body: results[slot].clone() };
+            let _ = job.reply.send(response);
+        }
+    }
+
+    for job in others {
+        let body = engine.handle(job.request.tenant, &job.request.body);
+        let _ = job.reply.send(Response { id: job.request.id, body });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn ping_job(id: u64, reply: Sender<Response>) -> Job {
+        Job { request: Request { tenant: 0, id, body: RequestBody::Ping }, reply }
+    }
+
+    #[test]
+    fn queue_rejects_past_depth_and_after_close() {
+        let queue = AdmissionQueue::new(2);
+        let (tx, _rx) = channel();
+        queue.submit(ping_job(1, tx.clone())).expect("first admitted");
+        queue.submit(ping_job(2, tx.clone())).expect("second admitted");
+        assert!(queue.submit(ping_job(3, tx.clone())).is_err(), "third rejected at depth 2");
+        queue.close();
+        // Drain what was admitted, then confirm closed behaviour.
+        assert_eq!(queue.drain().expect("drains queued jobs").len(), 2);
+        assert!(queue.drain().is_none(), "closed and empty");
+        assert!(queue.submit(ping_job(4, tx)).is_err(), "closed queue rejects");
+    }
+
+    #[test]
+    fn overload_response_is_retryable() {
+        let resp = overloaded_response(9, 16);
+        assert_eq!(resp.id, 9);
+        match resp.body {
+            ResponseBody::Error(e) => {
+                assert_eq!(e.code, ErrorCode::Overloaded);
+                assert!(e.code.is_retryable());
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+}

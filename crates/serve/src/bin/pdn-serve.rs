@@ -1,0 +1,147 @@
+//! The `pdn-serve` CLI: `serve` boots the daemon (TCP or stdio),
+//! `bench` runs the synthetic load generator and writes
+//! `BENCH_serve.json`.
+
+use pdn_serve::bench::{self, BenchConfig};
+use pdn_serve::engine::ServeEngine;
+use pdn_serve::{server, snapshot};
+use pdnspot::{EngineConfig, Workers};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+pdn-serve: multi-tenant PDN-evaluation daemon
+
+USAGE:
+    pdn-serve serve [--addr HOST:PORT] [--stdio] [--snapshot PATH]
+                    [--workers N] [--memo-capacity N] [--memo-shards N]
+                    [--admission-depth N]
+    pdn-serve bench [--quick] [--clients N] [--requests N]
+                    [--connections N] [--window N] [--tenants N]
+                    [--universe N] [--zipf S] [--seed N] [--out PATH]
+
+serve: answer framed protocol requests. With --snapshot, warm state is
+restored from PATH when it exists and the Snapshot request persists
+back to it. --stdio serves stdin/stdout instead of a socket.
+
+bench: boot an in-process daemon, replay zipf-skewed querents, verify
+snapshot/restore, and write the JSON report (default BENCH_serve.json).
+";
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &mut std::iter::Peekable<std::env::Args>,
+    flag: &str,
+) -> Result<T, String> {
+    let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    value.parse().map_err(|_| format!("{flag}: cannot parse {value:?}"))
+}
+
+fn run_serve(mut args: std::iter::Peekable<std::env::Args>) -> Result<(), String> {
+    let mut addr = String::from("127.0.0.1:7117");
+    let mut stdio = false;
+    let mut snapshot_path: Option<PathBuf> = None;
+    let mut config = EngineConfig::builder();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse_flag(&mut args, "--addr")?,
+            "--stdio" => stdio = true,
+            "--snapshot" => snapshot_path = Some(parse_flag(&mut args, "--snapshot")?),
+            "--workers" => {
+                config = config.workers(Workers::Fixed(parse_flag(&mut args, "--workers")?));
+            }
+            "--memo-capacity" => {
+                config = config.memo_capacity(parse_flag(&mut args, "--memo-capacity")?);
+            }
+            "--memo-shards" => {
+                config = config.memo_shards(parse_flag(&mut args, "--memo-shards")?);
+            }
+            "--admission-depth" => {
+                config = config.admission_depth(parse_flag(&mut args, "--admission-depth")?);
+            }
+            other => return Err(format!("unknown serve flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    let config = config.build().map_err(|e| format!("config: {e}"))?;
+
+    let restored = match &snapshot_path {
+        Some(path) if path.exists() => {
+            let snap = snapshot::read_file(path).map_err(|e| format!("snapshot: {e}"))?;
+            eprintln!(
+                "restoring warm state: {} memo entries across {} tenants",
+                snap.entry_count(),
+                snap.tenants.len()
+            );
+            Some(ServeEngine::from_snapshot(config.clone(), &snap))
+        }
+        _ => None,
+    };
+    let mut engine = match restored {
+        Some(result) => result.map_err(|e| format!("warm boot: {e}"))?,
+        None => ServeEngine::new(config).map_err(|e| format!("boot: {e}"))?,
+    };
+    if let Some(path) = snapshot_path {
+        engine = engine.with_snapshot_path(path);
+    }
+    let engine = Arc::new(engine);
+
+    if stdio {
+        server::serve_streams(&engine, &mut std::io::stdin().lock(), &mut std::io::stdout().lock())
+            .map_err(|e| format!("stdio transport: {e}"))
+    } else {
+        let handle = server::spawn_tcp(Arc::clone(&engine), &addr)
+            .map_err(|e| format!("bind {addr}: {e}"))?;
+        eprintln!("pdn-serve listening on {}", handle.addr);
+        handle.join();
+        Ok(())
+    }
+}
+
+fn run_bench(mut args: std::iter::Peekable<std::env::Args>) -> Result<(), String> {
+    let mut cfg = BenchConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let out = cfg.out.clone();
+                cfg = BenchConfig { out, ..BenchConfig::quick() };
+            }
+            "--clients" => cfg.clients = parse_flag(&mut args, "--clients")?,
+            "--requests" => cfg.requests = parse_flag(&mut args, "--requests")?,
+            "--connections" => cfg.connections = parse_flag(&mut args, "--connections")?,
+            "--window" => cfg.window = parse_flag(&mut args, "--window")?,
+            "--tenants" => cfg.tenants = parse_flag(&mut args, "--tenants")?,
+            "--universe" => cfg.universe = parse_flag(&mut args, "--universe")?,
+            "--zipf" => cfg.zipf_exponent = parse_flag(&mut args, "--zipf")?,
+            "--seed" => cfg.seed = parse_flag(&mut args, "--seed")?,
+            "--out" => cfg.out = Some(parse_flag(&mut args, "--out")?),
+            other => return Err(format!("unknown bench flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    let report = bench::run(&cfg)?;
+    println!("{report}");
+    if let Some(out) = &cfg.out {
+        println!("report written to {}", out.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().peekable();
+    let _binary = args.next();
+    let result = match args.next().as_deref() {
+        Some("serve") => run_serve(args),
+        Some("bench") => run_bench(args),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Warm-state persistence: memo shards and trained predictor firmware
+//! on disk, so a restarted daemon serves hot.
+//!
+//! File layout (all little-endian, CRC-32 trailer over everything
+//! before it — the firmware-image idiom):
+//!
+//! ```text
+//! magic    u32   "PDNW"
+//! version  u16
+//! reserved u16
+//! ivr firmware    u32 len + bytes   (PMU firmware image)
+//! ldo firmware    u32 len + bytes
+//! tenant count    u32
+//! per tenant:     id u32, entry count u32,
+//!                 entries: pdn_token u64, scenario_fingerprint u64,
+//!                          PdnEvaluation (protocol codec)
+//! crc32    u32
+//! ```
+//!
+//! Decoding untrusted bytes never panics; every defect is a typed
+//! [`SnapshotError`]. Memo entries re-stripe deterministically on
+//! import, so a snapshot taken under one shard count restores cleanly
+//! under another.
+
+use crate::protocol::{decode_evaluation, encode_evaluation};
+use crate::wire::{crc32, BodyReader, BodyWriter, DecodeError};
+use pdnspot::memo::MemoEntry;
+use std::fmt;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Snapshot magic: the ASCII bytes `PDNW` read as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"PDNW");
+
+/// Snapshot format revision.
+pub const VERSION: u16 = 1;
+
+/// Upper bound on one firmware image inside a snapshot.
+const MAX_FIRMWARE: usize = 1 << 20;
+
+/// Upper bound on tenants and on memo entries per tenant.
+const MAX_TENANTS: usize = 1 << 16;
+const MAX_ENTRIES: usize = 1 << 22;
+
+/// A daemon's persistable warm state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The predictor's IVR-mode firmware image.
+    pub ivr_firmware: Vec<u8>,
+    /// The predictor's LDO-mode firmware image.
+    pub ldo_firmware: Vec<u8>,
+    /// Per-tenant memo entries, tenant ids ascending.
+    pub tenants: Vec<(u32, Vec<MemoEntry>)>,
+}
+
+impl Snapshot {
+    /// Total memo entries across all tenants.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.tenants.iter().map(|(_, e)| e.len()).sum()
+    }
+}
+
+/// Why a snapshot could not be read or decoded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The bytes are not a snapshot (wrong magic).
+    BadMagic(u32),
+    /// A format revision this build does not understand.
+    BadVersion(u16),
+    /// The CRC-32 trailer does not match the content.
+    ChecksumMismatch {
+        /// CRC carried by the trailer.
+        expected: u32,
+        /// CRC computed over the content.
+        found: u32,
+    },
+    /// A malformed interior field.
+    Decode(DecodeError),
+    /// An I/O failure reading or writing the file.
+    Io(io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic(m) => write!(f, "bad snapshot magic {m:#010x}"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: trailer {expected:#010x}, content {found:#010x}"
+            ),
+            SnapshotError::Decode(e) => write!(f, "malformed snapshot: {e}"),
+            SnapshotError::Io(e) => write!(f, "snapshot i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Decode(e) => Some(e),
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for SnapshotError {
+    fn from(e: DecodeError) -> Self {
+        SnapshotError::Decode(e)
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Serialises a snapshot, CRC trailer included.
+#[must_use]
+pub fn encode(snap: &Snapshot) -> Vec<u8> {
+    let mut w = BodyWriter::new();
+    w.u32(MAGIC);
+    w.u16(VERSION);
+    w.u16(0);
+    w.bytes(&snap.ivr_firmware);
+    w.bytes(&snap.ldo_firmware);
+    w.u32(u32::try_from(snap.tenants.len()).unwrap_or(u32::MAX));
+    for (tenant, entries) in &snap.tenants {
+        w.u32(*tenant);
+        w.u32(u32::try_from(entries.len()).unwrap_or(u32::MAX));
+        for entry in entries {
+            w.u64(entry.pdn_token);
+            w.u64(entry.scenario_fingerprint);
+            encode_evaluation(&mut w, &entry.value);
+        }
+    }
+    let mut bytes = w.into_bytes();
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes
+}
+
+/// Decodes a snapshot from raw bytes. Never panics.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] describing the first defect found.
+pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    if bytes.len() < 4 + 4 {
+        return Err(SnapshotError::Decode(DecodeError::Truncated));
+    }
+    let (content, trailer) = bytes.split_at(bytes.len() - 4);
+    let expected = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let found = crc32(content);
+    if expected != found {
+        return Err(SnapshotError::ChecksumMismatch { expected, found });
+    }
+    let mut r = BodyReader::new(content);
+    let magic = r.u32()?;
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic(magic));
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let _reserved = r.u16()?;
+    let ivr_firmware = r.bytes("ivr firmware", MAX_FIRMWARE)?;
+    let ldo_firmware = r.bytes("ldo firmware", MAX_FIRMWARE)?;
+    let n_tenants = r.list_len("tenants", MAX_TENANTS)?;
+    let mut tenants = Vec::with_capacity(n_tenants);
+    for _ in 0..n_tenants {
+        let tenant = r.u32()?;
+        let n_entries = r.list_len("memo entries", MAX_ENTRIES)?;
+        let mut entries = Vec::with_capacity(n_entries.min(1 << 12));
+        for _ in 0..n_entries {
+            let pdn_token = r.u64()?;
+            let scenario_fingerprint = r.u64()?;
+            let value = decode_evaluation(&mut r)?;
+            entries.push(MemoEntry { pdn_token, scenario_fingerprint, value });
+        }
+        tenants.push((tenant, entries));
+    }
+    r.finish()?;
+    Ok(Snapshot { ivr_firmware, ldo_firmware, tenants })
+}
+
+/// Writes a snapshot file atomically (temp file + rename), returning
+/// the byte count.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] on I/O failure.
+pub fn write_file(path: &Path, snap: &Snapshot) -> Result<u64, SnapshotError> {
+    let bytes = encode(snap);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads and decodes a snapshot file.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] on I/O failure or malformed content.
+pub fn read_file(path: &Path) -> Result<Snapshot, SnapshotError> {
+    decode(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            ivr_firmware: vec![1, 2, 3, 4],
+            ldo_firmware: vec![5, 6],
+            tenants: vec![(0, Vec::new()), (42, Vec::new())],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = sample_snapshot();
+        let bytes = encode(&snap);
+        assert_eq!(decode(&bytes).expect("decodes"), snap);
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_typed_errors() {
+        let bytes = encode(&sample_snapshot());
+        for cut in 0..8.min(bytes.len()) {
+            assert!(decode(&bytes[..cut]).is_err());
+        }
+        let mut flipped = bytes.clone();
+        flipped[6] ^= 0x10;
+        assert!(matches!(decode(&flipped), Err(SnapshotError::ChecksumMismatch { .. })));
+        let mut bad_magic = bytes;
+        bad_magic[0] ^= 0xFF;
+        // The CRC guards the magic too, so corruption surfaces either way.
+        assert!(decode(&bad_magic).is_err());
+    }
+}

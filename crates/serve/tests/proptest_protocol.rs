@@ -1,0 +1,289 @@
+//! Property-based tests of the protocol's robustness contract,
+//! mirroring the firmware parser's: every well-formed frame round-trips
+//! exactly; truncated, oversized, or bit-flipped bytes **never panic**
+//! the decoder — they surface typed errors; and the
+//! `ServeError` ↔ `PdnError` conversion is lossless.
+
+use pdn_proc::PackageCState;
+use pdn_serve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, PdnId, PointSpec, Request,
+    RequestBody, Response, ResponseBody, ServeError, ServerStats, TenantStats,
+};
+use pdn_serve::wire::{self, FrameError};
+use pdn_units::{Amps, Efficiency, Volts, Watts};
+use pdn_workload::WorkloadType;
+use pdnspot::sweep::{Crossover, EteeSurface};
+use pdnspot::{ErrorCode, LossBreakdown, PdnError, PdnEvaluation, RailReport};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// ASCII text up to `max` bytes (the vendored stub has no regex
+/// strategies, so strings are drawn as printable-byte vectors).
+fn text(max: usize) -> impl Strategy<Value = String> {
+    vec(32u8..127, 0..max + 1)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ASCII is valid UTF-8"))
+}
+
+fn pdn_id() -> impl Strategy<Value = PdnId> {
+    prop_oneof![
+        Just(PdnId::Ivr),
+        Just(PdnId::Mbvr),
+        Just(PdnId::Ldo),
+        Just(PdnId::IPlusMbvr),
+        Just(PdnId::FlexWatts),
+    ]
+}
+
+fn workload() -> impl Strategy<Value = WorkloadType> {
+    prop_oneof![
+        Just(WorkloadType::SingleThread),
+        Just(WorkloadType::MultiThread),
+        Just(WorkloadType::Graphics),
+        Just(WorkloadType::BatteryLife),
+    ]
+}
+
+fn cstate() -> impl Strategy<Value = PackageCState> {
+    prop_oneof![
+        Just(PackageCState::C0Min),
+        Just(PackageCState::C2),
+        Just(PackageCState::C3),
+        Just(PackageCState::C6),
+        Just(PackageCState::C7),
+        Just(PackageCState::C8),
+    ]
+}
+
+fn point_spec() -> impl Strategy<Value = PointSpec> {
+    prop_oneof![
+        (1.0f64..100.0, workload(), 0.01f64..1.0)
+            .prop_map(|(tdp, workload, ar)| PointSpec::Active { tdp, workload, ar }),
+        (1.0f64..100.0, cstate()).prop_map(|(tdp, state)| PointSpec::Idle { tdp, state }),
+    ]
+}
+
+fn request_body() -> impl Strategy<Value = RequestBody> {
+    prop_oneof![
+        Just(RequestBody::Ping),
+        Just(RequestBody::Stats),
+        Just(RequestBody::Snapshot),
+        Just(RequestBody::Shutdown),
+        (pdn_id(), point_spec()).prop_map(|(pdn, point)| RequestBody::Eval { pdn, point }),
+        (pdn_id(), workload(), 1.0f64..100.0, 0.01f64..1.0)
+            .prop_map(|(pdn, workload, tdp, ar)| RequestBody::Sample { pdn, workload, tdp, ar }),
+        (
+            vec(pdn_id(), 1..4),
+            vec(1.0f64..100.0, 1..5),
+            vec(workload(), 1..3),
+            vec(0.01f64..1.0, 1..5),
+        )
+            .prop_map(|(pdns, tdps, workloads, ars)| RequestBody::Sweep {
+                pdns,
+                tdps,
+                workloads,
+                ars
+            }),
+        (pdn_id(), pdn_id(), workload(), 0.01f64..1.0, 1.0f64..20.0, 20.0f64..60.0).prop_map(
+            |(a, b, workload, ar, lo, hi)| RequestBody::Crossover {
+                a,
+                b,
+                workload,
+                ar,
+                range: (lo, hi)
+            }
+        ),
+    ]
+}
+
+fn evaluation() -> impl Strategy<Value = PdnEvaluation> {
+    (
+        0.1f64..100.0,
+        0.1f64..120.0,
+        0.01f64..1.0,
+        vec((0.0f64..10.0, 0.0f64..3.0, 0.0f64..20.0, 0.01f64..1.0), 0..4),
+    )
+        .prop_map(|(nominal, input, etee, rails)| PdnEvaluation {
+            nominal_power: Watts::new(nominal),
+            input_power: Watts::new(input),
+            etee: Efficiency::new(etee).expect("strategy keeps etee in (0, 1)"),
+            breakdown: LossBreakdown {
+                vr_loss: Watts::new(nominal * 0.1),
+                conduction_compute: Watts::new(nominal * 0.02),
+                conduction_sa_io: Watts::new(nominal * 0.01),
+                other: Watts::new(0.3),
+            },
+            chip_input_current: Amps::new(input / 1.8),
+            rails: rails
+                .into_iter()
+                .enumerate()
+                .map(|(i, (v, a, p, eff))| RailReport {
+                    name: format!("rail-{i}"),
+                    voltage: Volts::new(v),
+                    current: Amps::new(a),
+                    input_power: Watts::new(p),
+                    efficiency: if i % 2 == 0 {
+                        Some(Efficiency::new(eff).expect("strategy keeps eff in (0, 1)"))
+                    } else {
+                        None
+                    },
+                })
+                .collect(),
+        })
+}
+
+fn serve_error() -> impl Strategy<Value = ServeError> {
+    let leaf = prop_oneof![
+        text(40).prop_map(|m| ServeError::new(ErrorCode::Vr, m)),
+        text(40).prop_map(|m| ServeError::from_pdn(&PdnError::Scenario(m))),
+        (text(20), text(20)).prop_map(|(component, reason)| ServeError::from_pdn(
+            &PdnError::Degraded { component, reason }
+        )),
+    ];
+    // One level of lattice nesting exercises the recursive codec.
+    (leaf, proptest::option::of(text(16)), text(24)).prop_map(|(cause, pdn, point)| {
+        ServeError::from_pdn(&PdnError::Lattice { pdn, point, source: Box::new(cause.into_pdn()) })
+    })
+}
+
+fn response_body() -> impl Strategy<Value = ResponseBody> {
+    prop_oneof![
+        Just(ResponseBody::Pong),
+        Just(ResponseBody::ShuttingDown),
+        evaluation().prop_map(ResponseBody::Eval),
+        proptest::option::of(0.01f64..1.0).prop_map(ResponseBody::Sample),
+        (pdn_id(), workload(), vec(1.0f64..100.0, 1..4), vec(0.01f64..1.0, 1..4)).prop_map(
+            |(pdn, wl, tdps, ars)| {
+                let values = vec![0.5; tdps.len() * ars.len()];
+                ResponseBody::Sweep(vec![EteeSurface {
+                    pdn: pdn.to_string(),
+                    workload_type: wl,
+                    tdps,
+                    ars,
+                    values,
+                }])
+            }
+        ),
+        prop_oneof![
+            Just(Crossover::AlwaysFirst),
+            Just(Crossover::AlwaysSecond),
+            (1.0f64..60.0).prop_map(|t| Crossover::At(Watts::new(t))),
+        ]
+        .prop_map(ResponseBody::Crossover),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(hits, misses, evictions, requests)| {
+                ResponseBody::Stats {
+                    tenant: TenantStats {
+                        hits,
+                        misses,
+                        evictions,
+                        bypasses: 0,
+                        entries: hits.min(misses),
+                        capacity: 1 << 14,
+                    },
+                    server: ServerStats { requests, coalesced: misses / 2, tenants: 3 },
+                }
+            }
+        ),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(bytes, entries)| ResponseBody::SnapshotDone { bytes, entries }),
+        serve_error().prop_map(ResponseBody::Error),
+    ]
+}
+
+fn assert_eval_bits(a: &PdnEvaluation, b: &PdnEvaluation) {
+    assert_eq!(a.nominal_power.get().to_bits(), b.nominal_power.get().to_bits());
+    assert_eq!(a.input_power.get().to_bits(), b.input_power.get().to_bits());
+    assert_eq!(a.etee.get().to_bits(), b.etee.get().to_bits());
+    assert_eq!(a.chip_input_current.get().to_bits(), b.chip_input_current.get().to_bits());
+    assert_eq!(a.rails.len(), b.rails.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every request round-trips exactly through its frame body.
+    #[test]
+    fn request_round_trips(tenant in any::<u32>(), id in any::<u64>(), body in request_body()) {
+        let request = Request { tenant, id, body };
+        let bytes = encode_request(&request);
+        let decoded = decode_request(&bytes).expect("well-formed request decodes");
+        prop_assert_eq!(decoded, request);
+    }
+
+    /// Every response round-trips exactly — floating-point fields
+    /// bit-for-bit.
+    #[test]
+    fn response_round_trips(id in any::<u64>(), body in response_body()) {
+        let response = Response { id, body };
+        let bytes = encode_response(&response);
+        let decoded = decode_response(&bytes).expect("well-formed response decodes");
+        if let (ResponseBody::Eval(a), ResponseBody::Eval(b)) = (&response.body, &decoded.body) {
+            assert_eval_bits(a, b);
+        }
+        prop_assert_eq!(decoded, response);
+    }
+
+    /// Arbitrary bytes never panic either body decoder.
+    #[test]
+    fn arbitrary_bodies_never_panic(data in vec(any::<u8>(), 0..512)) {
+        let _ = decode_request(&data);
+        let _ = decode_response(&data);
+    }
+
+    /// Arbitrary bytes never panic the frame decoder.
+    #[test]
+    fn arbitrary_frames_never_panic(data in vec(any::<u8>(), 0..512)) {
+        let _ = wire::decode_frame(&data);
+    }
+
+    /// Every truncation of a well-formed frame is rejected, never
+    /// panics, and never yields a different body.
+    #[test]
+    fn truncated_frames_are_rejected(body in request_body(), cut_seed in any::<usize>()) {
+        let request = Request { tenant: 1, id: 2, body };
+        let frame = wire::encode_frame(&encode_request(&request));
+        let cut = cut_seed % frame.len();
+        prop_assert_eq!(wire::decode_frame(&frame[..cut]).unwrap_err(), FrameError::Truncated);
+    }
+
+    /// Flipping any single bit of a framed request is detected by the
+    /// CRC (or the magic/length checks) — a flipped frame never decodes
+    /// into a *different* valid request.
+    #[test]
+    fn bit_flips_never_smuggle_a_frame(body in request_body(), flip_seed in any::<usize>()) {
+        let request = Request { tenant: 9, id: 77, body };
+        let mut frame = wire::encode_frame(&encode_request(&request));
+        let bit = flip_seed % (frame.len() * 8);
+        frame[bit / 8] ^= 1 << (bit % 8);
+        match wire::decode_frame(&frame) {
+            Err(_) => {}
+            Ok((decoded_body, _)) => {
+                // A flip inside the length prefix can only shrink the
+                // frame to a prefix that still checksums; the decoded
+                // request must then fail or equal the original.
+                if let Ok(decoded) = decode_request(decoded_body) {
+                    prop_assert_eq!(decoded, request);
+                }
+            }
+        }
+    }
+
+    /// An oversized length prefix is rejected before any allocation.
+    #[test]
+    fn oversized_length_prefixes_are_rejected(body in request_body()) {
+        let request = Request { tenant: 0, id: 0, body };
+        let mut frame = wire::encode_frame(&encode_request(&request));
+        frame[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        prop_assert_eq!(wire::decode_frame(&frame).unwrap_err(), FrameError::Oversized(u32::MAX as usize));
+    }
+
+    /// `ServeError → PdnError → ServeError` is the identity, and the
+    /// rebuilt library error preserves code and rendered message.
+    #[test]
+    fn serve_error_conversion_is_lossless(err in serve_error()) {
+        let lib = err.clone().into_pdn();
+        prop_assert_eq!(ServeError::from_pdn(&lib), err.clone());
+        prop_assert_eq!(lib.code(), err.code);
+        prop_assert_eq!(lib.to_string(), err.message);
+    }
+}

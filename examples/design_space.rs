@@ -3,7 +3,7 @@
 //! plus the per-cell FlexWatts mode the predictor would pick.
 //!
 //! The sweep runs on the `pdnspot::batch` engine: one `SweepGrid`
-//! describes the lattice, `evaluate_grid` fans the three baselines out
+//! describes the lattice, `batch::evaluate` fans the three baselines out
 //! over the worker pool (sharing one scenario build per cell), and the
 //! run's `BatchStats` close the report.
 //!
@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .workload_types(&WorkloadType::ACTIVE_TYPES)
         .ars(&[0.40, 0.60, 0.80])
         .build()?;
-    let outcome = evaluate_grid(&pdns, &grid, &ClientSoc);
+    let outcome = evaluate(&pdns, &grid, &ClientSoc, &EngineConfig::default(), None);
     // The FlexWatts predictor wants the scenarios themselves; the second
     // build is served from the same deterministic lattice order.
     let (scenarios, _) = build_scenarios(&grid, &ClientSoc, Workers::Auto);

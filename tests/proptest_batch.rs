@@ -33,9 +33,12 @@ proptest! {
         let ldo = LdoPdn::new(params);
         let pdns: [&dyn Pdn; 3] = [&ivr, &mbvr, &ldo];
         let grid = SweepGrid::active(&tdps, &[wl], &ars).map_err(|e| e.to_string())?;
-        let (serial, _) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Serial)
+        let serial_cfg = EngineConfig::builder().workers(Workers::Serial).build().unwrap();
+        let parallel_cfg =
+            EngineConfig::builder().workers(Workers::Fixed(workers)).build().unwrap();
+        let (serial, _) = surfaces(&pdns, &grid, &ClientSoc, &serial_cfg, None)
             .map_err(|e| e.to_string())?;
-        let (parallel, stats) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Fixed(workers))
+        let (parallel, stats) = surfaces(&pdns, &grid, &ClientSoc, &parallel_cfg, None)
             .map_err(|e| e.to_string())?;
         prop_assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {

@@ -2,9 +2,10 @@
 //!
 //! The build environment has no network access, so the workspace vendors
 //! the slice of the proptest API its property tests use: the [`proptest!`]
-//! macro, [`Strategy`] with `prop_filter`/`prop_map`, range and
-//! [`collection::vec`] strategies, [`Just`], [`prop_oneof!`], the
-//! `prop_assert*` macros, and [`ProptestConfig::with_cases`].
+//! macro, [`Strategy`] with `prop_filter`/`prop_map`, range, tuple,
+//! [`option::of`], and [`collection::vec`] strategies, [`Just`],
+//! [`prop_oneof!`], the `prop_assert*` macros, and
+//! [`ProptestConfig::with_cases`].
 //!
 //! Semantics: each test function runs `cases` times with inputs drawn
 //! from a generator seeded deterministically from the test's module path
@@ -215,6 +216,55 @@ macro_rules! int_range_strategy {
 }
 
 int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Strategies for `Option<T>`.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// The [`of`] strategy.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.random_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `None` half the time, otherwise `Some` of a drawn inner value.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
 
 /// Collection strategies.
 pub mod collection {
