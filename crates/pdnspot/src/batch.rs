@@ -767,51 +767,14 @@ impl BatchOutcome {
     }
 }
 
-/// Evaluates every PDN over every lattice point with an automatically
-/// sized worker pool.
-#[deprecated(since = "0.1.0", note = "use `batch::evaluate` with an `EngineConfig`")]
-pub fn evaluate_grid(
-    pdns: &[&dyn Pdn],
-    grid: &SweepGrid,
-    provider: &(impl SocProvider + ?Sized),
-) -> BatchOutcome {
-    evaluate(pdns, grid, provider, &EngineConfig::default(), None)
-}
-
-/// Evaluates every PDN over every lattice point with an explicit worker
-/// choice.
-#[deprecated(since = "0.1.0", note = "use `batch::evaluate` with an `EngineConfig`")]
-pub fn evaluate_grid_with(
-    pdns: &[&dyn Pdn],
-    grid: &SweepGrid,
-    provider: &(impl SocProvider + ?Sized),
-    workers: Workers,
-) -> BatchOutcome {
-    evaluate(pdns, grid, provider, &config_for(workers), None)
-}
-
-/// Evaluates every PDN over every lattice point with an explicit worker
-/// choice and an optional ETEE memo cache.
-#[deprecated(since = "0.1.0", note = "use `batch::evaluate` with an `EngineConfig`")]
-pub fn evaluate_grid_memo(
-    pdns: &[&dyn Pdn],
-    grid: &SweepGrid,
-    provider: &(impl SocProvider + ?Sized),
-    workers: Workers,
-    memo: Option<&MemoCache>,
-) -> BatchOutcome {
-    evaluate(pdns, grid, provider, &config_for(workers), memo)
-}
-
-/// An all-defaults config with only the worker choice overridden — the
-/// translation the deprecated shims apply, shared with the sweep module.
+/// An all-defaults config with only the worker choice overridden.
+#[cfg(test)]
 pub(crate) fn config_for(workers: Workers) -> EngineConfig {
     EngineConfig::builder().workers(workers).build().expect("worker-only config is valid")
 }
 
 /// Evaluates every PDN over every lattice point of `grid` — the unified
-/// batch entry point, replacing `evaluate_grid`/`evaluate_grid_with`/
-/// `evaluate_grid_memo`.
+/// batch entry point.
 ///
 /// Scenarios are built at most once each through the shared cache and
 /// reused across PDNs and workers. Per-point failures are captured in
@@ -1238,25 +1201,6 @@ mod tests {
         assert_eq!(stats.worker_stolen, vec![0]);
         assert_eq!(stats.worker_idle_probes, vec![0]);
         assert!(!stats.to_string().contains("stolen"));
-    }
-
-    /// The satellite-3 contract: the deprecated grid shims are pure
-    /// translations to [`evaluate`] — same values, same bits.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_grid_shims_match_evaluate() {
-        let params = ModelParams::paper_defaults();
-        let ivr = IvrPdn::new(params.clone());
-        let mbvr = MbvrPdn::new(params);
-        let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
-        let grid = small_grid();
-        let unified = evaluate(&pdns, &grid, &ClientSoc, &EngineConfig::default(), None);
-        let plain = evaluate_grid(&pdns, &grid, &ClientSoc);
-        let with = evaluate_grid_with(&pdns, &grid, &ClientSoc, Workers::Auto);
-        let memo = evaluate_grid_memo(&pdns, &grid, &ClientSoc, Workers::Auto, None);
-        assert_eq!(unified.evaluations, plain.evaluations);
-        assert_eq!(unified.evaluations, with.evaluations);
-        assert_eq!(unified.evaluations, memo.evaluations);
     }
 
     #[test]

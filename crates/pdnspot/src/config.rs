@@ -31,6 +31,18 @@ use serde::{Deserialize, Serialize};
 /// ([`EngineConfig::admission_depth`]).
 pub const DEFAULT_ADMISSION_DEPTH: usize = 1024;
 
+/// Default queue-age shedding threshold in milliseconds
+/// ([`EngineConfig::shed_age_ms`]).
+pub const DEFAULT_SHED_AGE_MS: u64 = 2_000;
+
+/// Default per-connection response buffer, in responses
+/// ([`EngineConfig::write_buffer`]).
+pub const DEFAULT_WRITE_BUFFER: usize = 128;
+
+/// Default per-connection write deadline in milliseconds
+/// ([`EngineConfig::write_timeout_ms`]).
+pub const DEFAULT_WRITE_TIMEOUT_MS: u64 = 2_000;
+
 /// Validated engine configuration (see the module docs).
 ///
 /// Construct with [`EngineConfig::builder`]; [`EngineConfig::default`]
@@ -44,6 +56,10 @@ pub struct EngineConfig {
     memo_shards: usize,
     memo_capacity: usize,
     admission_depth: usize,
+    shed_age_ms: u64,
+    tenant_quota: usize,
+    write_buffer: usize,
+    write_timeout_ms: u64,
 }
 
 impl EngineConfig {
@@ -85,6 +101,51 @@ impl EngineConfig {
         self.admission_depth
     }
 
+    /// Queue-age load-shedding threshold in milliseconds: the serve
+    /// dispatcher sheds (answers `Overloaded` with a `RetryAfter` hint)
+    /// any admitted request that waited longer than this before being
+    /// dispatched, instead of burning capacity on work the client has
+    /// likely given up on. `0` disables age shedding (default
+    /// [`DEFAULT_SHED_AGE_MS`]).
+    pub fn shed_age_ms(&self) -> u64 {
+        self.shed_age_ms
+    }
+
+    /// Per-tenant admission budget: the most requests one tenant may
+    /// hold in the admission queue at once. `0` (the default) derives
+    /// the budget from the depth — see
+    /// [`EngineConfig::tenant_quota_for`].
+    pub fn tenant_quota(&self) -> usize {
+        self.tenant_quota
+    }
+
+    /// The effective per-tenant admission budget for a queue of
+    /// `depth`: the configured [`EngineConfig::tenant_quota`], or
+    /// `max(1, depth / 4)` when unset — one noisy tenant can fill at
+    /// most a quarter of the queue before being shed, leaving room for
+    /// everyone else.
+    pub fn tenant_quota_for(&self, depth: usize) -> usize {
+        match self.tenant_quota {
+            0 => (depth / 4).max(1),
+            quota => quota.min(depth),
+        }
+    }
+
+    /// Bound on one connection's buffered responses (the slow-client
+    /// defense): the dispatcher never blocks on a stalled client —
+    /// past this many undelivered responses the connection is evicted
+    /// (default [`DEFAULT_WRITE_BUFFER`]).
+    pub fn write_buffer(&self) -> usize {
+        self.write_buffer
+    }
+
+    /// Per-connection socket write deadline in milliseconds; a client
+    /// that stalls a single frame write longer than this is evicted
+    /// (default [`DEFAULT_WRITE_TIMEOUT_MS`]).
+    pub fn write_timeout_ms(&self) -> u64 {
+        self.write_timeout_ms
+    }
+
     /// Builds a [`MemoCache`] with this config's shard count and
     /// capacity budget.
     pub fn memo_cache(&self) -> MemoCache {
@@ -106,6 +167,10 @@ pub struct EngineConfigBuilder {
     memo_shards: usize,
     memo_capacity: usize,
     admission_depth: usize,
+    shed_age_ms: u64,
+    tenant_quota: usize,
+    write_buffer: usize,
+    write_timeout_ms: u64,
 }
 
 impl Default for EngineConfigBuilder {
@@ -116,6 +181,10 @@ impl Default for EngineConfigBuilder {
             memo_shards: DEFAULT_SHARDS,
             memo_capacity: DEFAULT_CAPACITY,
             admission_depth: DEFAULT_ADMISSION_DEPTH,
+            shed_age_ms: DEFAULT_SHED_AGE_MS,
+            tenant_quota: 0,
+            write_buffer: DEFAULT_WRITE_BUFFER,
+            write_timeout_ms: DEFAULT_WRITE_TIMEOUT_MS,
         }
     }
 }
@@ -151,6 +220,32 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Sets the queue-age shedding threshold in milliseconds (`0`
+    /// disables age shedding).
+    pub fn shed_age_ms(mut self, ms: u64) -> Self {
+        self.shed_age_ms = ms;
+        self
+    }
+
+    /// Sets the per-tenant admission budget (`0` = derive from depth).
+    pub fn tenant_quota(mut self, quota: usize) -> Self {
+        self.tenant_quota = quota;
+        self
+    }
+
+    /// Sets the per-connection response buffer bound (must be ≥ 1).
+    pub fn write_buffer(mut self, responses: usize) -> Self {
+        self.write_buffer = responses;
+        self
+    }
+
+    /// Sets the per-connection write deadline in milliseconds (must be
+    /// ≥ 1).
+    pub fn write_timeout_ms(mut self, ms: u64) -> Self {
+        self.write_timeout_ms = ms;
+        self
+    }
+
     /// Validates and freezes the configuration.
     ///
     /// # Errors
@@ -176,12 +271,22 @@ impl EngineConfigBuilder {
         if self.admission_depth == 0 {
             return Err(PdnError::Scenario("EngineConfig: admission_depth must be >= 1".into()));
         }
+        if self.write_buffer == 0 {
+            return Err(PdnError::Scenario("EngineConfig: write_buffer must be >= 1".into()));
+        }
+        if self.write_timeout_ms == 0 {
+            return Err(PdnError::Scenario("EngineConfig: write_timeout_ms must be >= 1".into()));
+        }
         Ok(EngineConfig {
             workers: self.workers,
             chunk_size: self.chunk_size,
             memo_shards: self.memo_shards,
             memo_capacity: self.memo_capacity,
             admission_depth: self.admission_depth,
+            shed_age_ms: self.shed_age_ms,
+            tenant_quota: self.tenant_quota,
+            write_buffer: self.write_buffer,
+            write_timeout_ms: self.write_timeout_ms,
         })
     }
 }
@@ -199,6 +304,10 @@ mod tests {
         assert_eq!(cfg.memo_shards(), DEFAULT_SHARDS);
         assert_eq!(cfg.memo_capacity(), DEFAULT_CAPACITY);
         assert_eq!(cfg.admission_depth(), DEFAULT_ADMISSION_DEPTH);
+        assert_eq!(cfg.shed_age_ms(), DEFAULT_SHED_AGE_MS);
+        assert_eq!(cfg.tenant_quota(), 0, "0 = derive from depth");
+        assert_eq!(cfg.write_buffer(), DEFAULT_WRITE_BUFFER);
+        assert_eq!(cfg.write_timeout_ms(), DEFAULT_WRITE_TIMEOUT_MS);
         let cache = cfg.memo_cache();
         assert_eq!(cache.shard_count(), DEFAULT_SHARDS);
         assert_eq!(cache.capacity(), DEFAULT_CAPACITY);
@@ -212,6 +321,10 @@ mod tests {
             .memo_shards(8)
             .memo_capacity(256)
             .admission_depth(32)
+            .shed_age_ms(500)
+            .tenant_quota(7)
+            .write_buffer(16)
+            .write_timeout_ms(250)
             .build()
             .unwrap();
         assert_eq!(cfg.workers(), Workers::Fixed(3));
@@ -219,6 +332,10 @@ mod tests {
         assert_eq!(cfg.memo_shards(), 8);
         assert_eq!(cfg.memo_capacity(), 256);
         assert_eq!(cfg.admission_depth(), 32);
+        assert_eq!(cfg.shed_age_ms(), 500);
+        assert_eq!(cfg.tenant_quota(), 7);
+        assert_eq!(cfg.write_buffer(), 16);
+        assert_eq!(cfg.write_timeout_ms(), 250);
         assert_eq!(cfg.memo_cache().shard_count(), 8);
     }
 
@@ -230,11 +347,23 @@ mod tests {
             (EngineConfig::builder().memo_shards(0), "memo_shards"),
             (EngineConfig::builder().memo_capacity(0), "memo_capacity"),
             (EngineConfig::builder().admission_depth(0), "admission_depth"),
+            (EngineConfig::builder().write_buffer(0), "write_buffer"),
+            (EngineConfig::builder().write_timeout_ms(0), "write_timeout_ms"),
         ];
         for (builder, knob) in cases {
             let err = builder.build().unwrap_err();
             assert_eq!(err.code(), ErrorCode::Scenario);
             assert!(err.to_string().contains(knob), "{err} should name {knob}");
         }
+    }
+
+    #[test]
+    fn tenant_quota_derivation_and_clamping() {
+        let auto = EngineConfig::default();
+        assert_eq!(auto.tenant_quota_for(1024), 256, "auto = depth / 4");
+        assert_eq!(auto.tenant_quota_for(2), 1, "auto never reaches zero");
+        let fixed = EngineConfig::builder().tenant_quota(100).build().unwrap();
+        assert_eq!(fixed.tenant_quota_for(1024), 100);
+        assert_eq!(fixed.tenant_quota_for(8), 8, "quota is clamped to the depth");
     }
 }

@@ -53,6 +53,19 @@ pub enum ErrorCode {
     /// The request is well-formed but names something the server does not
     /// serve (an unknown PDN, an unresident surface, a disabled feature).
     Unsupported,
+    /// The request's deadline expired before (or while) the server could
+    /// answer it. The work it named may still have completed for other
+    /// waiters coalesced onto the same point.
+    DeadlineExceeded,
+    /// The server isolated an internal failure (a panicking evaluation)
+    /// while answering this request. Retryable once: a second panic on
+    /// the same bit-exact request quarantines it as
+    /// [`ErrorCode::Poisoned`].
+    Internal,
+    /// The bit-exact request has panicked the server repeatedly and is
+    /// quarantined. Terminal: retrying the identical bytes will never
+    /// succeed.
+    Poisoned,
     /// An error code this build does not know (sent by a newer peer).
     Unknown,
 }
@@ -71,6 +84,9 @@ impl ErrorCode {
             ErrorCode::Snapshot => 8,
             ErrorCode::Shutdown => 9,
             ErrorCode::Unsupported => 10,
+            ErrorCode::DeadlineExceeded => 11,
+            ErrorCode::Internal => 12,
+            ErrorCode::Poisoned => 13,
             ErrorCode::Unknown => 0xFFFF,
         }
     }
@@ -89,14 +105,27 @@ impl ErrorCode {
             8 => ErrorCode::Snapshot,
             9 => ErrorCode::Shutdown,
             10 => ErrorCode::Unsupported,
+            11 => ErrorCode::DeadlineExceeded,
+            12 => ErrorCode::Internal,
+            13 => ErrorCode::Poisoned,
             _ => ErrorCode::Unknown,
         }
     }
 
     /// Whether a client may retry the same request unchanged and expect
-    /// it to eventually succeed (load shedding, not a broken request).
+    /// it to eventually succeed.
+    ///
+    /// Retryable codes are transient server conditions: load shedding
+    /// ([`ErrorCode::Overloaded`]), an expired deadline
+    /// ([`ErrorCode::DeadlineExceeded`]), and a first isolated panic
+    /// ([`ErrorCode::Internal`] — bounded, because a repeat panic on the
+    /// same bytes becomes the terminal [`ErrorCode::Poisoned`]). Every
+    /// other code describes the request or the server state itself, and
+    /// retrying unchanged bytes cannot help. Retryable errors may carry
+    /// a `RetryAfter` hint on the wire; clients without one should back
+    /// off exponentially from ~10 ms.
     pub fn is_retryable(self) -> bool {
-        matches!(self, ErrorCode::Overloaded)
+        matches!(self, ErrorCode::Overloaded | ErrorCode::DeadlineExceeded | ErrorCode::Internal)
     }
 }
 
@@ -113,6 +142,9 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Snapshot => "snapshot",
             ErrorCode::Shutdown => "shutdown",
             ErrorCode::Unsupported => "unsupported",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Poisoned => "poisoned",
             ErrorCode::Unknown => "unknown",
         };
         f.write_str(s)
@@ -362,6 +394,9 @@ mod tests {
             ErrorCode::Snapshot,
             ErrorCode::Shutdown,
             ErrorCode::Unsupported,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Internal,
+            ErrorCode::Poisoned,
             ErrorCode::Unknown,
         ];
         let mut seen = std::collections::HashSet::new();
@@ -371,7 +406,14 @@ mod tests {
         }
         assert_eq!(ErrorCode::from_wire(31999), ErrorCode::Unknown);
         assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(ErrorCode::DeadlineExceeded.is_retryable());
+        assert!(
+            ErrorCode::Internal.is_retryable(),
+            "first panic is retryable (quarantine bounds it)"
+        );
+        assert!(!ErrorCode::Poisoned.is_retryable(), "quarantined requests are terminal");
         assert!(!ErrorCode::Scenario.is_retryable());
+        assert!(!ErrorCode::Shutdown.is_retryable());
     }
 
     #[test]

@@ -265,13 +265,20 @@ impl MemoCache {
             return run(staged);
         };
         let key = MemoKey { pdn: token, scenario: scenario.fingerprint() };
-        if let Some(hit) = self.shard_of(key).lock().expect("memo shard poisoned").map.get(&key) {
+        if let Some(hit) = self
+            .shard_of(key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .map
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = run(staged)?;
-        let mut shard = self.shard_of(key).lock().expect("memo shard poisoned");
+        let mut shard =
+            self.shard_of(key).lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         // A racing worker may have inserted the same key; both computed
         // identical bits, so keeping the first insertion is safe.
         if !shard.map.contains_key(&key) {
@@ -289,7 +296,10 @@ impl MemoCache {
 
     /// Current number of cached evaluations across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("memo shard poisoned").map.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).map.len())
+            .sum()
     }
 
     /// Whether the cache holds no entries.
@@ -304,7 +314,7 @@ impl MemoCache {
     pub fn export(&self) -> Vec<MemoEntry> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            let shard = shard.lock().expect("memo shard poisoned");
+            let shard = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             for key in &shard.order {
                 if let Some(value) = shard.map.get(key) {
                     out.push(MemoEntry {
@@ -331,7 +341,8 @@ impl MemoCache {
         let mut added = 0;
         for entry in entries {
             let key = MemoKey { pdn: entry.pdn_token, scenario: entry.scenario_fingerprint };
-            let mut shard = self.shard_of(key).lock().expect("memo shard poisoned");
+            let mut shard =
+                self.shard_of(key).lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             if shard.map.contains_key(&key) {
                 continue;
             }

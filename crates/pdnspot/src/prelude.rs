@@ -18,8 +18,6 @@ pub use crate::batch::{
     build_scenarios, evaluate, par_map, par_map_stats, BatchOutcome, BatchStats, ClientSoc,
     LatticePoint, PointEvaluation, SocProvider, SweepGrid, SweepGridBuilder, Workers,
 };
-#[allow(deprecated)]
-pub use crate::batch::{evaluate_grid, evaluate_grid_memo, evaluate_grid_with};
 pub use crate::config::{EngineConfig, EngineConfigBuilder, DEFAULT_ADMISSION_DEPTH};
 pub use crate::error::{ErrorCode, PdnError};
 pub use crate::etee::{LossBreakdown, PdnEvaluation, RailReport};
@@ -27,8 +25,6 @@ pub use crate::memo::{MemoCache, MemoEntry, MemoPdn, MemoStats};
 pub use crate::params::ModelParams;
 pub use crate::scenario::{DomainLoad, Scenario};
 pub use crate::sweep::{crossover, surfaces, Crossover, EteeSurface};
-#[allow(deprecated)]
-pub use crate::sweep::{crossover_tdp_memo, crossover_tdp_with, etee_surfaces, etee_surfaces_memo};
 pub use crate::topology::{IPlusMbvrPdn, IvrPdn, LdoPdn, MbvrPdn, Pdn, PdnKind};
 pub use crate::validation::{validate, validate_with, ReferenceSystem, ValidationReport};
 pub use pdn_units::{ApplicationRatio, Watts};

@@ -10,10 +10,9 @@
 //!
 //! Surfaces are produced by the [`crate::batch`] engine: one
 //! [`SweepGrid`] evaluation shared across all requested PDNs, scenarios
-//! built once and reused, workers fanned out over the lattice. The old
-//! closure-parameter free functions remain as deprecated wrappers.
+//! built once and reused, workers fanned out over the lattice.
 
-use crate::batch::{config_for, SocProvider, SweepGrid, Workers};
+use crate::batch::{SocProvider, SweepGrid};
 use crate::config::EngineConfig;
 use crate::error::PdnError;
 use crate::memo::MemoCache;
@@ -106,47 +105,8 @@ impl EteeSurface {
 }
 
 /// Sweeps every PDN's ETEE over the active lattice of `grid` at the
-/// fixed-TDP-frequency operating points (the Fig. 4 methodology), on the
-/// batch engine.
-///
-/// Returns one surface per `(pdn, workload type)` pair, PDN-major, plus
-/// the run's [`crate::batch::BatchStats`]. The grid must be active-only
-/// (no idle states): an idle point has no (AR, TDP) surface position.
-///
-/// # Errors
-///
-/// Returns the first captured per-point error (with lattice
-/// coordinates), or [`PdnError::Scenario`] if the grid has idle states.
-#[deprecated(since = "0.1.0", note = "use `sweep::surfaces` with an `EngineConfig`")]
-pub fn etee_surfaces(
-    pdns: &[&dyn Pdn],
-    grid: &SweepGrid,
-    provider: &(impl SocProvider + ?Sized),
-    workers: Workers,
-) -> Result<(Vec<EteeSurface>, crate::batch::BatchStats), PdnError> {
-    surfaces(pdns, grid, provider, &config_for(workers), None)
-}
-
-/// `etee_surfaces` with an optional ETEE memo cache.
-///
-/// # Errors
-///
-/// Same contract as `etee_surfaces`.
-#[deprecated(since = "0.1.0", note = "use `sweep::surfaces` with an `EngineConfig`")]
-pub fn etee_surfaces_memo(
-    pdns: &[&dyn Pdn],
-    grid: &SweepGrid,
-    provider: &(impl SocProvider + ?Sized),
-    workers: Workers,
-    memo: Option<&MemoCache>,
-) -> Result<(Vec<EteeSurface>, crate::batch::BatchStats), PdnError> {
-    surfaces(pdns, grid, provider, &config_for(workers), memo)
-}
-
-/// Sweeps every PDN's ETEE over the active lattice of `grid` at the
 /// fixed-TDP-frequency operating points (the Fig. 4 methodology) — the
-/// unified surface entry point, replacing `etee_surfaces`/
-/// `etee_surfaces_memo`.
+/// unified surface entry point.
 ///
 /// Returns one surface per `(pdn, workload type)` pair, PDN-major, plus
 /// the run's [`crate::batch::BatchStats`]. The grid must be active-only
@@ -217,49 +177,9 @@ pub enum Crossover {
 /// [`crossover`] evaluates before bisecting.
 const CROSSOVER_SCAN_POINTS: usize = 9;
 
-/// Finds the TDP at which `a` overtakes `b` (or vice versa) for a workload
-/// type and AR over `[lo, hi]` watts.
-///
-/// # Errors
-///
-/// Propagates evaluation errors (with lattice coordinates for scan
-/// failures).
-#[deprecated(since = "0.1.0", note = "use `sweep::crossover` with an `EngineConfig`")]
-pub fn crossover_tdp_with(
-    a: &dyn Pdn,
-    b: &dyn Pdn,
-    workload_type: WorkloadType,
-    ar: ApplicationRatio,
-    range: (f64, f64),
-    provider: &(impl SocProvider + ?Sized),
-    workers: Workers,
-) -> Result<Crossover, PdnError> {
-    crossover(a, b, workload_type, ar, range, provider, &config_for(workers), None)
-}
-
-/// `crossover_tdp_with` with an optional ETEE memo cache.
-///
-/// # Errors
-///
-/// Same contract as `crossover_tdp_with`.
-#[allow(clippy::too_many_arguments)]
-#[deprecated(since = "0.1.0", note = "use `sweep::crossover` with an `EngineConfig`")]
-pub fn crossover_tdp_memo(
-    a: &dyn Pdn,
-    b: &dyn Pdn,
-    workload_type: WorkloadType,
-    ar: ApplicationRatio,
-    range: (f64, f64),
-    provider: &(impl SocProvider + ?Sized),
-    workers: Workers,
-    memo: Option<&MemoCache>,
-) -> Result<Crossover, PdnError> {
-    crossover(a, b, workload_type, ar, range, provider, &config_for(workers), memo)
-}
-
 /// Finds the TDP at which `a` overtakes `b` (or vice versa) for a
 /// workload type and AR over `[lo, hi]` watts — the unified crossover
-/// entry point, replacing `crossover_tdp_with`/`crossover_tdp_memo`.
+/// entry point.
 ///
 /// The comparison uses the Fig. 4 fixed-TDP-frequency operating points.
 /// A coarse [`CROSSOVER_SCAN_POINTS`]-sample scan runs on the batch
@@ -350,58 +270,12 @@ pub fn crossover(
     Ok(Crossover::At(Watts::new(0.5 * (blo + bhi))))
 }
 
-/// Sweeps a PDN's ETEE over a (TDP × AR) lattice at the fixed-TDP-frequency
-/// operating points (the Fig. 4 methodology).
-///
-/// # Errors
-///
-/// Propagates evaluation errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `etee_surfaces` with a `SweepGrid` and `SocProvider`; this wrapper runs \
-            the batch engine serially for one PDN"
-)]
-pub fn etee_surface(
-    pdn: &dyn Pdn,
-    workload_type: WorkloadType,
-    tdps: &[f64],
-    ars: &[f64],
-    soc_for: impl Fn(Watts) -> pdn_proc::SocSpec + Sync,
-) -> Result<EteeSurface, PdnError> {
-    let grid = SweepGrid::active(tdps, &[workload_type], ars)?;
-    let (mut all, _) = surfaces(&[pdn], &grid, &soc_for, &config_for(Workers::Serial), None)?;
-    Ok(all.remove(0))
-}
-
-/// Finds the TDP at which `a` overtakes `b` (or vice versa) for a workload
-/// type and AR, over `[lo, hi]` watts.
-///
-/// # Errors
-///
-/// Propagates evaluation errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `crossover_tdp_with` with a `SocProvider`; this wrapper runs the \
-            bracketing scan serially"
-)]
-pub fn crossover_tdp(
-    a: &dyn Pdn,
-    b: &dyn Pdn,
-    workload_type: WorkloadType,
-    ar: ApplicationRatio,
-    range: (f64, f64),
-    soc_for: impl Fn(Watts) -> pdn_proc::SocSpec + Sync,
-) -> Result<Crossover, PdnError> {
-    crossover(a, b, workload_type, ar, range, &soc_for, &config_for(Workers::Serial), None)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::batch::ClientSoc;
+    use crate::batch::{config_for, ClientSoc, Workers};
     use crate::params::ModelParams;
     use crate::topology::{IvrPdn, MbvrPdn};
-    use pdn_proc::client_soc;
 
     fn cfg(workers: Workers) -> EngineConfig {
         config_for(workers)
@@ -690,95 +564,5 @@ mod tests {
         )
         .unwrap();
         assert_eq!(c, Crossover::AlwaysSecond);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_engine() {
-        let params = ModelParams::paper_defaults();
-        let ivr = IvrPdn::new(params.clone());
-        let mbvr = MbvrPdn::new(params);
-        let tdps = [4.0, 18.0];
-        let ars = [0.56];
-        let legacy =
-            etee_surface(&ivr, WorkloadType::MultiThread, &tdps, &ars, client_soc).unwrap();
-        let grid = SweepGrid::active(&tdps, &[WorkloadType::MultiThread], &ars).unwrap();
-        let pdns: [&dyn Pdn; 1] = [&ivr];
-        let (engine, _) = surfaces(&pdns, &grid, &ClientSoc, &cfg(Workers::Auto), None).unwrap();
-        assert_eq!(legacy, engine[0], "wrapper and engine must agree bit-for-bit");
-
-        let ar = ApplicationRatio::new(0.56).unwrap();
-        let legacy_cross =
-            crossover_tdp(&ivr, &mbvr, WorkloadType::MultiThread, ar, (4.0, 50.0), client_soc)
-                .unwrap();
-        let engine_cross = crossover(
-            &ivr,
-            &mbvr,
-            WorkloadType::MultiThread,
-            ar,
-            (4.0, 50.0),
-            &ClientSoc,
-            &cfg(Workers::Auto),
-            None,
-        )
-        .unwrap();
-        assert_eq!(legacy_cross, engine_cross);
-    }
-
-    /// The satellite-3 contract: every deprecated shim is a pure
-    /// translation to the unified entry points — same values, same bits.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_unified_entry_points() {
-        let params = ModelParams::paper_defaults();
-        let ivr = IvrPdn::new(params.clone());
-        let mbvr = MbvrPdn::new(params);
-        let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
-        let grid =
-            SweepGrid::active(&[4.0, 18.0], &[WorkloadType::MultiThread], &[0.4, 0.8]).unwrap();
-
-        let (new_surfaces, _) =
-            surfaces(&pdns, &grid, &ClientSoc, &cfg(Workers::Serial), None).unwrap();
-        let (shim_plain, _) = etee_surfaces(&pdns, &grid, &ClientSoc, Workers::Serial).unwrap();
-        let (shim_memo, _) =
-            etee_surfaces_memo(&pdns, &grid, &ClientSoc, Workers::Serial, None).unwrap();
-        assert_eq!(new_surfaces, shim_plain);
-        assert_eq!(new_surfaces, shim_memo);
-
-        let ar = ApplicationRatio::new(0.56).unwrap();
-        let new_cross = crossover(
-            &ivr,
-            &mbvr,
-            WorkloadType::MultiThread,
-            ar,
-            (4.0, 50.0),
-            &ClientSoc,
-            &cfg(Workers::Serial),
-            None,
-        )
-        .unwrap();
-        let shim_with = crossover_tdp_with(
-            &ivr,
-            &mbvr,
-            WorkloadType::MultiThread,
-            ar,
-            (4.0, 50.0),
-            &ClientSoc,
-            Workers::Serial,
-        )
-        .unwrap();
-        let shim_memo = crossover_tdp_memo(
-            &ivr,
-            &mbvr,
-            WorkloadType::MultiThread,
-            ar,
-            (4.0, 50.0),
-            &ClientSoc,
-            Workers::Serial,
-            None,
-        )
-        .unwrap();
-        assert_eq!(new_cross, shim_with);
-        assert_eq!(new_cross, shim_memo);
     }
 }

@@ -224,7 +224,7 @@ fn request_for(rank: usize, tenant: u32, id: u64) -> Request {
     } else {
         RequestBody::Eval { pdn, point }
     };
-    Request { tenant, id, body }
+    Request { tenant, id, deadline_ms: 0, body }
 }
 
 struct ConnOutcome {
@@ -337,13 +337,18 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
     // Persist the warm state, then shut the daemon down.
     let mut control = Client::connect(addr).map_err(|e| format!("control connect: {e}"))?;
     let snap_resp = control
-        .call(&Request { tenant: 0, id: u64::MAX - 1, body: RequestBody::Snapshot })
+        .call(&Request { tenant: 0, id: u64::MAX - 1, deadline_ms: 0, body: RequestBody::Snapshot })
         .map_err(|e| format!("snapshot request: {e}"))?;
     let (snapshot_bytes, snapshot_entries) = match snap_resp.body {
         ResponseBody::SnapshotDone { bytes, entries } => (bytes, entries),
         other => return Err(format!("snapshot request failed: {other:?}")),
     };
-    let _ = control.call(&Request { tenant: 0, id: u64::MAX, body: RequestBody::Shutdown });
+    let _ = control.call(&Request {
+        tenant: 0,
+        id: u64::MAX,
+        deadline_ms: 0,
+        body: RequestBody::Shutdown,
+    });
     handle.join();
 
     // Restore into a fresh engine and replay a zipf-matched sample of

@@ -1,8 +1,10 @@
 //! The `pdn-serve` CLI: `serve` boots the daemon (TCP or stdio),
 //! `bench` runs the synthetic load generator and writes
-//! `BENCH_serve.json`.
+//! `BENCH_serve.json`, and `chaos` runs the seeded fault campaign and
+//! writes `BENCH_chaos.json`.
 
 use pdn_serve::bench::{self, BenchConfig};
+use pdn_serve::chaos::{self, CampaignConfig};
 use pdn_serve::engine::ServeEngine;
 use pdn_serve::{server, snapshot};
 use pdnspot::{EngineConfig, Workers};
@@ -20,13 +22,19 @@ USAGE:
     pdn-serve bench [--quick] [--clients N] [--requests N]
                     [--connections N] [--window N] [--tenants N]
                     [--universe N] [--zipf S] [--seed N] [--out PATH]
+    pdn-serve chaos [--quick] [--seeds A,B,C] [--out PATH]
 
 serve: answer framed protocol requests. With --snapshot, warm state is
-restored from PATH when it exists and the Snapshot request persists
-back to it. --stdio serves stdin/stdout instead of a socket.
+restored from PATH (or the newest intact rotated generation; total
+corruption cold-starts) and the Snapshot request persists back to it.
+--stdio serves stdin/stdout instead of a socket.
 
 bench: boot an in-process daemon, replay zipf-skewed querents, verify
 snapshot/restore, and write the JSON report (default BENCH_serve.json).
+
+chaos: run the seeded chaos campaign (mid-frame disconnects, stalled
+writes, floods, slow readers, engine faults) at every seed, assert the
+survival invariants, and write the report (default BENCH_chaos.json).
 ";
 
 fn parse_flag<T: std::str::FromStr>(
@@ -65,16 +73,29 @@ fn run_serve(mut args: std::iter::Peekable<std::env::Args>) -> Result<(), String
     let config = config.build().map_err(|e| format!("config: {e}"))?;
 
     let restored = match &snapshot_path {
-        Some(path) if path.exists() => {
-            let snap = snapshot::read_file(path).map_err(|e| format!("snapshot: {e}"))?;
-            eprintln!(
-                "restoring warm state: {} memo entries across {} tenants",
-                snap.entry_count(),
-                snap.tenants.len()
-            );
-            Some(ServeEngine::from_snapshot(config.clone(), &snap))
+        Some(path) => {
+            let (snap, defects) = snapshot::restore_latest(path, snapshot::DEFAULT_KEEP);
+            for (defective, why) in &defects {
+                eprintln!("snapshot {}: {why}; trying older generation", defective.display());
+            }
+            match snap {
+                Some(snap) => {
+                    eprintln!(
+                        "restoring warm state: {} memo entries across {} tenants",
+                        snap.entry_count(),
+                        snap.tenants.len()
+                    );
+                    Some(ServeEngine::from_snapshot(config.clone(), &snap))
+                }
+                None => {
+                    if !defects.is_empty() {
+                        eprintln!("no intact snapshot generation; cold start");
+                    }
+                    None
+                }
+            }
         }
-        _ => None,
+        None => None,
     };
     let mut engine = match restored {
         Some(result) => result.map_err(|e| format!("warm boot: {e}"))?,
@@ -125,12 +146,47 @@ fn run_bench(mut args: std::iter::Peekable<std::env::Args>) -> Result<(), String
     Ok(())
 }
 
+fn run_chaos(mut args: std::iter::Peekable<std::env::Args>) -> Result<(), String> {
+    let mut cfg = CampaignConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--seeds" => {
+                let list: String = parse_flag(&mut args, "--seeds")?;
+                cfg.seeds = list
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("--seeds: bad seed {s:?}")))
+                    .collect::<Result<Vec<u64>, String>>()?;
+                if cfg.seeds.is_empty() {
+                    return Err("--seeds: need at least one seed".into());
+                }
+            }
+            "--out" => cfg.out = Some(parse_flag(&mut args, "--out")?),
+            other => return Err(format!("unknown chaos flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    let report = chaos::campaign(&cfg)?;
+    println!("{report}");
+    if let Some(out) = &cfg.out {
+        println!("report written to {}", out.display());
+    }
+    if report.survival_rate < 1.0
+        || report.lost_total > 0
+        || report.duplicated_total > 0
+        || !report.snapshot_corruption_cold_start
+    {
+        return Err("chaos campaign invariants violated (see report)".into());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().peekable();
     let _binary = args.next();
     let result = match args.next().as_deref() {
         Some("serve") => run_serve(args),
         Some("bench") => run_bench(args),
+        Some("chaos") => run_chaos(args),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -30,10 +30,11 @@ use pdnspot::{
     ClientSoc, EngineConfig, ErrorCode, IPlusMbvrPdn, IvrPdn, LdoPdn, MbvrPdn, MemoCache,
     ModelParams, Pdn, PdnError, PdnEvaluation, Scenario, SweepGrid,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::Duration;
 
 /// The TDP axis of the daemon's resident surfaces and predictor tables
 /// (the paper's client design points).
@@ -49,8 +50,103 @@ pub struct TenantState {
     pub cache: MemoCache,
 }
 
+/// How many caught panics on one bit-exact request body it takes to
+/// quarantine it: the first panic is retryable ([`ErrorCode::Internal`]);
+/// from the second on, the body is answered [`ErrorCode::Poisoned`]
+/// (terminal) without re-entering the engine.
+pub const POISON_THRESHOLD: u32 = 2;
+
+/// A deterministic fingerprint of a request body, independent of the
+/// tenant and correlation id — the quarantine's "bit-exact key".
+/// FNV-1a over the body's discriminant and parameter bit patterns.
+#[must_use]
+pub fn poison_key(body: &RequestBody) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    struct Fnv(u64);
+    impl Fnv {
+        fn u8(&mut self, v: u8) {
+            self.0 = (self.0 ^ u64::from(v)).wrapping_mul(FNV_PRIME);
+        }
+        fn u64(&mut self, v: u64) {
+            for b in v.to_le_bytes() {
+                self.u8(b);
+            }
+        }
+        fn f64(&mut self, v: f64) {
+            self.u64(v.to_bits());
+        }
+    }
+    let mut h = Fnv(FNV_OFFSET);
+    match body {
+        RequestBody::Ping => h.u8(0),
+        RequestBody::Eval { pdn, point } => {
+            h.u8(1);
+            h.u8(pdn.to_wire());
+            let (a, b, c, d) = point.key();
+            h.u8(a);
+            h.u64(b);
+            h.u8(c);
+            h.u64(d);
+        }
+        RequestBody::Sample { pdn, workload, tdp, ar } => {
+            h.u8(2);
+            h.u8(pdn.to_wire());
+            h.u8(crate::protocol::workload_to_wire(*workload));
+            h.f64(*tdp);
+            h.f64(*ar);
+        }
+        RequestBody::Sweep { pdns, tdps, workloads, ars } => {
+            h.u8(3);
+            for p in pdns {
+                h.u8(p.to_wire());
+            }
+            h.u8(0xFF);
+            for &t in tdps {
+                h.f64(t);
+            }
+            h.u8(0xFF);
+            for w in workloads {
+                h.u8(crate::protocol::workload_to_wire(*w));
+            }
+            h.u8(0xFF);
+            for &a in ars {
+                h.f64(a);
+            }
+        }
+        RequestBody::Crossover { a, b, workload, ar, range } => {
+            h.u8(4);
+            h.u8(a.to_wire());
+            h.u8(b.to_wire());
+            h.u8(crate::protocol::workload_to_wire(*workload));
+            h.f64(*ar);
+            h.f64(range.0);
+            h.f64(range.1);
+        }
+        RequestBody::Stats => h.u8(5),
+        RequestBody::Snapshot => h.u8(6),
+        RequestBody::Shutdown => h.u8(7),
+    }
+    h.0
+}
+
+/// A fault the chaos harness injects ahead of real evaluation.
+#[derive(Debug, Clone)]
+pub enum InjectedFault {
+    /// Panic with this message (exercises `catch_unwind` isolation and
+    /// the poison quarantine).
+    Panic(String),
+    /// Answer with this error instead of evaluating.
+    Error(ServeError),
+    /// Sleep this long before evaluating (stalls a worker).
+    DelayMs(u64),
+}
+
+/// A chaos hook: inspects `(tenant, body)` before evaluation and may
+/// inject a fault. `None` lets the request through untouched.
+pub type FaultInjector = dyn Fn(u32, &RequestBody) -> Option<InjectedFault> + Send + Sync;
+
 /// The multi-tenant evaluation engine behind every transport.
-#[derive(Debug)]
 pub struct ServeEngine {
     config: EngineConfig,
     pdns: Vec<Box<dyn Pdn>>,
@@ -61,6 +157,25 @@ pub struct ServeEngine {
     shutdown: AtomicBool,
     requests: AtomicU64,
     coalesced: AtomicU64,
+    // Resilience counters (the v2 ServerStats block).
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    panics: AtomicU64,
+    quarantine_hits: AtomicU64,
+    evictions: AtomicU64,
+    /// Caught-panic counts per bit-exact request fingerprint.
+    poison_log: Mutex<HashMap<u64, u32>>,
+    /// Chaos hook, consulted at the top of [`ServeEngine::handle`].
+    injector: RwLock<Option<Arc<FaultInjector>>>,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("config", &self.config)
+            .field("requests", &self.requests.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServeEngine {
@@ -136,6 +251,13 @@ impl ServeEngine {
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            quarantine_hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            poison_log: Mutex::new(HashMap::new()),
+            injector: RwLock::new(None),
         })
     }
 
@@ -182,10 +304,56 @@ impl ServeEngine {
         self.requests.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one request shed by queue age or tenant budget.
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request answered `DeadlineExceeded`.
+    pub fn note_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection evicted by the slow-client defense.
+    pub fn note_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one quarantined request answered `Poisoned`.
+    pub fn note_quarantine_hit(&self) {
+        self.quarantine_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a caught evaluation panic against the request's
+    /// fingerprint, returning the total panics now logged for it.
+    pub fn note_panic(&self, poison: u64) -> u32 {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+        let mut log = self.poison_log.lock().unwrap_or_else(PoisonError::into_inner);
+        let count = log.entry(poison).or_insert(0);
+        *count += 1;
+        *count
+    }
+
+    /// Whether a request fingerprint has panicked [`POISON_THRESHOLD`]
+    /// or more times and is quarantined.
+    #[must_use]
+    pub fn is_quarantined(&self, poison: u64) -> bool {
+        self.poison_log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&poison)
+            .is_some_and(|&count| count >= POISON_THRESHOLD)
+    }
+
+    /// Installs (or clears) the chaos fault injector.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.injector.write().unwrap_or_else(PoisonError::into_inner) = injector;
+    }
+
     /// The tenant's state, created on first contact.
     #[must_use]
     pub fn tenant(&self, id: u32) -> Arc<TenantState> {
-        let mut map = self.tenants.lock().expect("tenant table lock");
+        let mut map = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(
             map.entry(id)
                 .or_insert_with(|| Arc::new(TenantState { cache: self.config.memo_cache() })),
@@ -241,6 +409,19 @@ impl ServeEngine {
     /// engine usable without a transport (tests, warm-restart replay).
     pub fn handle(&self, tenant: u32, body: &RequestBody) -> ResponseBody {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        let injected = self
+            .injector
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+            .and_then(|injector| injector(tenant, body));
+        if let Some(fault) = injected {
+            match fault {
+                InjectedFault::Panic(what) => panic!("injected fault: {what}"),
+                InjectedFault::Error(err) => return ResponseBody::Error(err),
+                InjectedFault::DelayMs(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            }
+        }
         match body {
             RequestBody::Ping => ResponseBody::Pong,
             RequestBody::Eval { pdn, point } => match self.eval_point(tenant, *pdn, point) {
@@ -330,7 +511,7 @@ impl ServeEngine {
     fn stats(&self, tenant: u32) -> ResponseBody {
         let state = self.tenant(tenant);
         let memo = state.cache.stats();
-        let tenants = self.tenants.lock().expect("tenant table lock").len() as u64;
+        let tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner).len() as u64;
         ResponseBody::Stats {
             tenant: TenantStats {
                 hits: memo.hits,
@@ -344,6 +525,11 @@ impl ServeEngine {
                 requests: self.requests.load(Ordering::Relaxed),
                 coalesced: self.coalesced.load(Ordering::Relaxed),
                 tenants,
+                shed: self.shed.load(Ordering::Relaxed),
+                deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+                panics: self.panics.load(Ordering::Relaxed),
+                quarantined: self.quarantine_hits.load(Ordering::Relaxed),
+                evictions: self.evictions.load(Ordering::Relaxed),
             },
         }
     }
@@ -357,7 +543,7 @@ impl ServeEngine {
         let tenants: Vec<(u32, Vec<MemoEntry>)> = self
             .tenants
             .lock()
-            .expect("tenant table lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(id, state)| (*id, state.cache.export()))
             .collect();
@@ -368,7 +554,9 @@ impl ServeEngine {
         }
     }
 
-    /// Persists [`ServeEngine::snapshot`] to `path`, returning the file
+    /// Persists [`ServeEngine::snapshot`] to `path` (crash-safe:
+    /// temp + fsync + rename, rotating the previous
+    /// [`snapshot::DEFAULT_KEEP`] generations), returning the file
     /// size and total memo entries captured.
     ///
     /// # Errors
@@ -377,7 +565,7 @@ impl ServeEngine {
     pub fn write_snapshot(&self, path: &Path) -> Result<(u64, u64), SnapshotError> {
         let snap = self.snapshot();
         let entries = snap.tenants.iter().map(|(_, e)| e.len() as u64).sum();
-        let bytes = snapshot::write_file(path, &snap)?;
+        let bytes = snapshot::write_file_rotated(path, &snap, snapshot::DEFAULT_KEEP)?;
         Ok((bytes, entries))
     }
 }

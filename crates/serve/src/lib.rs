@@ -27,22 +27,33 @@
 //! * [`server`] — TCP/stdio transports and the framed [`Client`].
 //! * [`bench`] — the zipf-skewed synthetic load generator behind
 //!   `pdn-serve bench` and `BENCH_serve.json`.
+//! * [`chaos`] — the seeded chaos campaign behind `pdn-serve chaos`
+//!   and `BENCH_chaos.json`.
 //!
 //! [`EteeSurface::sample`]: pdnspot::sweep::EteeSurface::sample
 
 #![warn(missing_docs)]
+// The daemon must never panic on untrusted input or IO: failures are
+// typed `ServeError`s on the wire. Keep bare `.unwrap()` out of
+// non-test code (poison-tolerant locks use
+// `unwrap_or_else(PoisonError::into_inner)` instead).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod admission;
 pub mod bench;
+pub mod chaos;
 pub mod engine;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
 pub mod wire;
 
-pub use admission::AdmissionQueue;
+pub use admission::{AdmissionQueue, Job, Rejection, ReplyHandle};
 pub use bench::{BenchConfig, BenchReport};
-pub use engine::{ServeEngine, TenantState, SERVE_ARS, SERVE_TDPS};
+pub use chaos::{CampaignConfig, ChaosCampaignReport, ChaosConfig, ChaosMix, ChaosPlan};
+pub use engine::{
+    FaultInjector, InjectedFault, ServeEngine, TenantState, POISON_THRESHOLD, SERVE_ARS, SERVE_TDPS,
+};
 pub use protocol::{
     PdnId, PointSpec, Request, RequestBody, Response, ResponseBody, ServeDetail, ServeError,
     PROTOCOL_VERSION,

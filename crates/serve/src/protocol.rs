@@ -20,7 +20,25 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Protocol revision carried by every request.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version history:
+/// - `1` — initial protocol (PR 5).
+/// - `2` — adds [`Request::deadline_ms`], [`ServeError::retry_after_ms`],
+///   and the resilience counters on [`ServerStats`]. Decoders accept
+///   both versions; version-1 bodies read back with the new fields at
+///   their defaults (no deadline, no retry hint, zero counters).
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// The oldest protocol revision decoders still accept.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
+
+fn check_version(version: u16) -> Result<u16, DecodeError> {
+    if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        Ok(version)
+    } else {
+        Err(DecodeError::Invalid("protocol version"))
+    }
+}
 
 /// Longest axis a sweep request may carry (per axis).
 pub const MAX_AXIS: usize = 64;
@@ -89,7 +107,7 @@ impl fmt::Display for PdnId {
     }
 }
 
-fn workload_to_wire(wl: WorkloadType) -> u8 {
+pub(crate) fn workload_to_wire(wl: WorkloadType) -> u8 {
     match wl {
         WorkloadType::SingleThread => 0,
         WorkloadType::MultiThread => 1,
@@ -202,6 +220,13 @@ pub struct Request {
     pub tenant: u32,
     /// Client-chosen correlation id, echoed on the response.
     pub id: u64,
+    /// Deadline budget in milliseconds, measured from admission; `0`
+    /// means no deadline. A request whose budget lapses before (or
+    /// while) it is dispatched is answered with
+    /// [`ErrorCode::DeadlineExceeded`] instead of its result — but a
+    /// lapsed deadline never cancels coalesced work that other
+    /// requests still wait on.
+    pub deadline_ms: u32,
     /// The query itself.
     pub body: RequestBody,
 }
@@ -304,6 +329,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     w.u16(PROTOCOL_VERSION);
     w.u32(req.tenant);
     w.u64(req.id);
+    w.u32(req.deadline_ms);
     w.u8(req.body.kind());
     match &req.body {
         RequestBody::Ping | RequestBody::Stats | RequestBody::Snapshot | RequestBody::Shutdown => {}
@@ -349,12 +375,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 /// lengths, a protocol-version mismatch, or trailing bytes.
 pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
     let mut r = BodyReader::new(body);
-    let version = r.u16()?;
-    if version != PROTOCOL_VERSION {
-        return Err(DecodeError::Invalid("protocol version"));
-    }
+    let version = check_version(r.u16()?)?;
     let tenant = r.u32()?;
     let id = r.u64()?;
+    let deadline_ms = if version >= 2 { r.u32()? } else { 0 };
     let kind = r.u8()?;
     let body = match kind {
         0 => RequestBody::Ping,
@@ -395,7 +419,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
         tag => return Err(DecodeError::BadTag { what: "request kind", tag }),
     };
     r.finish()?;
-    Ok(Request { tenant, id, body })
+    Ok(Request { tenant, id, deadline_ms, body })
 }
 
 /// Per-tenant cache statistics in a [`ResponseBody::Stats`] reply.
@@ -425,6 +449,20 @@ pub struct ServerStats {
     pub coalesced: u64,
     /// Distinct tenants seen since boot.
     pub tenants: u64,
+    /// Requests shed by queue-age or per-tenant budget (answered
+    /// `Overloaded` with a `RetryAfter` hint).
+    pub shed: u64,
+    /// Requests answered `DeadlineExceeded` (expired in queue or while
+    /// their coalesced batch ran).
+    pub deadline_expired: u64,
+    /// Evaluation panics caught and isolated by the dispatcher.
+    pub panics: u64,
+    /// Bit-exact request bodies quarantined after repeated panics
+    /// (answered `Poisoned`).
+    pub quarantined: u64,
+    /// Connections evicted by the slow-client defense (full write
+    /// buffer or lapsed write deadline).
+    pub evictions: u64,
 }
 
 /// A framed daemon reply: correlation id plus the typed result.
@@ -607,6 +645,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.u64(server.requests);
             w.u64(server.coalesced);
             w.u64(server.tenants);
+            w.u64(server.shed);
+            w.u64(server.deadline_expired);
+            w.u64(server.panics);
+            w.u64(server.quarantined);
+            w.u64(server.evictions);
         }
         ResponseBody::SnapshotDone { bytes, entries } => {
             w.u64(*bytes);
@@ -624,10 +667,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
 /// Returns a [`DecodeError`] on any malformed input.
 pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
     let mut r = BodyReader::new(body);
-    let version = r.u16()?;
-    if version != PROTOCOL_VERSION {
-        return Err(DecodeError::Invalid("protocol version"));
-    }
+    let version = check_version(r.u16()?)?;
     let id = r.u64()?;
     let kind = r.u8()?;
     let body = match kind {
@@ -661,11 +701,26 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
                 entries: r.u64()?,
                 capacity: r.u64()?,
             },
-            server: ServerStats { requests: r.u64()?, coalesced: r.u64()?, tenants: r.u64()? },
+            server: {
+                let mut server = ServerStats {
+                    requests: r.u64()?,
+                    coalesced: r.u64()?,
+                    tenants: r.u64()?,
+                    ..ServerStats::default()
+                };
+                if version >= 2 {
+                    server.shed = r.u64()?;
+                    server.deadline_expired = r.u64()?;
+                    server.panics = r.u64()?;
+                    server.quarantined = r.u64()?;
+                    server.evictions = r.u64()?;
+                }
+                server
+            },
         },
         6 => ResponseBody::SnapshotDone { bytes: r.u64()?, entries: r.u64()? },
         7 => ResponseBody::ShuttingDown,
-        0xFF => ResponseBody::Error(ServeError::decode(&mut r, 0)?),
+        0xFF => ResponseBody::Error(ServeError::decode(&mut r, version, 0)?),
         tag => return Err(DecodeError::BadTag { what: "response kind", tag }),
     };
     r.finish()?;
@@ -713,6 +768,11 @@ pub struct ServeError {
     pub code: ErrorCode,
     /// The rendered, human-readable message.
     pub message: String,
+    /// For retryable codes, the server's backoff hint: wait at least
+    /// this many milliseconds before retrying. `None` means the client
+    /// should apply its own exponential backoff (from ~10 ms). Terminal
+    /// codes never carry a hint.
+    pub retry_after_ms: Option<u32>,
     /// Structure for lossless reconstruction.
     pub detail: ServeDetail,
 }
@@ -721,7 +781,15 @@ impl ServeError {
     /// A leaf error from a code and message.
     #[must_use]
     pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
-        Self { code, message: message.into(), detail: ServeDetail::Opaque }
+        Self { code, message: message.into(), retry_after_ms: None, detail: ServeDetail::Opaque }
+    }
+
+    /// Attaches a `RetryAfter` hint (meaningful only on retryable
+    /// codes).
+    #[must_use]
+    pub fn with_retry_after(mut self, ms: u32) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 
     /// Captures a library error losslessly.
@@ -732,11 +800,13 @@ impl ServeError {
             PdnError::Scenario(msg) => Self {
                 code: ErrorCode::Scenario,
                 message,
+                retry_after_ms: None,
                 detail: ServeDetail::Scenario(msg.clone()),
             },
             PdnError::Degraded { component, reason } => Self {
                 code: ErrorCode::Degraded,
                 message,
+                retry_after_ms: None,
                 detail: ServeDetail::Degraded {
                     component: component.clone(),
                     reason: reason.clone(),
@@ -745,6 +815,7 @@ impl ServeError {
             PdnError::Lattice { pdn, point, source } => Self {
                 code: ErrorCode::Lattice,
                 message,
+                retry_after_ms: None,
                 detail: ServeDetail::Lattice {
                     pdn: pdn.clone(),
                     point: point.clone(),
@@ -775,6 +846,8 @@ impl ServeError {
     fn encode(&self, w: &mut BodyWriter) {
         w.u16(self.code.to_wire());
         w.str(&self.message);
+        // v2: the retry hint travels as a bare u32, 0 = no hint.
+        w.u32(self.retry_after_ms.unwrap_or(0));
         match &self.detail {
             ServeDetail::Opaque => w.u8(0),
             ServeDetail::Scenario(msg) => {
@@ -801,12 +874,20 @@ impl ServeError {
         }
     }
 
-    fn decode(r: &mut BodyReader<'_>, depth: usize) -> Result<Self, DecodeError> {
+    fn decode(r: &mut BodyReader<'_>, version: u16, depth: usize) -> Result<Self, DecodeError> {
         if depth > MAX_ERROR_DEPTH {
             return Err(DecodeError::BadLength { what: "error cause chain", len: depth });
         }
         let code = ErrorCode::from_wire(r.u16()?);
         let message = r.str("error message")?;
+        let retry_after_ms = if version >= 2 {
+            match r.u32()? {
+                0 => None,
+                ms => Some(ms),
+            }
+        } else {
+            None
+        };
         let detail = match r.u8()? {
             0 => ServeDetail::Opaque,
             1 => ServeDetail::Scenario(r.str("scenario message")?),
@@ -821,12 +902,12 @@ impl ServeError {
                     tag => return Err(DecodeError::BadTag { what: "lattice pdn option", tag }),
                 };
                 let point = r.str("lattice point")?;
-                let cause = Box::new(Self::decode(r, depth + 1)?);
+                let cause = Box::new(Self::decode(r, version, depth + 1)?);
                 ServeDetail::Lattice { pdn, point, cause }
             }
             tag => return Err(DecodeError::BadTag { what: "error detail", tag }),
         };
-        Ok(Self { code, message, detail })
+        Ok(Self { code, message, retry_after_ms, detail })
     }
 }
 
@@ -874,10 +955,11 @@ mod tests {
 
     #[test]
     fn request_variants_round_trip() {
-        round_trip_request(&Request { tenant: 0, id: 1, body: RequestBody::Ping });
+        round_trip_request(&Request { tenant: 0, id: 1, deadline_ms: 0, body: RequestBody::Ping });
         round_trip_request(&Request {
             tenant: 3,
             id: 42,
+            deadline_ms: 250,
             body: RequestBody::Eval {
                 pdn: PdnId::FlexWatts,
                 point: PointSpec::Active {
@@ -890,6 +972,7 @@ mod tests {
         round_trip_request(&Request {
             tenant: 7,
             id: 9,
+            deadline_ms: 0,
             body: RequestBody::Sweep {
                 pdns: vec![PdnId::Ivr, PdnId::Ldo],
                 tdps: vec![4.0, 15.0, 50.0],
@@ -900,6 +983,7 @@ mod tests {
         round_trip_request(&Request {
             tenant: 1,
             id: 2,
+            deadline_ms: u32::MAX,
             body: RequestBody::Crossover {
                 a: PdnId::Ivr,
                 b: PdnId::Ldo,
@@ -928,9 +1012,58 @@ mod tests {
         assert_eq!(rebuilt.code(), lib.code());
     }
 
+    /// A version-1 body (no deadline, no retry hint, short stats block)
+    /// must still decode, with the v2 fields at their defaults.
+    #[test]
+    fn version_1_bodies_still_decode() {
+        let mut w = BodyWriter::new();
+        w.u16(1); // version 1
+        w.u32(9); // tenant
+        w.u64(77); // id — no deadline field in v1
+        w.u8(0); // Ping
+        let req = decode_request(&w.into_bytes()).expect("v1 request decodes");
+        assert_eq!(req, Request { tenant: 9, id: 77, deadline_ms: 0, body: RequestBody::Ping });
+
+        let mut w = BodyWriter::new();
+        w.u16(1); // version 1
+        w.u64(77); // id
+        w.u8(0xFF); // Error
+        w.u16(ErrorCode::Overloaded.to_wire());
+        w.str("queue full"); // no retry_after field in v1
+        w.u8(0); // Opaque
+        let resp = decode_response(&w.into_bytes()).expect("v1 response decodes");
+        let ResponseBody::Error(err) = resp.body else { panic!("expected error body") };
+        assert_eq!(err.code, ErrorCode::Overloaded);
+        assert_eq!(err.retry_after_ms, None);
+
+        let mut w = BodyWriter::new();
+        w.u16(1); // version 1
+        w.u64(5); // id
+        w.u8(5); // Stats
+        for v in 0..6u64 {
+            w.u64(v); // tenant stats
+        }
+        w.u64(10);
+        w.u64(2);
+        w.u64(3); // v1 server stats end here
+        let resp = decode_response(&w.into_bytes()).expect("v1 stats decodes");
+        let ResponseBody::Stats { server, .. } = resp.body else { panic!("expected stats") };
+        assert_eq!(
+            server,
+            ServerStats { requests: 10, coalesced: 2, tenants: 3, ..ServerStats::default() }
+        );
+    }
+
+    #[test]
+    fn retry_after_hints_round_trip() {
+        let err = ServeError::new(ErrorCode::Overloaded, "queue is 2s old").with_retry_after(350);
+        round_trip_response(&Response { id: 8, body: ResponseBody::Error(err) });
+    }
+
     #[test]
     fn malformed_bodies_never_panic() {
-        let body = encode_request(&Request { tenant: 0, id: 0, body: RequestBody::Ping });
+        let body =
+            encode_request(&Request { tenant: 0, id: 0, deadline_ms: 0, body: RequestBody::Ping });
         for cut in 0..body.len() {
             assert!(decode_request(&body[..cut]).is_err());
         }

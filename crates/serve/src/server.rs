@@ -6,7 +6,7 @@
 //! coalescing behave identically whether the daemon listens on a
 //! socket or on stdin/stdout.
 
-use crate::admission::{self, AdmissionQueue, Job};
+use crate::admission::{self, AdmissionQueue, Job, ReplyHandle};
 use crate::engine::ServeEngine;
 use crate::protocol::{
     decode_request, decode_response, encode_request, encode_response, Request, Response,
@@ -17,7 +17,7 @@ use pdnspot::ErrorCode;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::channel;
+use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -51,11 +51,12 @@ impl FrameBuffer {
     }
 
     /// Reads the next frame body. `Ok(None)` means the peer closed (or
-    /// shutdown was requested) at a frame boundary.
+    /// shutdown / eviction was requested) at a frame boundary.
     fn next(
         &mut self,
         stream: &mut TcpStream,
         stop: &AtomicBool,
+        evicted: &AtomicBool,
     ) -> Result<Option<Vec<u8>>, FrameError> {
         let mut chunk = [0u8; 16 * 1024];
         loop {
@@ -77,7 +78,7 @@ impl FrameBuffer {
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
                 {
-                    if stop.load(Ordering::Acquire) {
+                    if stop.load(Ordering::Acquire) || evicted.load(Ordering::Acquire) {
                         return Ok(None);
                     }
                 }
@@ -90,39 +91,56 @@ impl FrameBuffer {
 
 fn connection_loop(
     mut stream: TcpStream,
+    engine: &ServeEngine,
     queue: &AdmissionQueue,
     stop: &AtomicBool,
 ) -> Result<(), FrameError> {
     stream.set_read_timeout(Some(READ_POLL))?;
     let mut writer = stream.try_clone()?;
-    let (tx, rx) = channel::<Response>();
-    let write_thread: JoinHandle<()> = thread::spawn(move || {
-        while let Ok(resp) = rx.recv() {
-            if wire::write_frame(&mut writer, &encode_response(&resp)).is_err() {
-                break;
+    writer.set_write_timeout(Some(Duration::from_millis(engine.config().write_timeout_ms())))?;
+    // Slow-client defense: the dispatcher delivers through a *bounded*
+    // buffer via try_send and never blocks. A client that stalls its
+    // socket long enough to fill the buffer (or to trip the write
+    // deadline below) is evicted, not waited on.
+    let evicted = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = sync_channel::<Response>(engine.config().write_buffer());
+    let reply = ReplyHandle::new(tx, Arc::clone(&evicted));
+    let write_thread: JoinHandle<()> = {
+        let evicted = Arc::clone(&evicted);
+        thread::spawn(move || {
+            while let Ok(resp) = rx.recv() {
+                if evicted.load(Ordering::Acquire) {
+                    break;
+                }
+                if wire::write_frame(&mut writer, &encode_response(&resp)).is_err() {
+                    // Write failure or lapsed write deadline: evict.
+                    evicted.store(true, Ordering::Release);
+                    break;
+                }
             }
-        }
-    });
+            // Drain anything still buffered so late deliver() calls see
+            // a live (if pointless) channel until the reader drops tx.
+            while rx.try_recv().is_ok() {}
+        })
+    };
 
     let mut frames = FrameBuffer::new();
     let result = loop {
-        match frames.next(&mut stream, stop) {
+        if reply.is_evicted() {
+            engine.note_eviction();
+            break Ok(());
+        }
+        match frames.next(&mut stream, stop, &evicted) {
             Ok(Some(body)) => match decode_request(&body) {
                 Ok(request) => {
-                    let id = request.id;
-                    if let Err(_rejected) = queue.submit(Job { request, reply: tx.clone() }) {
-                        let reply = if stop.load(Ordering::Acquire) {
-                            admission::shutdown_response(id)
-                        } else {
-                            admission::overloaded_response(id, queue.depth())
-                        };
-                        let _ = tx.send(reply);
+                    if let Err((job, why)) = queue.submit(Job::new(request, reply.clone())) {
+                        job.reply.deliver(why.response(job.request.id));
                     }
                 }
                 Err(e) => {
                     // The stream may be desynchronised; report and close.
-                    let _ =
-                        tx.send(Response { id: 0, body: ResponseBody::Error(decode_failure(&e)) });
+                    reply
+                        .deliver(Response { id: 0, body: ResponseBody::Error(decode_failure(&e)) });
                     break Ok(());
                 }
             },
@@ -130,7 +148,7 @@ fn connection_loop(
             Err(e) => break Err(e),
         }
     };
-    drop(tx);
+    drop(reply);
     let _ = write_thread.join();
     result
 }
@@ -174,7 +192,9 @@ pub fn spawn_tcp(engine: Arc<ServeEngine>, addr: impl ToSocketAddrs) -> io::Resu
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let queue = Arc::new(AdmissionQueue::new(engine.config().admission_depth()));
+    let depth = engine.config().admission_depth();
+    let quota = engine.config().tenant_quota_for(depth);
+    let queue = Arc::new(AdmissionQueue::new(depth, quota));
     let stop = Arc::new(AtomicBool::new(false));
 
     let dispatcher = {
@@ -196,11 +216,16 @@ pub fn spawn_tcp(engine: Arc<ServeEngine>, addr: impl ToSocketAddrs) -> io::Resu
                 }
                 match listener.accept() {
                     Ok((stream, _peer)) => {
+                        let engine = Arc::clone(&engine);
                         let queue = Arc::clone(&queue);
                         let stop = Arc::clone(&stop);
                         connections.push(thread::spawn(move || {
-                            let _ = connection_loop(stream, &queue, &stop);
+                            let _ = connection_loop(stream, &engine, &queue, &stop);
                         }));
+                        // Reap finished connections so a storm of
+                        // short-lived clients doesn't grow the handle
+                        // list without bound.
+                        connections.retain(|h| !h.is_finished());
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         thread::sleep(ACCEPT_POLL);
@@ -230,7 +255,9 @@ pub fn serve_streams(
     input: &mut impl Read,
     output: &mut impl io::Write,
 ) -> Result<(), FrameError> {
-    let queue = Arc::new(AdmissionQueue::new(engine.config().admission_depth()));
+    let depth = engine.config().admission_depth();
+    let quota = engine.config().tenant_quota_for(depth);
+    let queue = Arc::new(AdmissionQueue::new(depth, quota));
     let dispatcher = {
         let engine = Arc::clone(engine);
         let queue = Arc::clone(&queue);
@@ -241,10 +268,11 @@ pub fn serve_streams(
             let response = match decode_request(&body) {
                 Ok(request) => {
                     let id = request.id;
-                    let (tx, rx) = channel::<Response>();
-                    match queue.submit(Job { request, reply: tx }) {
+                    let (tx, rx) = sync_channel::<Response>(1);
+                    let reply = ReplyHandle::new(tx, Arc::new(AtomicBool::new(false)));
+                    match queue.submit(Job::new(request, reply)) {
                         Ok(()) => rx.recv().unwrap_or_else(|_| admission::shutdown_response(id)),
-                        Err(_) => admission::overloaded_response(id, queue.depth()),
+                        Err((job, why)) => why.response(job.request.id),
                     }
                 }
                 Err(e) => Response { id: 0, body: ResponseBody::Error(decode_failure(&e)) },

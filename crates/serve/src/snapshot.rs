@@ -25,9 +25,10 @@
 use crate::protocol::{decode_evaluation, encode_evaluation};
 use crate::wire::{crc32, BodyReader, BodyWriter, DecodeError};
 use pdnspot::memo::MemoEntry;
+use std::ffi::OsString;
 use std::fmt;
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Snapshot magic: the ASCII bytes `PDNW` read as a little-endian `u32`.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"PDNW");
@@ -188,22 +189,81 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
     Ok(Snapshot { ivr_firmware, ldo_firmware, tenants })
 }
 
-/// Writes a snapshot file atomically (temp file + rename), returning
-/// the byte count.
+/// How many rotated generations [`write_file_rotated`] keeps by
+/// default (`path`, `path.1`, `path.2`).
+pub const DEFAULT_KEEP: usize = 3;
+
+/// The path of rotated generation `n` (`0` is `path` itself; `n ≥ 1`
+/// appends `.n` to the file name).
+#[must_use]
+pub fn generation_path(path: &Path, n: usize) -> PathBuf {
+    if n == 0 {
+        return path.to_path_buf();
+    }
+    let mut name = path.file_name().map_or_else(OsString::new, OsString::from);
+    name.push(format!(".{n}"));
+    path.with_file_name(name)
+}
+
+/// Writes a snapshot file crash-safely, returning the byte count:
+/// the bytes land in a uniquely named temp file in the target
+/// directory, are fsynced, and only then renamed over `path` (with a
+/// best-effort directory fsync after). A crash at any instant leaves
+/// either the old snapshot or the new one — never a torn file.
 ///
 /// # Errors
 ///
-/// Returns a [`SnapshotError`] on I/O failure.
+/// Returns a [`SnapshotError`] on I/O failure (the temp file is
+/// removed on a failed write).
 pub fn write_file(path: &Path, snap: &Snapshot) -> Result<u64, SnapshotError> {
     let bytes = encode(snap);
-    let tmp = path.with_extension("tmp");
-    {
+    let mut name = path.file_name().map_or_else(OsString::new, OsString::from);
+    name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(name);
+    let write = (|| -> io::Result<()> {
         let mut file = std::fs::File::create(&tmp)?;
         file.write_all(&bytes)?;
         file.sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
     }
-    std::fs::rename(&tmp, path)?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    // Persist the rename itself. Directory fsync is platform-dependent;
+    // failure here cannot un-rename, so it is best-effort.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
     Ok(bytes.len() as u64)
+}
+
+/// [`write_file`] plus versioned rotation: before the new snapshot
+/// lands on `path`, the existing generations shift down
+/// (`path.{keep-2}` → `path.{keep-1}`, …, `path` → `path.1`), keeping
+/// at most `keep` generations in total. A corrupt latest snapshot
+/// therefore never costs the older good ones —
+/// [`restore_latest`] walks the generations until one decodes.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] on I/O failure writing the new
+/// snapshot; rotation of old generations is best-effort.
+pub fn write_file_rotated(path: &Path, snap: &Snapshot, keep: usize) -> Result<u64, SnapshotError> {
+    let keep = keep.max(1);
+    for n in (0..keep - 1).rev() {
+        let from = generation_path(path, n);
+        if from.exists() {
+            let _ = std::fs::rename(&from, generation_path(path, n + 1));
+        }
+    }
+    write_file(path, snap)
 }
 
 /// Reads and decodes a snapshot file.
@@ -213,6 +273,30 @@ pub fn write_file(path: &Path, snap: &Snapshot) -> Result<u64, SnapshotError> {
 /// Returns a [`SnapshotError`] on I/O failure or malformed content.
 pub fn read_file(path: &Path) -> Result<Snapshot, SnapshotError> {
     decode(&std::fs::read(path)?)
+}
+
+/// Restores the newest decodable snapshot generation, never panicking:
+/// tries `path`, then `path.1`, … up to `keep` generations, and
+/// returns the first that decodes plus the defects found along the
+/// way. `(None, defects)` means every generation was missing or
+/// corrupt — the caller cold-starts.
+#[must_use]
+pub fn restore_latest(
+    path: &Path,
+    keep: usize,
+) -> (Option<Snapshot>, Vec<(PathBuf, SnapshotError)>) {
+    let mut defects = Vec::new();
+    for n in 0..keep.max(1) {
+        let candidate = generation_path(path, n);
+        if !candidate.exists() {
+            continue;
+        }
+        match read_file(&candidate) {
+            Ok(snap) => return (Some(snap), defects),
+            Err(e) => defects.push((candidate, e)),
+        }
+    }
+    (None, defects)
 }
 
 #[cfg(test)]
@@ -232,6 +316,53 @@ mod tests {
         let snap = sample_snapshot();
         let bytes = encode(&snap);
         assert_eq!(decode(&bytes).expect("decodes"), snap);
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pdn-serve-snapshot-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn rotation_keeps_generations_and_restore_walks_them() {
+        let dir = temp_dir("rotate");
+        let path = dir.join("state.pdnw");
+        let gen0 = Snapshot { ivr_firmware: vec![0], ..sample_snapshot() };
+        let gen1 = Snapshot { ivr_firmware: vec![1], ..sample_snapshot() };
+        let gen2 = Snapshot { ivr_firmware: vec![2], ..sample_snapshot() };
+        for snap in [&gen0, &gen1, &gen2] {
+            write_file_rotated(&path, snap, 3).expect("writes");
+        }
+        assert_eq!(read_file(&path).expect("latest").ivr_firmware, vec![2]);
+        assert_eq!(read_file(&generation_path(&path, 1)).expect("previous").ivr_firmware, vec![1]);
+        assert_eq!(read_file(&generation_path(&path, 2)).expect("oldest").ivr_firmware, vec![0]);
+
+        // Corrupt the newest generation: restore falls back to .1.
+        std::fs::write(&path, b"garbage").expect("corrupts");
+        let (restored, defects) = restore_latest(&path, 3);
+        assert_eq!(restored.expect("fallback generation").ivr_firmware, vec![1]);
+        assert_eq!(defects.len(), 1, "the corrupt latest is reported");
+
+        // Corrupt everything: cold start, never a panic.
+        for n in 0..3 {
+            std::fs::write(generation_path(&path, n), b"junk").expect("corrupts");
+        }
+        let (restored, defects) = restore_latest(&path, 3);
+        assert!(restored.is_none(), "all generations corrupt → cold start");
+        assert_eq!(defects.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_of_missing_files_is_a_clean_cold_start() {
+        let dir = temp_dir("missing");
+        let (restored, defects) = restore_latest(&dir.join("nothing.pdnw"), 3);
+        assert!(restored.is_none());
+        assert!(defects.is_empty(), "absent files are not defects");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! A single-seed chaos smoke: the quick campaign must survive every
+//! mix with the exactly-once ledger intact. (The full multi-seed
+//! campaign runs via `pdn-serve chaos` in CI; this keeps `cargo test`
+//! seconds-scale while still driving a real daemon through disconnects,
+//! stalls, floods, and injected engine faults.)
+
+use pdn_serve::chaos::{self, CampaignConfig};
+
+#[test]
+fn quick_campaign_survives_every_mix() {
+    let cfg = CampaignConfig { seeds: vec![0x000C_4A05], quick: true, out: None };
+    let report = chaos::campaign(&cfg).expect("campaign runs");
+
+    assert_eq!(report.runs.len(), 4, "one run per mix");
+    for run in &report.runs {
+        assert!(run.survived, "mix {} seed {} failed: {run:?}", run.mix, run.seed);
+        assert_eq!(run.lost, 0, "mix {} lost replies", run.mix);
+        assert_eq!(run.duplicated, 0, "mix {} duplicated replies", run.mix);
+        assert_eq!(
+            run.overloaded_without_hint, 0,
+            "mix {} sent Overloaded without a RetryAfter hint",
+            run.mix
+        );
+        assert!(run.accepted > 0, "mix {} accepted nothing", run.mix);
+    }
+    assert!((report.survival_rate - 1.0).abs() < f64::EPSILON);
+    assert!(report.snapshot_corruption_cold_start, "snapshot corruption leg failed");
+
+    // The engine-fault mix must actually exercise panic isolation.
+    let faulted =
+        report.runs.iter().find(|r| r.mix == "engine-faults").expect("engine-faults mix present");
+    assert!(faulted.panics_isolated > 0, "no panics were injected and isolated");
+}

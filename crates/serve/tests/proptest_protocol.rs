@@ -139,10 +139,21 @@ fn serve_error() -> impl Strategy<Value = ServeError> {
             &PdnError::Degraded { component, reason }
         )),
     ];
-    // One level of lattice nesting exercises the recursive codec.
-    (leaf, proptest::option::of(text(16)), text(24)).prop_map(|(cause, pdn, point)| {
-        ServeError::from_pdn(&PdnError::Lattice { pdn, point, source: Box::new(cause.into_pdn()) })
-    })
+    // One level of lattice nesting exercises the recursive codec; an
+    // optional backoff hint exercises the v2 retry-after field.
+    (leaf, proptest::option::of(text(16)), text(24), proptest::option::of(1u32..60_000)).prop_map(
+        |(cause, pdn, point, retry)| {
+            let err = ServeError::from_pdn(&PdnError::Lattice {
+                pdn,
+                point,
+                source: Box::new(cause.into_pdn()),
+            });
+            match retry {
+                Some(ms) => err.with_retry_after(ms),
+                None => err,
+            }
+        },
+    )
 }
 
 fn response_body() -> impl Strategy<Value = ResponseBody> {
@@ -180,7 +191,12 @@ fn response_body() -> impl Strategy<Value = ResponseBody> {
                         entries: hits.min(misses),
                         capacity: 1 << 14,
                     },
-                    server: ServerStats { requests, coalesced: misses / 2, tenants: 3 },
+                    server: ServerStats {
+                        requests,
+                        coalesced: misses / 2,
+                        tenants: 3,
+                        ..ServerStats::default()
+                    },
                 }
             }
         ),
@@ -203,8 +219,8 @@ proptest! {
 
     /// Every request round-trips exactly through its frame body.
     #[test]
-    fn request_round_trips(tenant in any::<u32>(), id in any::<u64>(), body in request_body()) {
-        let request = Request { tenant, id, body };
+    fn request_round_trips(tenant in any::<u32>(), id in any::<u64>(), deadline_ms in any::<u32>(), body in request_body()) {
+        let request = Request { tenant, id, deadline_ms, body };
         let bytes = encode_request(&request);
         let decoded = decode_request(&bytes).expect("well-formed request decodes");
         prop_assert_eq!(decoded, request);
@@ -240,7 +256,7 @@ proptest! {
     /// panics, and never yields a different body.
     #[test]
     fn truncated_frames_are_rejected(body in request_body(), cut_seed in any::<usize>()) {
-        let request = Request { tenant: 1, id: 2, body };
+        let request = Request { tenant: 1, id: 2, deadline_ms: 0, body };
         let frame = wire::encode_frame(&encode_request(&request));
         let cut = cut_seed % frame.len();
         prop_assert_eq!(wire::decode_frame(&frame[..cut]).unwrap_err(), FrameError::Truncated);
@@ -251,7 +267,7 @@ proptest! {
     /// into a *different* valid request.
     #[test]
     fn bit_flips_never_smuggle_a_frame(body in request_body(), flip_seed in any::<usize>()) {
-        let request = Request { tenant: 9, id: 77, body };
+        let request = Request { tenant: 9, id: 77, deadline_ms: 40, body };
         let mut frame = wire::encode_frame(&encode_request(&request));
         let bit = flip_seed % (frame.len() * 8);
         frame[bit / 8] ^= 1 << (bit % 8);
@@ -271,7 +287,7 @@ proptest! {
     /// An oversized length prefix is rejected before any allocation.
     #[test]
     fn oversized_length_prefixes_are_rejected(body in request_body()) {
-        let request = Request { tenant: 0, id: 0, body };
+        let request = Request { tenant: 0, id: 0, deadline_ms: 0, body };
         let mut frame = wire::encode_frame(&encode_request(&request));
         frame[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
         prop_assert_eq!(wire::decode_frame(&frame).unwrap_err(), FrameError::Oversized(u32::MAX as usize));
@@ -282,7 +298,11 @@ proptest! {
     #[test]
     fn serve_error_conversion_is_lossless(err in serve_error()) {
         let lib = err.clone().into_pdn();
-        prop_assert_eq!(ServeError::from_pdn(&lib), err.clone());
+        // The library error has no transport concept of backoff, so the
+        // round trip preserves everything except the retry hint.
+        let mut expect = err.clone();
+        expect.retry_after_ms = None;
+        prop_assert_eq!(ServeError::from_pdn(&lib), expect);
         prop_assert_eq!(lib.code(), err.code);
         prop_assert_eq!(lib.to_string(), err.message);
     }

@@ -273,6 +273,7 @@ fn tcp_loopback_round_trip_snapshot_and_warm_restart() {
                         .send(&Request {
                             tenant,
                             id: u64::from(tenant) << 32 | i as u64,
+                            deadline_ms: 0,
                             body: RequestBody::Eval { pdn: *pdn, point: *point },
                         })
                         .expect("sends");
@@ -314,7 +315,7 @@ fn tcp_loopback_round_trip_snapshot_and_warm_restart() {
     // Control client: stats, snapshot to disk, then graceful shutdown.
     let mut control = Client::connect(addr).expect("control connects");
     let stats = control
-        .call(&Request { tenant: 0, id: 900, body: RequestBody::Stats })
+        .call(&Request { tenant: 0, id: 900, deadline_ms: 0, body: RequestBody::Stats })
         .expect("stats round trip");
     match stats.body {
         ResponseBody::Stats { tenant, server } => {
@@ -324,7 +325,7 @@ fn tcp_loopback_round_trip_snapshot_and_warm_restart() {
         other => panic!("expected Stats, got {other:?}"),
     }
     let snap = control
-        .call(&Request { tenant: 0, id: 901, body: RequestBody::Snapshot })
+        .call(&Request { tenant: 0, id: 901, deadline_ms: 0, body: RequestBody::Snapshot })
         .expect("snapshot round trip");
     match snap.body {
         ResponseBody::SnapshotDone { bytes, entries } => {
@@ -334,7 +335,7 @@ fn tcp_loopback_round_trip_snapshot_and_warm_restart() {
         other => panic!("expected SnapshotDone, got {other:?}"),
     }
     let bye = control
-        .call(&Request { tenant: 0, id: 902, body: RequestBody::Shutdown })
+        .call(&Request { tenant: 0, id: 902, deadline_ms: 0, body: RequestBody::Shutdown })
         .expect("shutdown round trip");
     assert!(matches!(bye.body, ResponseBody::ShuttingDown));
     handle.join();
