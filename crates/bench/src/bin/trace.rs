@@ -1,0 +1,42 @@
+//! `trace`: the streaming trace-ingestion benchmark.
+//!
+//! Encodes a scenario-zoo trace file, then times the cold streaming
+//! replay, a crash-interrupted + resumed replay (asserted bitwise equal
+//! to the cold one), and a poisoned-file quarantine replay. Writes the
+//! machine-readable `BENCH_trace.json` and prints the deterministic
+//! result digest on stdout (timings go to the JSON and stderr only, so
+//! stdout is bit-stable across runs and machines).
+//!
+//! Usage: `trace [--quick] [--out BENCH_trace.json]`
+
+use pdn_bench::tracebench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_trace.json".to_string());
+
+    let report = tracebench::run(quick);
+    let json = tracebench::render_json(&report, quick);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+
+    print!("{}", tracebench::render_digest(&report));
+    for leg in &report.legs {
+        eprintln!(
+            "{:>15}: {:>8} intervals in {:>8.1} ms — {:>10.0} intervals/s",
+            leg.name,
+            leg.intervals,
+            leg.wall_s * 1e3,
+            leg.intervals_per_sec(),
+        );
+    }
+    eprintln!(
+        "file {} bytes, resumed from {}, quarantined {} chunks ({} intervals lost)",
+        report.file_bytes, report.resumed_from, report.chunks_quarantined, report.intervals_lost
+    );
+    eprintln!("wrote {out_path}");
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}

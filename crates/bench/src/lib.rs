@@ -21,6 +21,7 @@
 //! | §5 observations / crossovers | [`observations`] | `observations` |
 //! | Fault campaign (robustness) | [`faults`] | `faults` |
 //! | Perf baseline (`BENCH_batch.json`) | [`perf`] | `perf` |
+//! | Trace ingestion (`BENCH_trace.json`) | [`tracebench`] | `trace` |
 
 #![warn(missing_docs)]
 
@@ -37,3 +38,4 @@ pub mod perf;
 pub mod render;
 pub mod suite;
 pub mod tables;
+pub mod tracebench;

@@ -61,6 +61,7 @@ pub mod hybrid;
 pub mod overhead;
 pub mod predictor;
 pub mod protection;
+pub mod replay;
 pub mod runtime;
 pub mod switchflow;
 pub mod topology;
@@ -72,6 +73,10 @@ pub use faults::{
 pub use hybrid::HybridVr;
 pub use predictor::{ModePredictor, PredictorInputs};
 pub use protection::MaxCurrentProtection;
+pub use replay::{
+    replay_trace_file, CheckpointDefect, CheckpointPlan, FileReplayReport, ReplayCheckpoint,
+    ReplayError, ReplayFileOptions, TraceReplayer,
+};
 pub use runtime::{FlexWattsRuntime, RuntimeConfig, RuntimeReport};
 pub use switchflow::{ModeSwitchFlow, SwitchTransition};
 pub use topology::{FlexWattsAuto, FlexWattsPdn, PdnMode};

@@ -226,107 +226,11 @@ impl FlexWattsRuntime {
         });
         let prepared: Vec<PreparedInterval> = prepared.into_iter().collect::<Result<_, _>>()?;
 
-        let mut mode = self.config.initial_mode;
-        let mut energy = 0.0;
-        let mut oracle_energy = 0.0;
-        let mut switches = Vec::new();
-        let mut time_in_mode: BTreeMap<PdnMode, Seconds> =
-            PdnMode::ALL.iter().map(|&m| (m, Seconds::ZERO)).collect();
-        let mut driver = CStateDriver::new();
-        let mut evaluations = 0u64;
-        let mut correct_predictions = 0u64;
-        let mut protection_overrides = 0u64;
-        let mut total_time = Seconds::ZERO;
-        let eval_interval = self.predictor.evaluation_interval();
-        let mut since_eval = eval_interval; // evaluate at trace start
-
-        for (interval, prep) in trace.intervals().iter().zip(prepared) {
-            let PreparedInterval { scenario, power_ivr, power_ldo, estimated_type, .. } = prep;
-            // The PMU's view of the interval; the sensor estimate is an
-            // ordered stream, so it is drawn here, not in the fan-out.
-            let pmu_inputs = match interval.phase {
-                Phase::Active { ar, .. } => PredictorInputs {
-                    tdp: self.soc.tdp,
-                    ar: self.sensors.estimate(DomainKind::Core0, ar),
-                    workload_type: estimated_type,
-                    power_state: None,
-                },
-                Phase::Idle(state) => PredictorInputs {
-                    tdp: self.soc.tdp,
-                    ar: interval.phase.ar(),
-                    workload_type: WorkloadType::BatteryLife,
-                    power_state: Some(state),
-                },
-            };
-
-            let oracle_power = power_ivr.min(power_ldo);
-            let oracle_mode =
-                if power_ivr <= power_ldo { PdnMode::IvrMode } else { PdnMode::LdoMode };
-
-            let mut remaining = interval.duration;
-            while remaining.get() > 0.0 {
-                if since_eval >= eval_interval {
-                    since_eval = Seconds::ZERO;
-                    evaluations += 1;
-                    let mut decided = self.predictor.predict_with_hysteresis(pmu_inputs, mode);
-                    if self.config.max_current_protection {
-                        let (enforced, fired) =
-                            self.protection.enforce(decided, &self.ldo_mode, &scenario)?;
-                        if fired {
-                            protection_overrides += 1;
-                        }
-                        decided = enforced;
-                    }
-                    if decided == oracle_mode {
-                        correct_predictions += 1;
-                    }
-                    if decided != mode {
-                        // The mode switch forces ≈ 94 µs of C6 idleness.
-                        let v_from = self.vin_level(mode, &scenario);
-                        let v_to = self.vin_level(decided, &scenario);
-                        let transition =
-                            self.switch_flow.execute(mode, decided, v_from, v_to, &mut driver);
-                        let switch_time = transition.total();
-                        // During the switch the package sits in C6.
-                        let c6 = Scenario::idle(&self.soc, PackageCState::C6);
-                        let c6_power = self.pdn(decided).evaluate(&c6)?.input_power;
-                        energy += c6_power * switch_time;
-                        oracle_energy += c6_power * switch_time;
-                        total_time += switch_time;
-                        switches.push(transition);
-                        mode = decided;
-                    }
-                }
-                let chunk = remaining.min(eval_interval - since_eval);
-                let power = match mode {
-                    PdnMode::IvrMode => power_ivr,
-                    PdnMode::LdoMode => power_ldo,
-                };
-                energy += power * chunk;
-                oracle_energy += oracle_power * chunk;
-                *time_in_mode.get_mut(&mode).expect("all modes present") += chunk;
-                total_time += chunk;
-                since_eval += chunk;
-                remaining -= chunk;
-            }
+        let mut state = ReplayState::new(self);
+        for (interval, prep) in trace.intervals().iter().zip(&prepared) {
+            state.step(self, &self.sensors, interval, prep)?;
         }
-
-        Ok(RuntimeReport {
-            total_time,
-            energy_joules: energy,
-            oracle_energy_joules: oracle_energy,
-            switches,
-            time_in_mode,
-            predictor_evaluations: evaluations,
-            prediction_accuracy: if evaluations == 0 {
-                1.0
-            } else {
-                correct_predictions as f64 / evaluations as f64
-            },
-            protection_overrides,
-            switch_failures: 0,
-            switch_retries: 0,
-        })
+        Ok(state.finish())
     }
 
     /// A fresh activity-sensor bank calibrated with this runtime's seed:
@@ -334,6 +238,155 @@ impl FlexWattsRuntime {
     /// campaigns on one runtime stay bit-identical.
     pub(crate) fn fresh_sensor_bank(&self) -> ActivitySensorBank {
         ActivitySensorBank::new(self.config.sensor_seed)
+    }
+}
+
+/// The serial, stateful half of a trace replay: sensor draws, predictor
+/// hysteresis, protection overrides, mode switches, and energy/time
+/// accounting. One implementation serves both [`FlexWattsRuntime::run_with`]
+/// and the streaming checkpointed replay ([`crate::replay`]) — sharing
+/// the loop is what makes a resumed streaming replay bitwise equal to an
+/// in-memory run.
+///
+/// Every field is a plain accumulator (or restorable counter), so a
+/// checkpoint that snapshots them between intervals captures the entire
+/// replay state: stepping interval `k+1` after a restore performs
+/// exactly the floating-point additions the uninterrupted run would.
+#[derive(Debug)]
+pub(crate) struct ReplayState {
+    pub(crate) mode: PdnMode,
+    pub(crate) energy: f64,
+    pub(crate) oracle_energy: f64,
+    pub(crate) switches: Vec<SwitchTransition>,
+    pub(crate) time_in_mode: BTreeMap<PdnMode, Seconds>,
+    pub(crate) driver: CStateDriver,
+    pub(crate) evaluations: u64,
+    pub(crate) correct_predictions: u64,
+    pub(crate) protection_overrides: u64,
+    pub(crate) total_time: Seconds,
+    pub(crate) eval_interval: Seconds,
+    pub(crate) since_eval: Seconds,
+}
+
+impl ReplayState {
+    /// Boot state for a runtime: initial mode, zeroed ledgers, and an
+    /// evaluation due at the first interval.
+    pub(crate) fn new(rt: &FlexWattsRuntime) -> Self {
+        let eval_interval = rt.predictor.evaluation_interval();
+        Self {
+            mode: rt.config.initial_mode,
+            energy: 0.0,
+            oracle_energy: 0.0,
+            switches: Vec::new(),
+            time_in_mode: PdnMode::ALL.iter().map(|&m| (m, Seconds::ZERO)).collect(),
+            driver: CStateDriver::new(),
+            evaluations: 0,
+            correct_predictions: 0,
+            protection_overrides: 0,
+            total_time: Seconds::ZERO,
+            eval_interval,
+            since_eval: eval_interval, // evaluate at trace start
+        }
+    }
+
+    /// Replays one interval: draws the PMU inputs (the sensor estimate
+    /// is an ordered stream, so it happens here, not in the prepare
+    /// fan-out), walks the evaluation-cadence chunks, and accumulates
+    /// energy and time.
+    pub(crate) fn step(
+        &mut self,
+        rt: &FlexWattsRuntime,
+        sensors: &ActivitySensorBank,
+        interval: &pdn_workload::TraceInterval,
+        prep: &PreparedInterval,
+    ) -> Result<(), PdnError> {
+        let PreparedInterval { scenario, power_ivr, power_ldo, estimated_type, .. } = prep;
+        let (power_ivr, power_ldo) = (*power_ivr, *power_ldo);
+        let pmu_inputs = match interval.phase {
+            Phase::Active { ar, .. } => PredictorInputs {
+                tdp: rt.soc.tdp,
+                ar: sensors.estimate(DomainKind::Core0, ar),
+                workload_type: *estimated_type,
+                power_state: None,
+            },
+            Phase::Idle(state) => PredictorInputs {
+                tdp: rt.soc.tdp,
+                ar: interval.phase.ar(),
+                workload_type: WorkloadType::BatteryLife,
+                power_state: Some(state),
+            },
+        };
+
+        let oracle_power = power_ivr.min(power_ldo);
+        let oracle_mode = if power_ivr <= power_ldo { PdnMode::IvrMode } else { PdnMode::LdoMode };
+
+        let mut remaining = interval.duration;
+        while remaining.get() > 0.0 {
+            if self.since_eval >= self.eval_interval {
+                self.since_eval = Seconds::ZERO;
+                self.evaluations += 1;
+                let mut decided = rt.predictor.predict_with_hysteresis(pmu_inputs, self.mode);
+                if rt.config.max_current_protection {
+                    let (enforced, fired) =
+                        rt.protection.enforce(decided, &rt.ldo_mode, scenario)?;
+                    if fired {
+                        self.protection_overrides += 1;
+                    }
+                    decided = enforced;
+                }
+                if decided == oracle_mode {
+                    self.correct_predictions += 1;
+                }
+                if decided != self.mode {
+                    // The mode switch forces ≈ 94 µs of C6 idleness.
+                    let v_from = rt.vin_level(self.mode, scenario);
+                    let v_to = rt.vin_level(decided, scenario);
+                    let transition =
+                        rt.switch_flow.execute(self.mode, decided, v_from, v_to, &mut self.driver);
+                    let switch_time = transition.total();
+                    // During the switch the package sits in C6.
+                    let c6 = Scenario::idle(&rt.soc, PackageCState::C6);
+                    let c6_power = rt.pdn(decided).evaluate(&c6)?.input_power;
+                    self.energy += c6_power * switch_time;
+                    self.oracle_energy += c6_power * switch_time;
+                    self.total_time += switch_time;
+                    self.switches.push(transition);
+                    self.mode = decided;
+                }
+            }
+            let chunk = remaining.min(self.eval_interval - self.since_eval);
+            let power = match self.mode {
+                PdnMode::IvrMode => power_ivr,
+                PdnMode::LdoMode => power_ldo,
+            };
+            self.energy += power * chunk;
+            self.oracle_energy += oracle_power * chunk;
+            *self.time_in_mode.get_mut(&self.mode).expect("all modes present") += chunk;
+            self.total_time += chunk;
+            self.since_eval += chunk;
+            remaining -= chunk;
+        }
+        Ok(())
+    }
+
+    /// Seals the accumulators into a [`RuntimeReport`].
+    pub(crate) fn finish(self) -> RuntimeReport {
+        RuntimeReport {
+            total_time: self.total_time,
+            energy_joules: self.energy,
+            oracle_energy_joules: self.oracle_energy,
+            switches: self.switches,
+            time_in_mode: self.time_in_mode,
+            predictor_evaluations: self.evaluations,
+            prediction_accuracy: if self.evaluations == 0 {
+                1.0
+            } else {
+                self.correct_predictions as f64 / self.evaluations as f64
+            },
+            protection_overrides: self.protection_overrides,
+            switch_failures: 0,
+            switch_retries: 0,
+        }
     }
 }
 

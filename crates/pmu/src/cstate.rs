@@ -38,6 +38,14 @@ impl CStateDriver {
         Self::default()
     }
 
+    /// Rebuilds a driver in the active state with its transition
+    /// counters restored — the checkpoint-resume primitive: a trace
+    /// replay checkpoints only between intervals, where the driver is
+    /// always active, so the counters are its entire state.
+    pub fn resume(transitions: u64, total_transition_time: Seconds) -> Self {
+        Self { current: None, transitions, total_transition_time }
+    }
+
     /// The current package C-state (`None` = active C0).
     pub fn current(&self) -> Option<PackageCState> {
         self.current

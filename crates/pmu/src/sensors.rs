@@ -42,6 +42,18 @@ impl ActivitySensorBank {
         Self { calibration_gain, jitter_amplitude: 0.01, samples: AtomicU64::new(0), seed }
     }
 
+    /// Rebuilds a bank mid-stream: the same calibration as
+    /// [`ActivitySensorBank::new`] with the sample counter advanced to
+    /// `samples`. A resumed bank continues the per-sample jitter stream
+    /// exactly where the original left off — the primitive that lets a
+    /// checkpointed trace replay stay bit-identical to an uninterrupted
+    /// one.
+    pub fn resume(seed: u64, samples: u64) -> Self {
+        let bank = Self::new(seed);
+        bank.samples.store(samples, Ordering::Relaxed);
+        bank
+    }
+
     /// Produces the sensor's AR estimate for a domain whose true
     /// application ratio is `truth`.
     pub fn estimate(&self, domain: DomainKind, truth: ApplicationRatio) -> ApplicationRatio {

@@ -29,7 +29,10 @@
 //!
 //! The campaign (`pdn-serve chaos`) runs each mix at several seeds,
 //! adds a snapshot-corruption leg (truncated and bit-flipped
-//! generations must fall back, total loss must cold-start), and writes
+//! generations must fall back, total loss must cold-start) and a
+//! trace-corruption leg (a daemon keeps serving while a poisoned-chunk
+//! trace file replays in the background: the damaged chunks must be
+//! quarantined with exact accounting, never a panic), and writes
 //! `BENCH_chaos.json`.
 
 use crate::engine::{InjectedFault, ServeEngine};
@@ -39,7 +42,8 @@ use crate::protocol::{
 use crate::server::{self, Client};
 use crate::snapshot;
 use crate::wire;
-use pdn_workload::WorkloadType;
+use pdn_workload::tracefile::{encode_trace, frame_spans, DefectKind, FrameKind};
+use pdn_workload::{zoo, WorkloadType};
 use pdnspot::{EngineConfig, ErrorCode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -627,6 +631,16 @@ pub struct ChaosCampaignReport {
     pub panics_isolated: u64,
     /// The snapshot-corruption leg behaved (fallback + cold start).
     pub snapshot_corruption_cold_start: bool,
+    /// The trace-corruption leg behaved: the daemon answered every
+    /// probe while the poisoned trace replayed, the damaged chunks were
+    /// quarantined, and every interval was replayed or accounted lost.
+    pub trace_corruption_served: bool,
+    /// Intervals the trace-corruption replay emitted.
+    pub trace_intervals_replayed: u64,
+    /// Intervals the trace-corruption replay lost (and accounted).
+    pub trace_intervals_lost: u64,
+    /// Chunks the trace-corruption replay quarantined.
+    pub trace_chunks_quarantined: u64,
 }
 
 impl ChaosCampaignReport {
@@ -671,7 +685,9 @@ impl ChaosCampaignReport {
         out.push_str(&format!(
             "  ],\n  \"survival_rate\": {:.3},\n  \"lost_total\": {},\n  \
              \"duplicated_total\": {},\n  \"p99_us_storm\": {},\n  \"recovery_ms_max\": {},\n  \
-             \"panics_isolated\": {},\n  \"snapshot_corruption_cold_start\": {}\n}}\n",
+             \"panics_isolated\": {},\n  \"snapshot_corruption_cold_start\": {},\n  \
+             \"trace_corruption_served\": {},\n  \"trace_intervals_replayed\": {},\n  \
+             \"trace_intervals_lost\": {},\n  \"trace_chunks_quarantined\": {}\n}}\n",
             self.survival_rate,
             self.lost_total,
             self.duplicated_total,
@@ -679,6 +695,10 @@ impl ChaosCampaignReport {
             self.recovery_ms_max,
             self.panics_isolated,
             self.snapshot_corruption_cold_start,
+            self.trace_corruption_served,
+            self.trace_intervals_replayed,
+            self.trace_intervals_lost,
+            self.trace_chunks_quarantined,
         ));
         out
     }
@@ -717,10 +737,15 @@ impl std::fmt::Display for ChaosCampaignReport {
         }
         write!(
             f,
-            "worst p99 under storm {}us, worst recovery {}ms, snapshot corruption leg: {}",
+            "worst p99 under storm {}us, worst recovery {}ms, snapshot corruption leg: {}, \
+             trace corruption leg: {} ({} replayed, {} lost, {} chunks quarantined)",
             self.p99_us_storm,
             self.recovery_ms_max,
             if self.snapshot_corruption_cold_start { "ok" } else { "FAILED" },
+            if self.trace_corruption_served { "ok" } else { "FAILED" },
+            self.trace_intervals_replayed,
+            self.trace_intervals_lost,
+            self.trace_chunks_quarantined,
         )
     }
 }
@@ -963,6 +988,117 @@ fn snapshot_corruption_leg(seed: u64) -> Result<bool, String> {
     Ok(fell_back && cold_start)
 }
 
+/// What the trace-corruption leg observed.
+struct TraceCorruptionOutcome {
+    /// Every probe answered, the damaged chunks quarantined, and the
+    /// lost intervals exactly accounted.
+    ok: bool,
+    /// Intervals the quarantining replay emitted.
+    replayed: u64,
+    /// Intervals the replay lost (and accounted).
+    lost: u64,
+    /// Chunks quarantined.
+    quarantined: u64,
+}
+
+/// The trace-corruption leg: a daemon keeps serving while a zoo trace
+/// file with three CRC-poisoned chunks streams through a FlexWatts
+/// runtime in the background. The reader must quarantine exactly those
+/// chunks (checksum defects, never a panic), account every lost
+/// interval via the index gaps, and the daemon must answer every probe
+/// issued during the replay.
+fn trace_corruption_leg(seed: u64) -> Result<TraceCorruptionOutcome, String> {
+    // Encode the trace and poison three non-final chunks (a payload
+    // byte each — the CRC gate must catch them).
+    let trace = zoo::zoo_mix(seed, 160);
+    let total = trace.intervals().len() as u64;
+    let mut bytes = encode_trace(&trace, 64).map_err(|e| format!("encode: {e}"))?;
+    let spans = frame_spans(&bytes).ok_or("pristine encoding must map cleanly")?;
+    let chunks: Vec<_> = spans.iter().filter(|s| s.kind == FrameKind::Chunk).collect();
+    if chunks.len() < 6 {
+        return Err(format!("trace too small: {} chunks", chunks.len()));
+    }
+    let mut poisoned_count = 0u64;
+    for pick in [1, chunks.len() / 2, chunks.len() - 2] {
+        let span = chunks[pick];
+        bytes[span.offset + span.len / 2] ^= 0xFF;
+        poisoned_count += 1;
+    }
+    let path =
+        std::env::temp_dir().join(format!("pdn-serve-chaos-{}-{seed:x}.pdnt", std::process::id()));
+    std::fs::write(&path, &bytes).map_err(|e| format!("write trace: {e}"))?;
+
+    // Boot a daemon, then replay the poisoned file on a background
+    // thread while the foreground keeps probing it.
+    let engine = ServeEngine::new(EngineConfig::default()).map_err(|e| format!("boot: {e}"))?;
+    let engine = Arc::new(engine);
+    let handle =
+        server::spawn_tcp(Arc::clone(&engine), "127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.addr;
+
+    let replay_path = path.clone();
+    let replay = thread::spawn(move || -> Result<flexwatts::FileReplayReport, String> {
+        let predictor = flexwatts::ModePredictor::train(
+            &pdnspot::ModelParams::paper_defaults(),
+            &[4.0, 18.0, 50.0],
+            &[0.4, 0.6, 0.8],
+        )
+        .map_err(|e| format!("train: {e}"))?;
+        let rt = flexwatts::FlexWattsRuntime::new(
+            pdn_proc::client_soc(pdn_units::Watts::new(18.0)),
+            pdnspot::ModelParams::paper_defaults(),
+            predictor,
+            flexwatts::RuntimeConfig::default(),
+        );
+        flexwatts::replay_trace_file(&rt, &replay_path, &flexwatts::ReplayFileOptions::default())
+            .map_err(|e| format!("replay: {e}"))
+    });
+
+    // The daemon must answer every probe issued while the poisoned
+    // trace streams (and at least a handful after it finishes).
+    let mut served = true;
+    let mut probes = 0usize;
+    while probes < 4 || !replay.is_finished() {
+        let Ok(mut probe) = Client::connect(addr) else {
+            served = false;
+            break;
+        };
+        let (pdn, point) = chaos_point(probes % CHAOS_UNIVERSE);
+        let request = Request {
+            tenant: 0,
+            id: 0x7_000_000 + probes as u64,
+            deadline_ms: 0,
+            body: RequestBody::Eval { pdn, point },
+        };
+        match probe.call(&request) {
+            Ok(resp) if resp.id == request.id => probes += 1,
+            _ => {
+                served = false;
+                break;
+            }
+        }
+        if probes > 10_000 {
+            served = false; // replay thread is wedged
+            break;
+        }
+    }
+    let report = replay.join().map_err(|_| "replay thread panicked".to_string())??;
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_file(&path);
+
+    let exact = report.chunks_quarantined == poisoned_count
+        && report.defects.count(DefectKind::ChecksumMismatch) == poisoned_count
+        && report.intervals_replayed + report.intervals_lost == total
+        && report.intervals_lost > 0;
+    Ok(TraceCorruptionOutcome {
+        ok: served && exact,
+        replayed: report.intervals_replayed,
+        lost: report.intervals_lost,
+        quarantined: report.chunks_quarantined,
+    })
+}
+
 /// Runs the full campaign: every mix at every seed, plus the
 /// snapshot-corruption leg, and (optionally) writes `BENCH_chaos.json`.
 ///
@@ -1007,6 +1143,7 @@ pub fn campaign(cfg: &CampaignConfig) -> Result<ChaosCampaignReport, String> {
     }
     let snapshot_corruption_cold_start =
         snapshot_corruption_leg(cfg.seeds.first().copied().unwrap_or(1))?;
+    let trace_corruption = trace_corruption_leg(cfg.seeds.first().copied().unwrap_or(1))?;
 
     let survived = runs.iter().filter(|r| r.survived).count();
     let report = ChaosCampaignReport {
@@ -1018,6 +1155,10 @@ pub fn campaign(cfg: &CampaignConfig) -> Result<ChaosCampaignReport, String> {
         recovery_ms_max: runs.iter().map(|r| r.recovery_ms).max().unwrap_or(0),
         panics_isolated: runs.iter().map(|r| r.panics_isolated).sum(),
         snapshot_corruption_cold_start,
+        trace_corruption_served: trace_corruption.ok,
+        trace_intervals_replayed: trace_corruption.replayed,
+        trace_intervals_lost: trace_corruption.lost,
+        trace_chunks_quarantined: trace_corruption.quarantined,
         runs,
     };
     if let Some(out) = &cfg.out {
@@ -1096,11 +1237,17 @@ mod tests {
             recovery_ms_max: 3,
             panics_isolated: 0,
             snapshot_corruption_cold_start: true,
+            trace_corruption_served: true,
+            trace_intervals_replayed: 448,
+            trace_intervals_lost: 192,
+            trace_chunks_quarantined: 3,
         };
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"pdn-serve-chaos/v1\""));
         assert!(json.contains("\"survival_rate\": 1.000"));
         assert!(json.contains("\"mix\": \"disconnects\""));
         assert!(json.contains("\"snapshot_corruption_cold_start\": true"));
+        assert!(json.contains("\"trace_corruption_served\": true"));
+        assert!(json.contains("\"trace_chunks_quarantined\": 3"));
     }
 }

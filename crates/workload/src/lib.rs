@@ -17,6 +17,10 @@
 //! * [`trace`] — the interval-trace representation consumed by the runtime
 //!   simulator.
 //! * [`synthetic`] — seeded random trace generation and power-virus traces.
+//! * [`zoo`] — deterministic realistic trace scenarios (server bursts,
+//!   frame-locked gaming, ML inference, thermally-throttled mobile).
+//! * [`tracefile`] — the crash-tolerant chunked binary trace-file format
+//!   and its bounded-memory streaming reader.
 //!
 //! # Examples
 //!
@@ -38,6 +42,8 @@ pub mod mixes;
 pub mod spec;
 pub mod synthetic;
 pub mod trace;
+pub mod tracefile;
+pub mod zoo;
 
 pub use batterylife::{BatteryLifeWorkload, ResidencyProfile};
 pub use graphics::GraphicsBenchmark;
@@ -45,3 +51,8 @@ pub use mixes::MultiProgrammedMix;
 pub use spec::SpecBenchmark;
 pub use synthetic::TraceGenerator;
 pub use trace::{Phase, Trace, TraceInterval, WorkloadType};
+pub use tracefile::{
+    ChunkDefect, DefectCounts, DefectKind, DefectPolicy, TraceFileError, TraceFileWriter,
+    TraceReader,
+};
+pub use zoo::{zoo_mix, ZooScenario};

@@ -7,7 +7,7 @@
 //! whole traces.
 
 use pdn_proc::{DomainKind, PackageCState};
-use pdn_units::{ApplicationRatio, Ratio, Seconds};
+use pdn_units::{ApplicationRatio, Ratio, Seconds, UnitsError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -115,13 +115,82 @@ pub struct TraceInterval {
 
 impl TraceInterval {
     /// An active interval.
+    ///
+    /// The duration is trusted; use [`TraceInterval::try_active`] for
+    /// values from an external toolchain or a decoded trace file.
     pub fn active(duration: Seconds, workload_type: WorkloadType, ar: ApplicationRatio) -> Self {
         Self { duration, phase: Phase::Active { workload_type, ar } }
     }
 
     /// An idle interval in `state`.
+    ///
+    /// The duration is trusted; use [`TraceInterval::try_idle`] for
+    /// values from an external toolchain or a decoded trace file.
     pub fn idle(duration: Seconds, state: PackageCState) -> Self {
         Self { duration, phase: Phase::Idle(state) }
+    }
+
+    /// A validated active interval: rejects non-finite or negative
+    /// durations with a typed error (the AR is validated by
+    /// [`ApplicationRatio`]'s own constructor). This is the entry point
+    /// for durations produced by external toolchains — mirroring the
+    /// `MaxCurrentProtection::new` input hardening, invalid inputs are
+    /// errors, never panics or silent NaN propagation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitsError::NotFinite`] or [`UnitsError::OutOfRange`]
+    /// when the duration is NaN, infinite, or negative.
+    pub fn try_active(
+        duration: Seconds,
+        workload_type: WorkloadType,
+        ar: ApplicationRatio,
+    ) -> Result<Self, UnitsError> {
+        let interval = Self::active(duration, workload_type, ar);
+        interval.validate()?;
+        Ok(interval)
+    }
+
+    /// A validated idle interval: rejects non-finite or negative
+    /// durations with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitsError::NotFinite`] or [`UnitsError::OutOfRange`]
+    /// when the duration is NaN, infinite, or negative.
+    pub fn try_idle(duration: Seconds, state: PackageCState) -> Result<Self, UnitsError> {
+        let interval = Self::idle(duration, state);
+        interval.validate()?;
+        Ok(interval)
+    }
+
+    /// Checks the interval's invariants: a finite, non-negative duration
+    /// and (for active phases) a finite AR inside `(0, 1]`. The AR bound
+    /// is enforced by [`ApplicationRatio`] at construction, but decoded
+    /// representations (trace files, wire formats) rebuild intervals from
+    /// raw bits and must re-establish it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a typed [`UnitsError`].
+    pub fn validate(&self) -> Result<(), UnitsError> {
+        let d = self.duration.get();
+        if !d.is_finite() {
+            return Err(UnitsError::NotFinite { what: "trace interval duration" });
+        }
+        if d < 0.0 {
+            return Err(UnitsError::OutOfRange {
+                what: "trace interval duration",
+                value: d,
+                range: "[0, +inf)",
+            });
+        }
+        if let Phase::Active { ar, .. } = self.phase {
+            // Re-validate through the canonical constructor so the trace
+            // layer can never hold an AR the rest of the stack rejects.
+            ApplicationRatio::new(ar.get())?;
+        }
+        Ok(())
     }
 }
 
@@ -157,8 +226,29 @@ pub struct Trace {
 
 impl Trace {
     /// Creates a trace.
+    ///
+    /// Intervals are trusted; use [`Trace::try_new`] for intervals from
+    /// an external toolchain or a decoded trace file.
     pub fn new(name: impl Into<String>, intervals: Vec<TraceInterval>) -> Self {
         Self { name: name.into(), intervals }
+    }
+
+    /// Creates a trace after validating every interval
+    /// ([`TraceInterval::validate`]): non-finite or negative durations
+    /// and out-of-range application ratios are typed errors, never
+    /// panics downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first interval's violation as a typed [`UnitsError`].
+    pub fn try_new(
+        name: impl Into<String>,
+        intervals: Vec<TraceInterval>,
+    ) -> Result<Self, UnitsError> {
+        for interval in &intervals {
+            interval.validate()?;
+        }
+        Ok(Self { name: name.into(), intervals })
     }
 
     /// The trace name.
@@ -295,6 +385,42 @@ mod tests {
         assert_eq!(movie.intervals().len(), 100);
         assert!((movie.total_duration().millis() - 1670.0).abs() < 1e-6);
         assert_eq!(movie.name(), "framex100");
+    }
+
+    #[test]
+    fn invalid_durations_are_typed_errors() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, -1e-12] {
+            let d = Seconds::new(bad);
+            assert!(
+                TraceInterval::try_active(d, WorkloadType::SingleThread, ar(0.5)).is_err(),
+                "duration {bad} must be rejected"
+            );
+            assert!(TraceInterval::try_idle(d, PackageCState::C6).is_err());
+        }
+        // Zero and positive durations are fine.
+        assert!(TraceInterval::try_idle(Seconds::ZERO, PackageCState::C6).is_ok());
+        assert!(
+            TraceInterval::try_active(Seconds::new(0.01), WorkloadType::Graphics, ar(0.7)).is_ok()
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_the_first_bad_interval() {
+        let good = TraceInterval::idle(Seconds::new(1.0), PackageCState::C8);
+        let bad = TraceInterval::idle(Seconds::new(f64::NAN), PackageCState::C8);
+        assert!(Trace::try_new("ok", vec![good, good]).is_ok());
+        let err = Trace::try_new("bad", vec![good, bad]).unwrap_err();
+        assert!(matches!(err, UnitsError::NotFinite { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn validate_rejects_smuggled_out_of_range_ar() {
+        // An AR rebuilt from raw bits (a decoded trace file) can carry a
+        // value the constructor would refuse; validate() must catch it.
+        let smuggled: ApplicationRatio = unsafe { std::mem::transmute(1.5f64) };
+        let interval =
+            TraceInterval::active(Seconds::new(1.0), WorkloadType::SingleThread, smuggled);
+        assert!(interval.validate().is_err());
     }
 
     #[test]

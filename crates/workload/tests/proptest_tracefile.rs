@@ -1,0 +1,197 @@
+//! Property-based tests of the trace-file robustness contract, mirroring
+//! `proptest_firmware.rs`: decoding must *never* panic — for any byte
+//! string it either yields intervals or typed [`ChunkDefect`]s — every
+//! corruption of a well-formed file is detected, and a clean round trip
+//! is bit-exact.
+
+use pdn_proc::PackageCState;
+use pdn_units::{ApplicationRatio, Seconds};
+use pdn_workload::tracefile::{
+    decode_trace, encode_trace, frame_spans, DefectKind, DefectPolicy, FrameKind,
+    BYTES_PER_INTERVAL, MAX_CHUNK_INTERVALS,
+};
+use pdn_workload::{Trace, TraceInterval, WorkloadType, ZooScenario};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A well-formed reference encoding with enough chunks for interesting
+/// corruption targets (16 chunks of 16 intervals + header + footer).
+fn reference_bytes() -> &'static [u8] {
+    static BYTES: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    BYTES.get_or_init(|| {
+        let trace = ZooScenario::ServerBurstIdle.generate(0xC0FFEE, 256);
+        encode_trace(&trace, 16).unwrap()
+    })
+}
+
+fn reference_total_intervals() -> u64 {
+    256
+}
+
+/// Strategy over a single valid interval: every phase tag the format can
+/// carry, with finite positive durations and in-range ARs.
+fn interval_strategy() -> impl Strategy<Value = TraceInterval> {
+    (1e-7f64..5e-3, 0usize..10, 0.01f64..1.0).prop_map(|(duration, variant, ar)| {
+        let duration = Seconds::new(duration);
+        match variant {
+            0 => TraceInterval::active(
+                duration,
+                WorkloadType::SingleThread,
+                ApplicationRatio::new(ar).unwrap(),
+            ),
+            1 => TraceInterval::active(
+                duration,
+                WorkloadType::MultiThread,
+                ApplicationRatio::new(ar).unwrap(),
+            ),
+            2 => TraceInterval::active(
+                duration,
+                WorkloadType::Graphics,
+                ApplicationRatio::new(ar).unwrap(),
+            ),
+            3 => TraceInterval::active(
+                duration,
+                WorkloadType::BatteryLife,
+                ApplicationRatio::new(ar).unwrap(),
+            ),
+            n => TraceInterval::idle(duration, PackageCState::ALL[n % 6]),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode is the identity on intervals and name, the footer
+    /// closes the stream, and a clean file reports zero defects — for any
+    /// interval mix and any chunk capacity.
+    #[test]
+    fn round_trip_is_exact(
+        intervals in vec(interval_strategy(), 0..200),
+        capacity in 1usize..64,
+    ) {
+        let trace = Trace::new("roundtrip", intervals);
+        let bytes = encode_trace(&trace, capacity).unwrap();
+        let (decoded, summary) = decode_trace(&bytes, DefectPolicy::Strict).unwrap();
+        prop_assert_eq!(&decoded, &trace);
+        prop_assert_eq!(summary.defects.total(), 0);
+        prop_assert_eq!(summary.intervals_lost, 0);
+        prop_assert!(summary.footer_seen);
+        prop_assert_eq!(
+            summary.chunks_ok as usize,
+            trace.intervals().len().div_ceil(capacity)
+        );
+    }
+
+    /// Arbitrary bytes never panic the reader under either policy.
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(data in vec(any::<u8>(), 0..512)) {
+        let _ = decode_trace(&data, DefectPolicy::Quarantine);
+        let _ = decode_trace(&data, DefectPolicy::Strict);
+    }
+
+    /// Arbitrary garbage behind a *valid* header never panics, and under
+    /// quarantine always yields a (possibly empty) trace with the damage
+    /// accounted — the header gate must not be the only line of defence.
+    #[test]
+    fn garbage_tail_behind_valid_header_is_quarantined(tail in vec(any::<u8>(), 1..512)) {
+        let spans = frame_spans(reference_bytes()).unwrap();
+        let header = &reference_bytes()[..spans[0].len];
+        let mut bytes = header.to_vec();
+        bytes.extend_from_slice(&tail);
+        let (trace, summary) = decode_trace(&bytes, DefectPolicy::Quarantine).unwrap();
+        prop_assert!(summary.defects.total() >= 1, "garbage tail reported clean");
+        prop_assert!(trace.intervals().len() as u64 <= reference_total_intervals());
+        let _ = decode_trace(&bytes, DefectPolicy::Strict);
+    }
+
+    /// Flipping any single bit of a well-formed file is detected: strict
+    /// decoding rejects it, and quarantining decoding either fails the
+    /// header gate or reports at least one defect — never a silent pass.
+    #[test]
+    fn any_single_bit_flip_is_detected(offset in 0usize..1 << 20, bit in 0u8..8) {
+        let mut corrupt = reference_bytes().to_vec();
+        let at = offset % corrupt.len();
+        corrupt[at] ^= 1 << bit;
+        prop_assert!(
+            decode_trace(&corrupt, DefectPolicy::Strict).is_err(),
+            "bit {bit} of byte {at} flipped silently past strict decode"
+        );
+        match decode_trace(&corrupt, DefectPolicy::Quarantine) {
+            Err(_) => {} // header damage is always fatal
+            Ok((_, summary)) => prop_assert!(
+                summary.defects.total() >= 1,
+                "bit {bit} of byte {at} flipped silently past quarantine"
+            ),
+        }
+    }
+
+    /// Every truncation is detected without panicking, the original still
+    /// decodes, and a quarantining reader never emits more intervals than
+    /// the file held.
+    #[test]
+    fn truncation_is_always_detected(cut in 1usize..1 << 20) {
+        let bytes = reference_bytes();
+        let keep = bytes.len() - 1 - (cut % (bytes.len() - 1));
+        let truncated = &bytes[..keep];
+        prop_assert!(decode_trace(truncated, DefectPolicy::Strict).is_err());
+        match decode_trace(truncated, DefectPolicy::Quarantine) {
+            Err(_) => {} // cut into the header
+            Ok((trace, summary)) => {
+                prop_assert!(summary.defects.total() >= 1);
+                prop_assert!(!summary.footer_seen);
+                prop_assert!(trace.intervals().len() as u64 <= reference_total_intervals());
+            }
+        }
+        prop_assert!(decode_trace(bytes, DefectPolicy::Strict).is_ok());
+    }
+
+    /// A chunk declaring an oversized payload length is quarantined as
+    /// `Oversized`, the reader resynchronises, and every interval in the
+    /// file is either emitted or accounted as lost.
+    #[test]
+    fn oversized_declared_lengths_are_quarantined(
+        chunk_pick in 0usize..64,
+        extra in 0u32..1 << 24,
+    ) {
+        let bytes = reference_bytes();
+        let spans = frame_spans(bytes).unwrap();
+        let chunks: Vec<_> =
+            spans.iter().filter(|s| s.kind == FrameKind::Chunk).collect();
+        let span = chunks[chunk_pick % chunks.len()];
+        let oversized =
+            (12 + BYTES_PER_INTERVAL * MAX_CHUNK_INTERVALS) as u32 + 1 + extra;
+        let mut corrupt = bytes.to_vec();
+        corrupt[span.offset + 4..span.offset + 8]
+            .copy_from_slice(&oversized.to_le_bytes());
+        prop_assert!(decode_trace(&corrupt, DefectPolicy::Strict).is_err());
+        let (trace, summary) = decode_trace(&corrupt, DefectPolicy::Quarantine).unwrap();
+        prop_assert!(summary.defects.count(DefectKind::Oversized) >= 1);
+        prop_assert!(summary.intervals_lost >= 1, "quarantined chunk lost no intervals");
+        prop_assert_eq!(
+            trace.intervals().len() as u64 + summary.intervals_lost,
+            reference_total_intervals()
+        );
+    }
+
+    /// Zeroing a whole chunk frame (a torn write) costs exactly that
+    /// chunk: the reader resynchronises on the next frame and the index
+    /// gap accounts every lost interval — emitted + lost == total.
+    #[test]
+    fn torn_chunk_loses_exactly_one_chunk(chunk_pick in 0usize..64) {
+        let bytes = reference_bytes();
+        let spans = frame_spans(bytes).unwrap();
+        let chunks: Vec<_> =
+            spans.iter().filter(|s| s.kind == FrameKind::Chunk).collect();
+        let span = chunks[chunk_pick % chunks.len()];
+        let mut corrupt = bytes.to_vec();
+        corrupt[span.offset..span.offset + span.len].fill(0);
+        let (trace, summary) = decode_trace(&corrupt, DefectPolicy::Quarantine).unwrap();
+        prop_assert_eq!(summary.intervals_lost, 16);
+        prop_assert_eq!(
+            trace.intervals().len() as u64 + summary.intervals_lost,
+            reference_total_intervals()
+        );
+        prop_assert!(summary.defects.total() >= 1);
+    }
+}
