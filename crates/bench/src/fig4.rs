@@ -116,7 +116,7 @@ pub fn render() -> Result<String, PdnError> {
             format!("{:.1}%", p.measured * 100.0),
         ]);
     }
-    Ok(format!("{}\n{}\n{stats}\n", summary.render(), panel_j.render()))
+    Ok(format!("{}\n{}\n{}\n", summary.render(), panel_j.render(), stats.deterministic_footer()))
 }
 
 #[cfg(test)]

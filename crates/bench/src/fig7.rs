@@ -111,7 +111,7 @@ pub fn render() -> Result<String, PdnError> {
     let mut cells = vec!["Average".to_string(), String::new()];
     cells.extend(avg.iter().map(|p| format!("{:.1}%", p * 100.0)));
     t.row(cells);
-    Ok(format!("{}\n{stats}\n", t.render()))
+    Ok(format!("{}\n{}\n", t.render(), stats.deterministic_footer()))
 }
 
 #[cfg(test)]

@@ -260,12 +260,13 @@ pub fn render() -> Result<String, PdnError> {
     stats.absorb(&c_stats);
     stats.absorb(&de_stats);
     Ok(format!(
-        "{}\n{}\n{}\n{}\n{}\n{stats}\n",
+        "{}\n{}\n{}\n{}\n{}\n{}\n",
         a.render("%"),
         b.render("%"),
         c.render("%"),
         d.render("x"),
-        e.render("x")
+        e.render("x"),
+        stats.deterministic_footer()
     ))
 }
 

@@ -65,7 +65,8 @@ pub fn crossover_map() -> Result<String, PdnError> {
         out.push_str(&t.render());
         out.push('\n');
     }
-    out.push_str(&format!("{stats}\n"));
+    out.push_str(&stats.deterministic_footer());
+    out.push('\n');
     Ok(out)
 }
 

@@ -3,7 +3,7 @@
 //!
 //! The paper's value proposition is that the analytical model is *fast*
 //! enough to sweep thousands of (TDP, workload, AR, C-state) points per
-//! PDN; this module turns that into a protected number. Five kernels are
+//! PDN; this module turns that into a protected number. Six kernels are
 //! timed:
 //!
 //! * **batch_sweep** — the full design-space lattice sweep
@@ -18,7 +18,11 @@
 //!   entirely from the cache;
 //! * **crossover_scan** — repeated crossover-TDP searches (grid scan plus
 //!   bisection probes) through one shared cache; the second round re-runs
-//!   every pair fully cached.
+//!   every pair fully cached;
+//! * **delta_sweep** — the incremental dirty-slab re-sweep
+//!   ([`pdnspot::sweep::surfaces_delta`]): one TDP axis value changes and
+//!   only the dirtied slab is re-evaluated, patching the prior surfaces
+//!   in place bit-identically to a full re-sweep.
 //!
 //! Each kernel reports wall time, points/sec, ns/point, heap allocations
 //! per point (counted by the `perf` binary's instrumented global
@@ -88,14 +92,35 @@ impl KernelReport {
     }
 }
 
-/// Times `f`, returning its result plus `(wall_s, allocations)`.
-fn measure<R>(f: impl FnOnce() -> R) -> (R, f64, u64) {
-    let allocs_before = ALLOC_COUNT.load(Ordering::Relaxed);
-    let start = Instant::now();
-    let out = f();
-    let wall = start.elapsed().as_secs_f64();
-    let allocs = ALLOC_COUNT.load(Ordering::Relaxed) - allocs_before;
-    (out, wall, allocs)
+/// Timed repetitions per kernel: the report carries the *minimum* wall
+/// time. A single pass over a ~1 ms workload is at the mercy of scheduler
+/// preemption and allocator state — back-to-back runs of an identical
+/// binary spread by ±30%, which is exactly the flakiness a CI regression
+/// gate cannot absorb. The minimum of a few runs is the run least
+/// disturbed by noise and is stable to a few percent.
+const PERF_REPEATS: usize = 5;
+
+/// Times `f` over [`PERF_REPEATS`] runs, returning the last run's result
+/// plus `(min_wall_s, allocations_of_one_run)`.
+///
+/// Every kernel closure is deterministic and self-contained (fresh memo
+/// caches and same-seed reference units are built inside the closure), so
+/// repeated runs return bit-identical results and the digest does not
+/// depend on which run is reported.
+fn measure<R>(mut f: impl FnMut() -> R) -> (R, f64, u64) {
+    let mut best_wall = f64::INFINITY;
+    let mut out = None;
+    let mut allocs = 0;
+    for _ in 0..PERF_REPEATS {
+        let allocs_before = ALLOC_COUNT.load(Ordering::Relaxed);
+        let start = Instant::now();
+        let r = f();
+        let wall = start.elapsed().as_secs_f64();
+        allocs = ALLOC_COUNT.load(Ordering::Relaxed) - allocs_before;
+        best_wall = best_wall.min(wall);
+        out = Some(r);
+    }
+    (out.expect("PERF_REPEATS is nonzero"), best_wall, allocs)
 }
 
 /// Formats a digest float: enough digits to pin every bit of a double.
@@ -178,13 +203,18 @@ pub fn validation_kernel(quick: bool) -> KernelReport {
             }
         }
     }
-    // Separate same-seed units for warmup and the timed run: the noise
-    // stream is per-unit state, so this keeps the digest deterministic.
+    // The noise stream is per-unit state, so warmup and every timed
+    // repetition consume their own same-seed unit: each run replays the
+    // identical stream, keeping the digest deterministic while the
+    // (surface-compiling) unit construction stays outside the timing.
     let warm = ReferenceSystem::new(42);
     let _ = validate_with(&pdn, &warm, &scenarios, Workers::Serial);
-    let reference = ReferenceSystem::new(42);
-    let (report, wall_s, allocations) =
-        measure(|| validate_with(&pdn, &reference, &scenarios, Workers::Serial));
+    let mut units: Vec<ReferenceSystem> =
+        (0..PERF_REPEATS).map(|_| ReferenceSystem::new(42)).collect();
+    let (report, wall_s, allocations) = measure(|| {
+        let reference = units.pop().expect("one reference unit per repetition");
+        validate_with(&pdn, &reference, &scenarios, Workers::Serial)
+    });
     let report = report.expect("validation campaign succeeds");
     KernelReport {
         name: "validation",
@@ -368,7 +398,77 @@ pub fn crossover_kernel(quick: bool) -> KernelReport {
     }
 }
 
-/// Runs all five kernels.
+/// Kernel 6: the incremental dirty-slab re-sweep. A prior surface
+/// campaign over the active batch lattice is patched after one TDP axis
+/// value changes: [`SweepGrid::diff`] computes the dirty slab and
+/// [`pdnspot::sweep::surfaces_delta`] re-evaluates only that slab in
+/// place. The timed run covers the whole patched campaign, so the
+/// reported ns/point is directly comparable with `batch_sweep`'s — the
+/// ratio is the dirty-slab speedup the CI gate protects. The digest pins
+/// the dirty evaluation count and that the patched surfaces equal a
+/// from-scratch re-sweep of the new grid bit for bit.
+pub fn delta_kernel(quick: bool) -> KernelReport {
+    use pdnspot::sweep::{surfaces, surfaces_delta};
+
+    let params = ModelParams::paper_defaults();
+    let ivr = IvrPdn::new(params.clone());
+    let mbvr = MbvrPdn::new(params.clone());
+    let ldo = LdoPdn::new(params.clone());
+    let iplus = IPlusMbvrPdn::new(params);
+    let pdns: [&dyn Pdn; 4] = [&ivr, &mbvr, &ldo, &iplus];
+    // The active sub-lattice of the batch-sweep grid (surfaces are
+    // defined on active lattices), with the middle TDP nudged: the delta
+    // is one TDP slab out of the axis.
+    let base = sweep_grid(quick);
+    let old = SweepGrid::active(base.tdps(), base.workload_types(), base.ars())
+        .expect("static lattice is valid");
+    let mut tdps = old.tdps().to_vec();
+    let mid = tdps.len() / 2;
+    tdps[mid] += 1.0;
+    let new =
+        SweepGrid::active(&tdps, old.workload_types(), old.ars()).expect("static lattice is valid");
+    let delta = new.diff(&old);
+    let cfg = EngineConfig::builder().workers(Workers::Serial).build().expect("valid config");
+    // Untimed setup: the prior campaign being patched, and the
+    // from-scratch re-sweep the patch must reproduce.
+    let (prior, _) =
+        surfaces(&pdns, &old, &ClientSoc, &cfg, None).expect("prior campaign succeeds");
+    let (full, _) = surfaces(&pdns, &new, &ClientSoc, &cfg, None).expect("full re-sweep succeeds");
+    let run = || {
+        let mut patched = prior.clone();
+        let stats = surfaces_delta(&pdns, &new, &delta, &mut patched, &ClientSoc, &cfg, None)
+            .expect("delta re-sweep succeeds");
+        (patched, stats)
+    };
+    let _ = run();
+    let ((patched, stats), wall_s, allocations) = measure(run);
+    let full_points = pdns.len() * new.n_points();
+    let etee_sum: f64 = patched.iter().flat_map(|s| s.values.iter()).sum();
+    let matches_full = patched.len() == full.len()
+        && patched.iter().zip(&full).all(|(p, f)| {
+            p.tdps == f.tdps
+                && p.ars == f.ars
+                && p.values.len() == f.values.len()
+                && p.values.iter().zip(&f.values).all(|(a, b)| a.to_bits() == b.to_bits())
+        });
+    KernelReport {
+        name: "delta_sweep",
+        // The patched campaign covers the whole lattice; the timed work
+        // is the dirty slab only. Counting full points makes ns/point the
+        // effective cost of keeping the campaign fresh.
+        points: full_points,
+        wall_s,
+        allocations,
+        digest: format!(
+            "dirty_evals={} full_points={full_points} etee_sum={} matches_full={}",
+            stats.evaluations,
+            digest_f64(etee_sum),
+            u8::from(matches_full)
+        ),
+    }
+}
+
+/// Runs all six kernels.
 pub fn run_all(quick: bool) -> Vec<KernelReport> {
     vec![
         batch_kernel(quick),
@@ -376,6 +476,7 @@ pub fn run_all(quick: bool) -> Vec<KernelReport> {
         runtime_kernel(quick),
         memo_kernel(quick),
         crossover_kernel(quick),
+        delta_kernel(quick),
     ]
 }
 
@@ -512,6 +613,15 @@ mod tests {
         assert!(k.digest.contains("round2_hit_rate=1.00000000000000000e0"), "{}", k.digest);
         assert!(k.points > 0);
         assert!(k.digest.contains("searches=6"), "{}", k.digest);
+    }
+
+    #[test]
+    fn delta_kernel_patch_is_bit_identical_to_the_full_resweep() {
+        let k = delta_kernel(true);
+        assert!(k.digest.contains("matches_full=1"), "{}", k.digest);
+        assert!(k.points > 0);
+        let again = delta_kernel(true);
+        assert_eq!(k.digest, again.digest, "digest must be run-to-run deterministic");
     }
 
     #[test]

@@ -5,9 +5,10 @@
 use pdn_bench::fig4::PANEL_TDPS;
 use pdn_bench::suite::{five_pdns, ARS, TDPS};
 use pdn_proc::PackageCState;
+use pdn_units::ApplicationRatio;
 use pdn_workload::WorkloadType;
-use pdnspot::batch::{evaluate, BatchOutcome, ClientSoc};
-use pdnspot::{EngineConfig, ModelParams, Pdn, SweepGrid, Workers};
+use pdnspot::batch::{evaluate, evaluate_delta, BatchOutcome, ClientSoc};
+use pdnspot::{EngineConfig, ModelParams, Pdn, Scenario, SweepGrid, Workers};
 use proptest::prelude::*;
 
 fn cfg(workers: Workers) -> EngineConfig {
@@ -78,6 +79,19 @@ fn named_worker_counts_are_bit_identical_on_figure_grids() {
     }
 }
 
+/// A random sub-grid of the paper's axes: any non-empty TDP subset, any
+/// workload-type subset, any AR subset, any idle-state subset — as long
+/// as the grid has at least one point.
+fn grid_strategy() -> impl Strategy<Value = SweepGrid> {
+    let tdps = prop::sample::subsequence(TDPS.to_vec(), 1..=3);
+    let wls = prop::sample::subsequence(WorkloadType::ACTIVE_TYPES.to_vec(), 0..=2);
+    let ars = prop::sample::subsequence(ARS.to_vec(), 0..=3);
+    let idles = prop::sample::subsequence(PackageCState::ALL.to_vec(), 0..=2);
+    (tdps, wls, ars, idles).prop_filter_map("grid needs at least one point", |(t, w, a, s)| {
+        SweepGrid::builder().tdps(&t).workload_types(&w).ars(&a).idle_states(&s).build().ok()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -94,5 +108,125 @@ proptest! {
         let run = evaluate(&pdns, &grid, &ClientSoc, &cfg(Workers::Fixed(w)), None);
         assert_bit_identical(&serial, &run, &format!("fig4 w={w}"));
         prop_assert_eq!(run.stats.workers, w.min(serial.stats.evaluations));
+    }
+
+    /// The row-kernel batch path equals the scalar per-point path bit for
+    /// bit on any grid shape (random row lengths along both the AR and
+    /// idle-state axes) and any worker count: every evaluation matches
+    /// `Pdn::evaluate` on a scenario built by the unstaged per-point
+    /// constructor.
+    #[test]
+    fn row_kernels_match_scalar_per_point_on_random_grids(
+        grid in grid_strategy(),
+        w in 1usize..9,
+    ) {
+        let params = ModelParams::paper_defaults();
+        let ivr = pdnspot::IvrPdn::new(params.clone());
+        let ldo = pdnspot::LdoPdn::new(params);
+        let pdns: [&dyn Pdn; 2] = [&ivr, &ldo];
+        let run = evaluate(&pdns, &grid, &ClientSoc, &cfg(Workers::Fixed(w)), None);
+        prop_assert_eq!(run.stats.failed, 0);
+        for eval in &run.evaluations {
+            let soc = pdn_proc::client_soc(pdn_units::Watts::new(
+                grid.tdps()[eval.point.tdp_idx()],
+            ));
+            let scenario = match eval.point {
+                pdnspot::batch::LatticePoint::Active { wl_idx, ar_idx, .. } => {
+                    Scenario::active_fixed_tdp_frequency(
+                        &soc,
+                        grid.workload_types()[wl_idx],
+                        ApplicationRatio::new(grid.ars()[ar_idx]).unwrap(),
+                    )
+                    .unwrap()
+                }
+                pdnspot::batch::LatticePoint::Idle { state_idx, .. } => {
+                    Scenario::idle(&soc, grid.idle_states()[state_idx])
+                }
+            };
+            let scalar = pdns[eval.pdn_idx].evaluate(&scenario).unwrap();
+            let row = eval.result.as_ref().unwrap();
+            prop_assert_eq!(
+                row.etee.get().to_bits(),
+                scalar.etee.get().to_bits(),
+                "EtEE bits at {:?}",
+                eval.point
+            );
+            prop_assert_eq!(
+                row.input_power.get().to_bits(),
+                scalar.input_power.get().to_bits(),
+                "input power bits at {:?}",
+                eval.point
+            );
+        }
+    }
+
+    /// `evaluate_delta` equals the full re-sweep bit for bit for random
+    /// axis perturbations: every dirty point's fresh evaluation matches
+    /// the full run's, and the dirty set covers exactly the points whose
+    /// prior evaluations went stale (patching the old outcome with the
+    /// delta reproduces the new one everywhere).
+    #[test]
+    fn delta_resweep_matches_full_resweep_for_random_perturbations(
+        grid in grid_strategy(),
+        tdp_pick in any::<prop::sample::Index>(),
+        ar_pick in any::<prop::sample::Index>(),
+        perturb_tdp in any::<bool>(),
+        perturb_ar in any::<bool>(),
+        w in 1usize..9,
+    ) {
+        let params = ModelParams::paper_defaults();
+        let ivr = pdnspot::IvrPdn::new(params.clone());
+        let mbvr = pdnspot::MbvrPdn::new(params);
+        let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
+        // Perturb up to one TDP and one AR of the old grid.
+        let mut tdps = grid.tdps().to_vec();
+        if perturb_tdp {
+            let i = tdp_pick.index(tdps.len());
+            tdps[i] += 0.75;
+        }
+        let mut ars = grid.ars().to_vec();
+        if perturb_ar && !ars.is_empty() {
+            let i = ar_pick.index(ars.len());
+            ars[i] *= 0.95;
+        }
+        let new = SweepGrid::builder()
+            .tdps(&tdps)
+            .workload_types(grid.workload_types())
+            .ars(&ars)
+            .idle_states(grid.idle_states())
+            .build()
+            .unwrap();
+        let delta = new.diff(&grid);
+        let old_run = evaluate(&pdns, &grid, &ClientSoc, &cfg(Workers::Serial), None);
+        let full = evaluate(&pdns, &new, &ClientSoc, &cfg(Workers::Serial), None);
+        let partial =
+            evaluate_delta(&pdns, &new, &delta, &ClientSoc, &cfg(Workers::Fixed(w)), None);
+        prop_assert_eq!(partial.stats.failed, 0);
+        prop_assert_eq!(partial.evaluations.len(), pdns.len() * delta.n_dirty_points(&new));
+        // Patch the old campaign with the delta; the result must equal
+        // the full re-sweep at every point, dirty and clean alike.
+        let mut patched = old_run.evaluations;
+        for eval in partial.evaluations {
+            prop_assert!(delta.contains(eval.point), "only dirty points re-evaluate");
+            let slot = eval.pdn_idx * new.n_points() + new.point_index(eval.point);
+            patched[slot] = eval;
+        }
+        for (p, f) in patched.iter().zip(&full.evaluations) {
+            prop_assert_eq!(p.pdn_idx, f.pdn_idx);
+            prop_assert_eq!(p.point, f.point);
+            let (a, b) = (p.result.as_ref().unwrap(), f.result.as_ref().unwrap());
+            prop_assert_eq!(
+                a.etee.get().to_bits(),
+                b.etee.get().to_bits(),
+                "EtEE bits at {:?}",
+                p.point
+            );
+            prop_assert_eq!(
+                a.input_power.get().to_bits(),
+                b.input_power.get().to_bits(),
+                "input power bits at {:?}",
+                p.point
+            );
+        }
     }
 }

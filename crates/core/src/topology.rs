@@ -11,18 +11,18 @@
 //! trails the best static PDN by < 1 % at each end of the TDP range.
 
 use crate::hybrid::HybridVr;
-use pdn_proc::DomainKind;
+use pdn_proc::{DomainKind, DomainTable};
 use pdn_units::{Amps, Volts, Watts};
 use pdn_vr::{presets, BuckConverter, OperatingPoint, VoltageRegulator};
 use pdnspot::etee::{
-    board_vr_stage, load_line_domain_stage, load_line_stage, LossBreakdown, StagedPoint, Stager,
+    board_vr_stage, load_line_domain_stage, load_line_stage, LossBreakdown, RowStage, StagedPoint,
+    Stager,
 };
 use pdnspot::topology::{
     dedicated_rail_flow_with, pdn_memo_token, power_gate_impedance, OffchipRail,
 };
 use pdnspot::{DirectStager, ModelParams, Pdn, PdnError, PdnEvaluation, PdnKind, Scenario};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// The two operating modes of the FlexWatts hybrid PDN.
@@ -73,20 +73,19 @@ pub struct FlexWattsPdn {
     vin_vr: BuckConverter,
     sa_vr: BuckConverter,
     io_vr: BuckConverter,
-    hybrids: BTreeMap<DomainKind, HybridVr>,
+    hybrids: DomainTable<Option<HybridVr>>,
 }
 
 impl FlexWattsPdn {
     /// Builds the FlexWatts PDN in the given mode.
     pub fn new(params: ModelParams, mode: PdnMode) -> Self {
-        let hybrids: BTreeMap<DomainKind, HybridVr> = DomainKind::WIDE_RANGE
-            .iter()
-            .map(|&k| {
+        let hybrids = DomainTable::from_fn(|k| {
+            k.is_wide_range().then(|| {
                 let mut vr = HybridVr::new(format!("HVR_{}", k.rail_name()));
                 vr.set_mode(mode);
-                (k, vr)
+                vr
             })
-            .collect();
+        });
         Self {
             params,
             mode,
@@ -152,7 +151,8 @@ impl FlexWattsPdn {
             breakdown.other += gb.power - load.nominal_power;
             let iout = gb.power / gb.voltage;
             let op = OperatingPoint::new(p.vin_level, gb.voltage, iout);
-            let eta = self.hybrids[&kind].efficiency(op)?;
+            let hvr = self.hybrids.get(kind).as_ref().expect("wide-range domains carry a HVR");
+            let eta = hvr.efficiency(op)?;
             let pin_d = gb.power / eta;
             breakdown.vr_loss += pin_d - gb.power;
             p_in += pin_d;
@@ -216,7 +216,8 @@ impl FlexWattsPdn {
                 breakdown.other += gb.power - load.nominal_power;
                 let iout = gb.power / gb.voltage;
                 let op = OperatingPoint::new(vin_rail, gb.voltage, iout);
-                let eta = self.hybrids[&kind].efficiency(op)?;
+                let hvr = self.hybrids.get(kind).as_ref().expect("wide-range domains carry a HVR");
+                let eta = hvr.efficiency(op)?;
                 let pin_d = gb.power / eta;
                 breakdown.vr_loss += pin_d - gb.power;
                 fl_weighted += load.leakage_fraction.get() * pin_d.get();
@@ -324,6 +325,14 @@ impl Pdn for FlexWattsPdn {
         self.evaluate_with(scenario, staged)
     }
 
+    fn evaluate_row(
+        &self,
+        scenarios: &[Scenario],
+        row: &RowStage,
+    ) -> Vec<Result<PdnEvaluation, PdnError>> {
+        scenarios.iter().map(|s| self.evaluate_with(s, row)).collect()
+    }
+
     fn memo_token(&self) -> Option<u64> {
         let flavor = match self.mode {
             PdnMode::IvrMode => 0,
@@ -341,7 +350,8 @@ impl Pdn for FlexWattsPdn {
     /// [`FlexWattsPdn::vin_protection_limit`], beyond which the PMU's
     /// maximum-current protection forces IVR-Mode.
     fn offchip_rails(&self, soc: &pdn_proc::SocSpec) -> Result<Vec<OffchipRail>, PdnError> {
-        let mut merged: BTreeMap<String, OffchipRail> = BTreeMap::new();
+        let mut merged: std::collections::BTreeMap<String, OffchipRail> =
+            std::collections::BTreeMap::new();
         let pdn = FlexWattsPdn::new(self.params.clone(), PdnMode::IvrMode);
         for wl in [pdn_workload::WorkloadType::MultiThread, pdn_workload::WorkloadType::Graphics] {
             let virus = Scenario::power_virus_at_tdp(soc, wl)?;

@@ -9,12 +9,17 @@
 //! facts:
 //!
 //! * a shared [scenario cache](ScenarioCache) guarantees each lattice
-//!   point's scenario is built **exactly once** no matter how many PDNs
-//!   or threads consume it;
+//!   **row** — one varying innermost axis, every other coordinate fixed —
+//!   is built **exactly once** no matter how many PDNs or threads consume
+//!   it, with the row-invariant front half (bisection solve, virus
+//!   tables, per-domain hoists) computed once per row;
 //! * a scoped-thread worker pool (sized from
-//!   [`std::thread::available_parallelism`]) fans the `pdn × point`
-//!   task lattice out and merges results back into **stable lattice
-//!   order**, so parallel and serial runs return bit-identical values;
+//!   [`std::thread::available_parallelism`]) fans the `pdn × row`
+//!   task lattice out — each task runs the row kernel
+//!   ([`Pdn::evaluate_row`]) with a task-local lock-free
+//!   [`RowStage`] — and merges per-point results back into **stable
+//!   lattice order**, so parallel and serial runs return bit-identical
+//!   values;
 //! * failures are captured **per point** — a scenario the solver cannot
 //!   bracket or a regulator that rejects an operating point records its
 //!   lattice coordinates ([`PdnError::Lattice`]) instead of aborting the
@@ -34,7 +39,7 @@
 
 use crate::config::EngineConfig;
 use crate::error::PdnError;
-use crate::etee::{PdnEvaluation, StagedPoint};
+use crate::etee::{PdnEvaluation, RowStage};
 use crate::memo::MemoCache;
 use crate::scenario::{DomainLoad, Scenario};
 use crate::topology::Pdn;
@@ -263,6 +268,195 @@ impl SweepGrid {
             }
         }
     }
+
+    /// Number of active rows (TDP × workload type, each spanning the AR
+    /// axis). Zero when the active sub-lattice is empty.
+    pub fn n_active_rows(&self) -> usize {
+        if self.n_active() == 0 {
+            0
+        } else {
+            self.tdps.len() * self.workload_types.len()
+        }
+    }
+
+    /// Number of idle rows (one per TDP, each spanning the power-state
+    /// axis). Zero when the idle sub-lattice is empty.
+    pub fn n_idle_rows(&self) -> usize {
+        if self.idle_states.is_empty() {
+            0
+        } else {
+            self.tdps.len()
+        }
+    }
+
+    /// Total number of lattice rows. Every point belongs to exactly one
+    /// row, and walking the rows in index order visits the points in
+    /// their canonical [`SweepGrid::points`] order.
+    pub fn n_rows(&self) -> usize {
+        self.n_active_rows() + self.n_idle_rows()
+    }
+
+    /// The row at position `idx`: active rows first (TDP-major, then
+    /// workload type), then one idle row per TDP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.n_rows()`.
+    pub fn row_at(&self, idx: usize) -> LatticeRow {
+        assert!(idx < self.n_rows(), "lattice row index {idx} out of range");
+        let n_active_rows = self.n_active_rows();
+        if idx < n_active_rows {
+            LatticeRow::Active {
+                tdp_idx: idx / self.workload_types.len(),
+                wl_idx: idx % self.workload_types.len(),
+            }
+        } else {
+            LatticeRow::Idle { tdp_idx: idx - n_active_rows }
+        }
+    }
+
+    /// The contiguous range of [`SweepGrid::points`] indices a row
+    /// covers: active rows span the AR axis, idle rows the power-state
+    /// axis.
+    pub fn row_span(&self, row: LatticeRow) -> std::ops::Range<usize> {
+        match row {
+            LatticeRow::Active { tdp_idx, wl_idx } => {
+                let start = (tdp_idx * self.workload_types.len() + wl_idx) * self.ars.len();
+                start..start + self.ars.len()
+            }
+            LatticeRow::Idle { tdp_idx } => {
+                let start = self.n_active() + tdp_idx * self.idle_states.len();
+                start..start + self.idle_states.len()
+            }
+        }
+    }
+
+    /// Human-readable coordinates of a row (the varying axis shown as
+    /// `*`), used in [`PdnError::Lattice`] for row-level build failures.
+    pub fn describe_row(&self, row: LatticeRow) -> String {
+        match row {
+            LatticeRow::Active { tdp_idx, wl_idx } => {
+                format!("tdp={}W wl={} ar=*", self.tdps[tdp_idx], self.workload_types[wl_idx])
+            }
+            LatticeRow::Idle { tdp_idx } => format!("tdp={}W state=*", self.tdps[tdp_idx]),
+        }
+    }
+
+    /// The position of `point` in the [`SweepGrid::points`] order — the
+    /// inverse of [`SweepGrid::point_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate of `point` is out of range for this
+    /// grid's axes.
+    pub fn point_index(&self, point: LatticePoint) -> usize {
+        match point {
+            LatticePoint::Active { tdp_idx, wl_idx, ar_idx } => {
+                assert!(
+                    tdp_idx < self.tdps.len()
+                        && wl_idx < self.workload_types.len()
+                        && ar_idx < self.ars.len(),
+                    "active point {point:?} out of range"
+                );
+                (tdp_idx * self.workload_types.len() + wl_idx) * self.ars.len() + ar_idx
+            }
+            LatticePoint::Idle { tdp_idx, state_idx } => {
+                assert!(
+                    tdp_idx < self.tdps.len() && state_idx < self.idle_states.len(),
+                    "idle point {point:?} out of range"
+                );
+                self.n_active() + tdp_idx * self.idle_states.len() + state_idx
+            }
+        }
+    }
+
+    /// Computes the dirtied sub-lattice between this grid and `old`: the
+    /// per-axis indices at which the two grids disagree. `self` is the
+    /// *new* grid (the one a delta re-sweep evaluates); `old` is the grid
+    /// a prior campaign ran on.
+    ///
+    /// Axes are compared pointwise and exactly (`f64` values by their
+    /// bits), so any change an evaluation could observe marks the index
+    /// dirty. An axis whose *length* changed cannot be aligned pointwise
+    /// and is marked fully dirty — every index of the new axis — which
+    /// makes every point touching it dirty and leaves nothing stale to
+    /// reuse.
+    pub fn diff(&self, old: &SweepGrid) -> GridDelta {
+        fn dirty_by<T>(new: &[T], old: &[T], same: impl Fn(&T, &T) -> bool) -> Vec<usize> {
+            if new.len() != old.len() {
+                return (0..new.len()).collect();
+            }
+            new.iter()
+                .zip(old)
+                .enumerate()
+                .filter_map(|(i, (n, o))| (!same(n, o)).then_some(i))
+                .collect()
+        }
+        GridDelta {
+            tdps: dirty_by(&self.tdps, &old.tdps, |a, b| a.to_bits() == b.to_bits()),
+            workload_types: dirty_by(&self.workload_types, &old.workload_types, |a, b| a == b),
+            ars: dirty_by(&self.ars, &old.ars, |a, b| a.to_bits() == b.to_bits()),
+            idle_states: dirty_by(&self.idle_states, &old.idle_states, |a, b| a == b),
+        }
+    }
+}
+
+/// The dirtied slab between two [`SweepGrid`]s, as computed by
+/// [`SweepGrid::diff`]: the per-axis indices whose values changed.
+///
+/// A lattice point is **dirty** — its prior evaluation is stale — when
+/// any of its coordinates lands on a dirty axis index. The dirty set is
+/// therefore a union of axis-aligned slabs (one per dirty index), which
+/// [`evaluate_delta`] re-evaluates without touching the clean remainder.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GridDelta {
+    /// Dirty indices into the new grid's TDP axis (sorted).
+    tdps: Vec<usize>,
+    /// Dirty indices into the new grid's workload-type axis (sorted).
+    workload_types: Vec<usize>,
+    /// Dirty indices into the new grid's AR axis (sorted).
+    ars: Vec<usize>,
+    /// Dirty indices into the new grid's idle-state axis (sorted).
+    idle_states: Vec<usize>,
+}
+
+impl GridDelta {
+    /// Whether the delta is empty (the grids were identical; nothing to
+    /// re-evaluate).
+    pub fn is_empty(&self) -> bool {
+        self.tdps.is_empty()
+            && self.workload_types.is_empty()
+            && self.ars.is_empty()
+            && self.idle_states.is_empty()
+    }
+
+    /// Whether `point` is dirty under this delta.
+    pub fn contains(&self, point: LatticePoint) -> bool {
+        match point {
+            LatticePoint::Active { tdp_idx, wl_idx, ar_idx } => {
+                self.tdps.contains(&tdp_idx)
+                    || self.workload_types.contains(&wl_idx)
+                    || self.ars.contains(&ar_idx)
+            }
+            LatticePoint::Idle { tdp_idx, state_idx } => {
+                self.tdps.contains(&tdp_idx) || self.idle_states.contains(&state_idx)
+            }
+        }
+    }
+
+    /// Number of dirty points of `grid` (per PDN).
+    pub fn n_dirty_points(&self, grid: &SweepGrid) -> usize {
+        let clean_t = grid.tdps.len() - self.tdps.len();
+        let clean_active = if grid.n_active() == 0 {
+            0
+        } else {
+            clean_t
+                * (grid.workload_types.len() - self.workload_types.len())
+                * (grid.ars.len() - self.ars.len())
+        };
+        let clean_idle = clean_t * (grid.idle_states.len() - self.idle_states.len());
+        grid.n_points() - clean_active - clean_idle
+    }
 }
 
 /// Coordinates of one point in a [`SweepGrid`] lattice (indices into the
@@ -292,6 +486,34 @@ impl LatticePoint {
     pub fn tdp_idx(self) -> usize {
         match self {
             LatticePoint::Active { tdp_idx, .. } | LatticePoint::Idle { tdp_idx, .. } => tdp_idx,
+        }
+    }
+}
+
+/// Coordinates of one row in a [`SweepGrid`] lattice: every axis fixed
+/// except the innermost one (AR for active rows, power state for idle
+/// rows), which the row kernel sweeps in one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatticeRow {
+    /// An active row: one (TDP, workload type) pair across the AR axis.
+    Active {
+        /// Index into [`SweepGrid::tdps`].
+        tdp_idx: usize,
+        /// Index into [`SweepGrid::workload_types`].
+        wl_idx: usize,
+    },
+    /// An idle row: one TDP across the power-state axis.
+    Idle {
+        /// Index into [`SweepGrid::tdps`].
+        tdp_idx: usize,
+    },
+}
+
+impl LatticeRow {
+    /// The TDP-axis index of the row.
+    pub fn tdp_idx(self) -> usize {
+        match self {
+            LatticeRow::Active { tdp_idx, .. } | LatticeRow::Idle { tdp_idx } => tdp_idx,
         }
     }
 }
@@ -506,11 +728,13 @@ where
 
 /// The write-once scenario store shared by all workers of a batch run.
 ///
-/// Indexed by lattice-point position (not floating-point keys), with a
+/// Indexed by lattice-row position (not floating-point keys), with a
 /// per-TDP SoC sub-cache. [`OnceLock`] gives build-exactly-once
-/// semantics: the first worker to need a point builds it, concurrent
-/// requesters block until the value is ready, and every later lookup is
-/// a hit.
+/// semantics: the first worker to need a row builds all of its
+/// scenarios in one call through the row constructors (which hoist the
+/// bisection solve, virus tables, and per-domain power terms out of the
+/// per-point loop); concurrent requesters block until the row is ready,
+/// and every later lookup is a hit.
 struct ScenarioCache<'g, P: ?Sized> {
     grid: &'g SweepGrid,
     provider: &'g P,
@@ -523,13 +747,19 @@ struct ScenarioCache<'g, P: ?Sized> {
     active_virus: Vec<OnceLock<[DomainTable<DomainLoad>; 2]>>,
     /// Per-TDP idle-point (fmin-sized) virus load tables.
     idle_virus: Vec<OnceLock<[DomainTable<DomainLoad>; 2]>>,
-    scenarios: Vec<OnceLock<Result<Scenario, PdnError>>>,
+    /// Validated AR axis plus each AR's formatted name suffix, built once
+    /// per sweep: the fixed-precision float `Display` in a scenario name
+    /// costs more than the rest of the point's construction, and the
+    /// suffix set is shared by every active row.
+    #[allow(clippy::type_complexity)]
+    ar_axis: OnceLock<Result<(Vec<ApplicationRatio>, Vec<String>), PdnError>>,
+    rows: Vec<OnceLock<Result<Vec<Scenario>, PdnError>>>,
     lookups: AtomicUsize,
     builds: AtomicUsize,
 }
 
 impl<'g, P: SocProvider + ?Sized> ScenarioCache<'g, P> {
-    fn new(grid: &'g SweepGrid, provider: &'g P, n_points: usize) -> Self {
+    fn new(grid: &'g SweepGrid, provider: &'g P) -> Self {
         let n_tdps = grid.tdps.len();
         Self {
             grid,
@@ -538,7 +768,8 @@ impl<'g, P: SocProvider + ?Sized> ScenarioCache<'g, P> {
             solved_t: (0..n_tdps * grid.workload_types.len()).map(|_| OnceLock::new()).collect(),
             active_virus: (0..n_tdps).map(|_| OnceLock::new()).collect(),
             idle_virus: (0..n_tdps).map(|_| OnceLock::new()).collect(),
-            scenarios: (0..n_points).map(|_| OnceLock::new()).collect(),
+            ar_axis: OnceLock::new(),
+            rows: (0..grid.n_rows()).map(|_| OnceLock::new()).collect(),
             lookups: AtomicUsize::new(0),
             builds: AtomicUsize::new(0),
         }
@@ -554,6 +785,19 @@ impl<'g, P: SocProvider + ?Sized> ScenarioCache<'g, P> {
             .get_or_init(|| Scenario::solve_t_fixed_tdp(soc, self.grid.workload_types[wl_idx]))
     }
 
+    fn ar_axis(&self) -> &Result<(Vec<ApplicationRatio>, Vec<String>), PdnError> {
+        self.ar_axis.get_or_init(|| {
+            let ars: Vec<ApplicationRatio> = self
+                .grid
+                .ars
+                .iter()
+                .map(|&ar| ApplicationRatio::new(ar).map_err(PdnError::Units))
+                .collect::<Result<_, _>>()?;
+            let suffixes = ars.iter().map(|&ar| Scenario::ar_suffix(ar)).collect();
+            Ok((ars, suffixes))
+        })
+    }
+
     fn active_virus(&self, tdp_idx: usize, soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
         *self.active_virus[tdp_idx].get_or_init(|| Scenario::tdp_virus_loads(soc))
     }
@@ -562,43 +806,52 @@ impl<'g, P: SocProvider + ?Sized> ScenarioCache<'g, P> {
         *self.idle_virus[tdp_idx].get_or_init(|| Scenario::fmin_virus_loads(soc))
     }
 
-    /// Builds one point's scenario from the staged per-TDP ingredients.
-    /// Bit-identical to the unstaged [`Scenario`] constructors: the
-    /// staged values are exactly what those constructors would recompute
-    /// for every point of the row.
-    fn build_staged(&self, point: LatticePoint) -> Result<Scenario, PdnError> {
-        let soc = self.soc(point.tdp_idx());
-        match point {
-            LatticePoint::Active { tdp_idx, wl_idx, ar_idx } => {
-                let ar = ApplicationRatio::new(self.grid.ars[ar_idx]).map_err(PdnError::Units)?;
+    /// Builds one row's scenarios through the row constructors.
+    /// Bit-identical to the unstaged per-point [`Scenario`] constructors:
+    /// the hoisted values are exactly what those constructors would
+    /// recompute at every point of the row.
+    fn build_row(&self, row: LatticeRow) -> Result<Vec<Scenario>, PdnError> {
+        let soc = self.soc(row.tdp_idx());
+        match row {
+            LatticeRow::Active { tdp_idx, wl_idx } => {
+                let (ars, suffixes) = match self.ar_axis() {
+                    Ok(axis) => axis,
+                    Err(e) => return Err(e.clone()),
+                };
                 let t = self.solved_t(tdp_idx, wl_idx, soc).clone()?;
-                Scenario::active_fixed_tdp_staged(
+                let virus = self.active_virus(tdp_idx, soc);
+                Scenario::active_fixed_tdp_row(
                     soc,
                     self.grid.workload_types[wl_idx],
-                    ar,
+                    ars,
+                    suffixes,
                     t,
-                    self.active_virus(tdp_idx, soc),
+                    &virus,
                 )
             }
-            LatticePoint::Idle { tdp_idx, state_idx } => Ok(Scenario::idle_staged(
-                soc,
-                self.grid.idle_states[state_idx],
-                self.idle_virus(tdp_idx, soc),
-            )),
+            LatticeRow::Idle { tdp_idx } => {
+                let virus = self.idle_virus(tdp_idx, soc);
+                Ok(Scenario::idle_row(soc, &self.grid.idle_states, &virus))
+            }
         }
     }
 
-    fn scenario(&self, point_idx: usize, point: LatticePoint) -> &Result<Scenario, PdnError> {
-        self.lookups.fetch_add(1, Ordering::Relaxed);
-        self.scenarios[point_idx].get_or_init(|| {
-            self.builds.fetch_add(1, Ordering::Relaxed);
+    fn row(&self, row_idx: usize, row: LatticeRow) -> &Result<Vec<Scenario>, PdnError> {
+        // Counters advance per *point* so hit rates stay comparable with
+        // the historical per-point cache: one row request counts one
+        // lookup per point it covers, and a build counts every point it
+        // constructs.
+        let len = self.grid.row_span(row).len();
+        self.lookups.fetch_add(len, Ordering::Relaxed);
+        self.rows[row_idx].get_or_init(|| {
+            self.builds.fetch_add(len, Ordering::Relaxed);
             // Failures are stored pre-shared: every PDN consuming the
-            // point clones the error, and a clone of a shared error is a
+            // row clones the error, and a clone of a shared error is a
             // refcount bump instead of a deep copy.
-            self.build_staged(point).map_err(|e| {
+            self.build_row(row).map_err(|e| {
                 PdnError::Lattice {
                     pdn: None,
-                    point: self.grid.describe(point),
+                    point: self.grid.describe_row(row),
                     source: Box::new(e),
                 }
                 .into_shared()
@@ -606,10 +859,10 @@ impl<'g, P: SocProvider + ?Sized> ScenarioCache<'g, P> {
         })
     }
 
-    /// Consumes the cache, yielding the scenarios in lattice order
-    /// (unvisited points stay unbuilt and come back as `None`).
-    fn into_scenarios(self) -> Vec<Option<Result<Scenario, PdnError>>> {
-        self.scenarios.into_iter().map(OnceLock::into_inner).collect()
+    /// Consumes the cache, yielding the rows in lattice order (unvisited
+    /// rows stay unbuilt and come back as `None`).
+    fn into_rows(self) -> Vec<Option<Result<Vec<Scenario>, PdnError>>> {
+        self.rows.into_iter().map(OnceLock::into_inner).collect()
     }
 }
 
@@ -674,6 +927,26 @@ impl BatchStats {
     /// Total items claimed across worker-range boundaries.
     pub fn total_stolen(&self) -> usize {
         self.worker_stolen.iter().sum()
+    }
+
+    /// The machine-independent slice of the [`Display`](fmt::Display)
+    /// footer: grid and scenario-cache counts, no wall-clock,
+    /// worker-pool, or steal figures — and no memo counters, whose
+    /// hit/miss split depends on how concurrent workers interleave on
+    /// the shared cache. Figure artefacts embed this form so
+    /// re-rendering on any machine diffs clean against the committed
+    /// file.
+    pub fn deterministic_footer(&self) -> String {
+        format!(
+            "[batch] {} evaluations over {} points ({} failed); scenario cache {:.1}% hits \
+             ({} builds / {} lookups)",
+            self.evaluations,
+            self.points,
+            self.failed,
+            100.0 * self.cache_hit_rate(),
+            self.scenario_builds,
+            self.scenario_lookups,
+        )
     }
 
     /// Folds another run's counters into this one — used by figure
@@ -776,25 +1049,31 @@ pub(crate) fn config_for(workers: Workers) -> EngineConfig {
 /// Evaluates every PDN over every lattice point of `grid` — the unified
 /// batch entry point.
 ///
-/// Scenarios are built at most once each through the shared cache and
-/// reused across PDNs and workers. Per-point failures are captured in
-/// the corresponding [`PointEvaluation::result`] with their lattice
+/// Scenario rows are built at most once each through the shared cache
+/// and reused across PDNs and workers. Workers claim whole `pdn × row`
+/// tasks: each task runs the row kernel ([`Pdn::evaluate_row`]) over the
+/// row's scenarios with a task-local [`RowStage`], so the
+/// PDN-independent staged front half (guardband factors, virus
+/// headrooms) is computed once per row with zero locking and zero
+/// per-point dispatch. Per-point failures are captured in the
+/// corresponding [`PointEvaluation::result`] with their lattice
 /// coordinates; the rest of the campaign always completes. The
 /// evaluations come back PDN-major in [`SweepGrid::points`] order — the
 /// same values and order for every [`EngineConfig::workers`] and
 /// [`EngineConfig::chunk_size`] choice (see the module-level determinism
 /// contract).
 ///
-/// When `memo` is `Some`, every `pdn × point` evaluation goes through
-/// [`MemoCache::evaluate_staged`]: a repeat evaluation of a
-/// `(PDN fingerprint, scenario fingerprint)` pair — within this run or
-/// across earlier calls sharing the cache — returns the stored result
-/// instead of re-running the model. Memoization never changes a returned
-/// value (a hit is a clone of a bit-identical prior result), so this
-/// function upholds the determinism contract with or without a cache;
-/// the run's hit/miss/eviction deltas are reported in the [`BatchStats`]
-/// memo counters. Pass `Some(&config.memo_cache())` for a run-local
-/// cache, or share one cache across calls to amortise warm entries.
+/// When `memo` is `Some`, every row goes through
+/// [`MemoCache::evaluate_row`]: a row whose every
+/// `(PDN fingerprint, scenario fingerprint)` pair is cached — within
+/// this run or across earlier calls sharing the cache — returns the
+/// stored results without touching the kernel. Memoization never changes
+/// a returned value (a hit is a clone of a bit-identical prior result),
+/// so this function upholds the determinism contract with or without a
+/// cache; the run's hit/miss/eviction deltas are reported in the
+/// [`BatchStats`] memo counters. Pass `Some(&config.memo_cache())` for a
+/// run-local cache, or share one cache across calls to amortise warm
+/// entries.
 pub fn evaluate(
     pdns: &[&dyn Pdn],
     grid: &SweepGrid,
@@ -804,44 +1083,58 @@ pub fn evaluate(
 ) -> BatchOutcome {
     let start = Instant::now();
     let n_points = grid.n_points();
-    let n_tasks = pdns.len() * n_points;
-    let cache = ScenarioCache::new(grid, provider, n_points);
-    // One shared staging area per lattice point: the first PDN to reach
-    // a point pays for the PDN-independent stages, the others reuse them.
-    let staged: Vec<StagedPoint> = (0..n_points).map(|_| StagedPoint::new()).collect();
+    let n_rows = grid.n_rows();
+    let n_tasks = pdns.len() * n_rows;
+    let cache = ScenarioCache::new(grid, provider);
     let memo_before = memo.map(MemoCache::stats);
 
     let run = par_map_run_indexed(n_tasks, config.workers(), config.chunk_size(), |task_idx| {
-        let pdn_idx = task_idx / n_points;
-        let point_idx = task_idx % n_points;
-        let point = grid.point_at(point_idx);
-        match cache.scenario(point_idx, point) {
-            Ok(scenario) => {
+        let pdn_idx = task_idx / n_rows;
+        let row_idx = task_idx % n_rows;
+        let row = grid.row_at(row_idx);
+        let span = grid.row_span(row);
+        match cache.row(row_idx, row) {
+            Ok(scenarios) => {
                 let pdn = pdns[pdn_idx];
-                let result = match memo {
-                    Some(m) => m.evaluate_staged(pdn, scenario, &staged[point_idx]),
-                    None => pdn.evaluate_staged(scenario, &staged[point_idx]),
+                // The stage is task-local: one worker owns it for the
+                // row's lifetime, so its caches need no locks, and no
+                // state leaks between rows.
+                let stage = RowStage::new();
+                let results = match memo {
+                    Some(m) => m.evaluate_row(pdn, scenarios, &stage),
+                    None => pdn.evaluate_row(scenarios, &stage),
                 };
-                result.map_err(|e| PdnError::Lattice {
-                    pdn: Some(pdn.kind().to_string()),
-                    point: grid.describe(point),
-                    source: Box::new(e),
-                })
+                results
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, result)| {
+                        result.map_err(|e| PdnError::Lattice {
+                            pdn: Some(pdn.kind().to_string()),
+                            point: grid.describe(grid.point_at(span.start + i)),
+                            source: Box::new(e),
+                        })
+                    })
+                    .collect::<Vec<_>>()
             }
-            Err(e) => Err(e.clone()),
+            Err(e) => vec![Err(e.clone()); span.len()],
         }
     });
 
-    let evaluations: Vec<PointEvaluation> = run
-        .results
-        .into_iter()
-        .enumerate()
-        .map(|(task_idx, result)| PointEvaluation {
-            pdn_idx: task_idx / n_points,
-            point: grid.point_at(task_idx % n_points),
-            result,
-        })
-        .collect();
+    // Flattening the per-row result vectors in task order yields the
+    // PDN-major canonical point order: rows tile the lattice
+    // contiguously and in order (see `SweepGrid::row_span`).
+    let mut evaluations: Vec<PointEvaluation> = Vec::with_capacity(pdns.len() * n_points);
+    for (task_idx, row_results) in run.results.into_iter().enumerate() {
+        let pdn_idx = task_idx / n_rows;
+        let span = grid.row_span(grid.row_at(task_idx % n_rows));
+        for (i, result) in row_results.into_iter().enumerate() {
+            evaluations.push(PointEvaluation {
+                pdn_idx,
+                point: grid.point_at(span.start + i),
+                result,
+            });
+        }
+    }
     let failed = evaluations.iter().filter(|e| e.result.is_err()).count();
     let (memo_hits, memo_misses, memo_evictions) = match (memo_before, memo.map(MemoCache::stats)) {
         (Some(before), Some(after)) => (
@@ -869,6 +1162,177 @@ pub fn evaluate(
     BatchOutcome { evaluations, stats, n_points }
 }
 
+/// The result of [`evaluate_delta`]: the dirty-point evaluations plus
+/// run statistics.
+///
+/// Evaluations are sorted PDN-major, then by the point's position in the
+/// *full* grid's [`SweepGrid::points`] order — each [`PointEvaluation`]
+/// carries full-grid axis indices, ready to scatter into a prior
+/// campaign's results (see [`crate::sweep::surfaces_delta`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaOutcome {
+    /// Dirty-point evaluations in (PDN, full-grid point index) order.
+    pub evaluations: Vec<PointEvaluation>,
+    /// Run instrumentation (points counts the dirty points only).
+    pub stats: BatchStats,
+    n_dirty: usize,
+}
+
+impl DeltaOutcome {
+    /// The dirty evaluations of one PDN, in full-grid lattice order.
+    pub fn for_pdn(&self, pdn_idx: usize) -> &[PointEvaluation] {
+        &self.evaluations[pdn_idx * self.n_dirty..(pdn_idx + 1) * self.n_dirty]
+    }
+
+    /// Number of dirty points per PDN.
+    pub fn n_dirty(&self) -> usize {
+        self.n_dirty
+    }
+
+    /// The first captured error, if any dirty point failed.
+    pub fn first_error(&self) -> Option<&PdnError> {
+        self.evaluations.iter().find_map(|e| e.result.as_ref().err())
+    }
+}
+
+/// Re-evaluates only the dirtied slab of `grid` — the incremental
+/// counterpart of [`evaluate`].
+///
+/// `delta` is the output of [`SweepGrid::diff`] between `grid` (new) and
+/// the grid a prior campaign ran on. The dirty set — every point with at
+/// least one coordinate on a dirty axis index — is a union of
+/// axis-aligned slabs, which this function decomposes into at most four
+/// *disjoint* cartesian sub-grids, each handed to [`evaluate`] whole:
+///
+/// 1. dirty TDPs × every workload type × every AR, plus every idle
+///    state (the dirty-TDP slab);
+/// 2. clean TDPs × dirty workload types × every AR;
+/// 3. clean TDPs × clean workload types × dirty ARs;
+/// 4. clean TDPs × dirty idle states.
+///
+/// Each sub-grid reuses the full row-kernel machinery — shared scenario
+/// cache, row tasks, worker pool, optional memoization — and every
+/// scenario it builds is bit-identical to the one the full-grid sweep
+/// would build at the same coordinates (the per-row hoists depend only
+/// on the point's own axis values). A dirty point's evaluation therefore
+/// equals the full re-sweep's bit for bit, and the clean points, by
+/// construction untouched by the axis change, keep their prior values:
+/// patching a prior campaign with this outcome reproduces
+/// [`evaluate`] on the new grid exactly.
+pub fn evaluate_delta(
+    pdns: &[&dyn Pdn],
+    grid: &SweepGrid,
+    delta: &GridDelta,
+    provider: &(impl SocProvider + ?Sized),
+    config: &EngineConfig,
+    memo: Option<&MemoCache>,
+) -> DeltaOutcome {
+    let start = Instant::now();
+    // Partition an axis into its dirty and clean values, each with a map
+    // back to full-axis indices.
+    fn split<T: Copy>(axis: &[T], dirty: &[usize]) -> (Vec<T>, Vec<usize>, Vec<T>, Vec<usize>) {
+        let (mut dv, mut di, mut cv, mut ci) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for (i, &v) in axis.iter().enumerate() {
+            if dirty.contains(&i) {
+                dv.push(v);
+                di.push(i);
+            } else {
+                cv.push(v);
+                ci.push(i);
+            }
+        }
+        (dv, di, cv, ci)
+    }
+    let (dirty_t, dirty_t_map, clean_t, clean_t_map) = split(&grid.tdps, &delta.tdps);
+    let (dirty_w, dirty_w_map, clean_w, clean_w_map) =
+        split(&grid.workload_types, &delta.workload_types);
+    let (dirty_a, dirty_a_map, _, _) = split(&grid.ars, &delta.ars);
+    let (dirty_s, dirty_s_map, _, _) = split(&grid.idle_states, &delta.idle_states);
+
+    let mut evaluations: Vec<PointEvaluation> = Vec::new();
+    let mut stats: Option<BatchStats> = None;
+    let mut sweep =
+        |sub: SweepGrid, t_map: &[usize], w_map: &[usize], a_map: &[usize], s_map: &[usize]| {
+            let outcome = evaluate(pdns, &sub, provider, config, memo);
+            for eval in outcome.evaluations {
+                let point = match eval.point {
+                    LatticePoint::Active { tdp_idx, wl_idx, ar_idx } => LatticePoint::Active {
+                        tdp_idx: t_map[tdp_idx],
+                        wl_idx: w_map[wl_idx],
+                        ar_idx: a_map[ar_idx],
+                    },
+                    LatticePoint::Idle { tdp_idx, state_idx } => {
+                        LatticePoint::Idle { tdp_idx: t_map[tdp_idx], state_idx: s_map[state_idx] }
+                    }
+                };
+                evaluations.push(PointEvaluation { point, ..eval });
+            }
+            match &mut stats {
+                Some(s) => s.absorb(&outcome.stats),
+                None => stats = Some(outcome.stats),
+            }
+        };
+
+    let all_w_map: Vec<usize> = (0..grid.workload_types.len()).collect();
+    let all_a_map: Vec<usize> = (0..grid.ars.len()).collect();
+    let all_s_map: Vec<usize> = (0..grid.idle_states.len()).collect();
+    // Slab 1: everything touching a dirty TDP (active and idle alike).
+    if !dirty_t.is_empty() {
+        let sub = SweepGrid::builder()
+            .tdps(&dirty_t)
+            .workload_types(&grid.workload_types)
+            .ars(&grid.ars)
+            .idle_states(&grid.idle_states)
+            .build()
+            .expect("sub-axes of a valid grid are valid");
+        sweep(sub, &dirty_t_map, &all_w_map, &all_a_map, &all_s_map);
+    }
+    // Slab 2: dirty workload types at clean TDPs.
+    if !clean_t.is_empty() && !dirty_w.is_empty() && !grid.ars.is_empty() {
+        let sub = SweepGrid::active(&clean_t, &dirty_w, &grid.ars)
+            .expect("sub-axes of a valid grid are valid");
+        sweep(sub, &clean_t_map, &dirty_w_map, &all_a_map, &[]);
+    }
+    // Slab 3: dirty ARs at clean (TDP, workload type) pairs.
+    if !clean_t.is_empty() && !clean_w.is_empty() && !dirty_a.is_empty() {
+        let sub = SweepGrid::active(&clean_t, &clean_w, &dirty_a)
+            .expect("sub-axes of a valid grid are valid");
+        sweep(sub, &clean_t_map, &clean_w_map, &dirty_a_map, &[]);
+    }
+    // Slab 4: dirty idle states at clean TDPs.
+    if !clean_t.is_empty() && !dirty_s.is_empty() {
+        let sub = SweepGrid::builder()
+            .tdps(&clean_t)
+            .idle_states(&dirty_s)
+            .build()
+            .expect("sub-axes of a valid grid are valid");
+        sweep(sub, &clean_t_map, &[], &[], &dirty_s_map);
+    }
+
+    // The slabs are disjoint and cover the dirty set exactly; sorting by
+    // (PDN, full-grid point index) restores one canonical order.
+    evaluations.sort_by_key(|e| (e.pdn_idx, grid.point_index(e.point)));
+    let n_dirty = delta.n_dirty_points(grid);
+    debug_assert_eq!(evaluations.len(), n_dirty * pdns.len());
+    let mut stats = stats.unwrap_or(BatchStats {
+        points: 0,
+        evaluations: 0,
+        failed: 0,
+        scenario_builds: 0,
+        scenario_lookups: 0,
+        memo_hits: 0,
+        memo_misses: 0,
+        memo_evictions: 0,
+        workers: 0,
+        worker_stolen: Vec::new(),
+        worker_idle_probes: Vec::new(),
+        worker_wall: Vec::new(),
+        wall: Duration::ZERO,
+    });
+    stats.wall = start.elapsed();
+    DeltaOutcome { evaluations, stats, n_dirty }
+}
+
 /// Builds every scenario of `grid` in parallel (no PDN evaluation) —
 /// the campaign front half, used when the scenarios themselves are the
 /// product (e.g. the Fig. 4 validation traces).
@@ -883,17 +1347,21 @@ pub fn build_scenarios(
 ) -> (Vec<Result<Scenario, PdnError>>, BatchStats) {
     let start = Instant::now();
     let n_points = grid.n_points();
-    let cache = ScenarioCache::new(grid, provider, n_points);
-    let run = par_map_run_indexed(n_points, workers, None, |point_idx| {
-        cache.scenario(point_idx, grid.point_at(point_idx)).is_ok()
+    let n_rows = grid.n_rows();
+    let cache = ScenarioCache::new(grid, provider);
+    let run = par_map_run_indexed(n_rows, workers, None, |row_idx| {
+        cache.row(row_idx, grid.row_at(row_idx)).is_ok()
     });
     let builds = cache.builds.load(Ordering::Relaxed);
     let lookups = cache.lookups.load(Ordering::Relaxed);
-    let scenarios: Vec<Result<Scenario, PdnError>> = cache
-        .into_scenarios()
-        .into_iter()
-        .map(|slot| slot.expect("every point was visited"))
-        .collect();
+    let mut scenarios: Vec<Result<Scenario, PdnError>> = Vec::with_capacity(n_points);
+    for (row_idx, slot) in cache.into_rows().into_iter().enumerate() {
+        let len = grid.row_span(grid.row_at(row_idx)).len();
+        match slot.expect("every row was visited") {
+            Ok(row) => scenarios.extend(row.into_iter().map(Ok)),
+            Err(e) => scenarios.extend((0..len).map(|_| Err(e.clone()))),
+        }
+    }
     let failed = scenarios.iter().filter(|s| s.is_err()).count();
     let stats = BatchStats {
         points: n_points,
@@ -986,6 +1454,43 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn point_at_rejects_out_of_range_indices() {
         small_grid().point_at(12);
+    }
+
+    #[test]
+    fn rows_tile_the_lattice_in_canonical_order() {
+        let grid = small_grid();
+        assert_eq!(grid.n_active_rows(), 4);
+        assert_eq!(grid.n_idle_rows(), 2);
+        assert_eq!(grid.n_rows(), 6);
+        // Walking the rows in index order must visit every point index
+        // exactly once, in canonical order.
+        let covered: Vec<usize> =
+            (0..grid.n_rows()).flat_map(|r| grid.row_span(grid.row_at(r))).collect();
+        assert_eq!(covered, (0..grid.n_points()).collect::<Vec<_>>());
+        // Every point in a row's span shares the row's fixed coordinates.
+        for r in 0..grid.n_rows() {
+            let row = grid.row_at(r);
+            for idx in grid.row_span(row) {
+                match (row, grid.point_at(idx)) {
+                    (
+                        LatticeRow::Active { tdp_idx, wl_idx },
+                        LatticePoint::Active { tdp_idx: t, wl_idx: w, .. },
+                    ) => assert_eq!((tdp_idx, wl_idx), (t, w)),
+                    (LatticeRow::Idle { tdp_idx }, LatticePoint::Idle { tdp_idx: t, .. }) => {
+                        assert_eq!(tdp_idx, t);
+                    }
+                    (row, point) => panic!("row {row:?} spans foreign point {point:?}"),
+                }
+            }
+        }
+        assert_eq!(grid.describe_row(grid.row_at(0)), "tdp=4W wl=multi-thread ar=*");
+        assert_eq!(grid.describe_row(grid.row_at(4)), "tdp=4W state=*");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_at_rejects_out_of_range_indices() {
+        small_grid().row_at(6);
     }
 
     #[test]
@@ -1153,6 +1658,118 @@ mod tests {
         .unwrap();
         assert_eq!(*scenarios[0].as_ref().unwrap(), direct);
         assert!(scenarios[8].as_ref().unwrap().is_idle());
+    }
+
+    #[test]
+    fn diff_marks_exactly_the_changed_indices() {
+        let old = small_grid();
+        let mut new = old.clone();
+        assert!(new.diff(&old).is_empty(), "identical grids produce an empty delta");
+        new.tdps[1] = 19.0;
+        new.ars[0] = 0.41;
+        let delta = new.diff(&old);
+        assert_eq!(delta.tdps, vec![1]);
+        assert_eq!(delta.ars, vec![0]);
+        assert!(delta.workload_types.is_empty());
+        assert!(delta.idle_states.is_empty());
+        // Dirty: tdp slab (wl 2 × ar 2 active + 2 idle = 6) plus the
+        // ar-0 column of the clean tdp (2 wl × 1 ar = 2).
+        assert_eq!(delta.n_dirty_points(&new), 8);
+        assert!(delta.contains(LatticePoint::Active { tdp_idx: 1, wl_idx: 0, ar_idx: 1 }));
+        assert!(delta.contains(LatticePoint::Active { tdp_idx: 0, wl_idx: 1, ar_idx: 0 }));
+        assert!(!delta.contains(LatticePoint::Active { tdp_idx: 0, wl_idx: 1, ar_idx: 1 }));
+        assert!(delta.contains(LatticePoint::Idle { tdp_idx: 1, state_idx: 0 }));
+        assert!(!delta.contains(LatticePoint::Idle { tdp_idx: 0, state_idx: 1 }));
+    }
+
+    #[test]
+    fn diff_of_resized_axis_is_fully_dirty() {
+        let old = small_grid();
+        let mut new = old.clone();
+        new.ars.push(0.9);
+        let delta = new.diff(&old);
+        assert_eq!(delta.ars, vec![0, 1, 2]);
+        // Every active point is dirty; idle points stay clean.
+        assert_eq!(delta.n_dirty_points(&new), new.n_active());
+    }
+
+    #[test]
+    fn point_index_inverts_point_at() {
+        let grid = small_grid();
+        for idx in 0..grid.n_points() {
+            assert_eq!(grid.point_index(grid.point_at(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn delta_matches_the_full_resweep_bit_for_bit() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
+        let old = small_grid();
+        let mut new = old.clone();
+        new.tdps[0] = 6.0; // dirties one TDP slab (active + idle)
+        new.idle_states[1] = PackageCState::C6; // and one idle column
+        let delta = new.diff(&old);
+        let full = evaluate(&pdns, &new, &ClientSoc, &config_for(Workers::Serial), None);
+        let partial =
+            evaluate_delta(&pdns, &new, &delta, &ClientSoc, &config_for(Workers::Fixed(3)), None);
+        assert_eq!(partial.stats.failed, 0);
+        assert_eq!(partial.n_dirty(), delta.n_dirty_points(&new));
+        assert_eq!(partial.evaluations.len(), 2 * partial.n_dirty());
+        for eval in &partial.evaluations {
+            assert!(delta.contains(eval.point), "only dirty points re-evaluate");
+            let full_eval = &full.for_pdn(eval.pdn_idx)[new.point_index(eval.point)];
+            assert_eq!(full_eval.point, eval.point);
+            let (a, b) = (eval.result.as_ref().unwrap(), full_eval.result.as_ref().unwrap());
+            assert_eq!(a.etee.get().to_bits(), b.etee.get().to_bits());
+            assert_eq!(a.input_power.get().to_bits(), b.input_power.get().to_bits());
+        }
+        // Patching the old campaign with the delta reproduces the full
+        // re-sweep everywhere (clean points were never invalidated).
+        let mut patched = evaluate(&pdns, &old, &ClientSoc, &config_for(Workers::Serial), None);
+        for eval in &partial.evaluations {
+            let idx = eval.pdn_idx * new.n_points() + new.point_index(eval.point);
+            patched.evaluations[idx] = PointEvaluation {
+                pdn_idx: eval.pdn_idx,
+                point: eval.point,
+                result: eval.result.clone(),
+            };
+        }
+        assert_eq!(patched.evaluations, full.evaluations);
+    }
+
+    #[test]
+    fn empty_delta_evaluates_nothing() {
+        let ivr = IvrPdn::new(ModelParams::paper_defaults());
+        let pdns: [&dyn Pdn; 1] = [&ivr];
+        let grid = small_grid();
+        let delta = grid.diff(&grid);
+        let outcome =
+            evaluate_delta(&pdns, &grid, &delta, &ClientSoc, &config_for(Workers::Serial), None);
+        assert!(outcome.evaluations.is_empty());
+        assert_eq!(outcome.n_dirty(), 0);
+        assert_eq!(outcome.stats.evaluations, 0);
+        assert!(outcome.first_error().is_none());
+    }
+
+    #[test]
+    fn deterministic_footer_carries_counts_and_drops_timings() {
+        let ivr = IvrPdn::new(ModelParams::paper_defaults());
+        let pdns: [&dyn Pdn; 1] = [&ivr];
+        let outcome =
+            evaluate(&pdns, &small_grid(), &ClientSoc, &config_for(Workers::Fixed(3)), None);
+        let footer = outcome.stats.deterministic_footer();
+        assert!(footer.starts_with("[batch] "), "{footer}");
+        assert!(footer.contains("evaluations over"), "{footer}");
+        assert!(footer.contains("scenario cache"), "{footer}");
+        for unstable in ["workers", "wall", "ms", "stolen", "memo"] {
+            assert!(!footer.contains(unstable), "{unstable} leaked into {footer}");
+        }
+        // Same counts regardless of pool shape or wall clock.
+        let serial = evaluate(&pdns, &small_grid(), &ClientSoc, &config_for(Workers::Serial), None);
+        assert_eq!(serial.stats.deterministic_footer(), footer);
     }
 
     #[test]

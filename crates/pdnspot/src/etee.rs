@@ -22,6 +22,7 @@ use pdn_proc::{guardband_power, DomainKind};
 use pdn_units::{Amps, ApplicationRatio, Efficiency, Ohms, Volts, Watts};
 use pdn_vr::{BuckConverter, OperatingPoint, VoltageRegulator, VrPowerState};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::sync::Mutex;
 
 /// A load after a voltage-raising stage: new power demand and rail voltage.
@@ -126,6 +127,90 @@ pub fn load_line_domain_stage(
     LoadLineStep { v_ll, p_ll, extra: p_ll - power }
 }
 
+/// One rail's inputs to [`load_line_domain_stages`].
+#[derive(Debug, Clone, Copy)]
+pub struct RailLoadLine {
+    /// Power the rail's domains demand after guardband/gating.
+    pub power: Watts,
+    /// Nominal rail voltage (highest member domain's).
+    pub voltage: Volts,
+    /// The rail's power-virus sizing power.
+    pub p_peak: Watts,
+    /// Load-line impedance of the rail.
+    pub r_ll: Ohms,
+    /// Power-weighted leakage fraction of the rail's domains.
+    pub leakage_fraction: pdn_units::Ratio,
+}
+
+/// Maximum number of rails [`load_line_domain_stages`] advances at once
+/// (the widest topology, MBVR, has four board rails).
+pub const MAX_RAIL_LANES: usize = 4;
+
+/// [`load_line_domain_stage`] for up to [`MAX_RAIL_LANES`] independent
+/// rails, advancing their fixed-point iterations in lockstep.
+///
+/// Each lane performs exactly the operations of the scalar function in the
+/// same order, and lanes never interact, so every returned step is
+/// bit-identical to a scalar call on the same lane. The point of the
+/// lockstep is latency: the scalar fixed point is a serial
+/// `powf → divide → subtract` dependency chain, so four back-to-back
+/// scalar calls cost four chain latencies, while interleaving lets the
+/// out-of-order core overlap the lanes' chains (measured ~2× on the
+/// four-rail MBVR group walk).
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_RAIL_LANES`] lanes are passed.
+pub fn load_line_domain_stages(lanes: &[RailLoadLine], delta: f64) -> [LoadLineStep; 4] {
+    let n = lanes.len();
+    assert!(n <= MAX_RAIL_LANES, "at most {MAX_RAIL_LANES} rail lanes, got {n}");
+    let mut out = [LoadLineStep { v_ll: Volts::ZERO, p_ll: Watts::ZERO, extra: Watts::ZERO }; 4];
+    let mut v_ll = [Volts::ZERO; 4];
+    let mut current = [Amps::ZERO; 4];
+    let mut p_load = [Watts::ZERO; 4];
+    // `live` masks zero-power lanes, which take the scalar early return.
+    let mut live = [false; 4];
+    for (l, lane) in lanes.iter().enumerate() {
+        if lane.power.get() <= 0.0 {
+            out[l] = LoadLineStep { v_ll: lane.voltage, p_ll: lane.power, extra: Watts::ZERO };
+            continue;
+        }
+        live[l] = true;
+        let i_peak = lane.p_peak.max(lane.power) / lane.voltage;
+        v_ll[l] = lane.voltage + i_peak * lane.r_ll;
+        current[l] = lane.power / lane.voltage;
+        p_load[l] = lane.power;
+    }
+    for _ in 0..4 {
+        let mut v_load = [Volts::ZERO; 4];
+        for l in 0..n {
+            if live[l] {
+                v_load[l] = (v_ll[l] - current[l] * lanes[l].r_ll).max(lanes[l].voltage);
+            }
+        }
+        for l in 0..n {
+            if live[l] {
+                p_load[l] = guardband_power(
+                    lanes[l].power,
+                    lanes[l].leakage_fraction,
+                    lanes[l].voltage,
+                    v_load[l] - lanes[l].voltage,
+                    delta,
+                );
+                current[l] = p_load[l] / v_load[l];
+            }
+        }
+    }
+    for l in 0..n {
+        if live[l] {
+            let wire = current[l].squared_times(lanes[l].r_ll);
+            let p_ll = p_load[l] + wire;
+            out[l] = LoadLineStep { v_ll: v_ll[l], p_ll, extra: p_ll - lanes[l].power };
+        }
+    }
+    out
+}
+
 /// Draws `pout` at `vout` from a board VR fed by `supply`, letting the VR
 /// follow the load into its deepest allowed light-load power state.
 ///
@@ -159,8 +244,9 @@ pub fn board_vr_stage(
     // `min` picks the shallower of (deepest feasible, deepest allowed).
     let ps = vr.best_power_state(iout).min(lightload_cap);
     let op = OperatingPoint::new(supply, vout, iout).with_power_state(ps);
-    let pin = vr.input_power(op)?;
-    let efficiency = vr.efficiency(op).ok();
+    // One loss evaluation for both numbers (bit-identical to the separate
+    // `input_power` + `efficiency` calls; see `BuckConverter::conversion`).
+    let (pin, efficiency) = vr.conversion(op)?;
     Ok((
         pin,
         RailReport {
@@ -184,11 +270,35 @@ pub fn board_vr_stage(
 /// Every method's default computes directly via the pure stage functions,
 /// so [`DirectStager`] is a zero-cost pass-through and any caching
 /// implementation returning the same bits is observationally identical.
-pub trait Stager: Sync {
-    /// [`guardband_stage`] for one domain's load.
-    fn guardband(&self, kind: DomainKind, load: &DomainLoad, tob: Volts, delta: f64) -> StagedLoad {
+///
+/// The trait is deliberately **not** `Sync`: sharing a stager across
+/// threads is the caller's choice ([`StagedPoint`] locks internally and is
+/// shared), while the per-row stager of the batch kernel ([`RowStage`]) is
+/// owned by the single worker that claimed the row and stays lock-free.
+pub trait Stager {
+    /// The power-independent Eq. 2 multiplier for one domain's load
+    /// ([`pdn_proc::guardband_factor`]).
+    ///
+    /// Split out from [`Stager::guardband`] because the factor — the only
+    /// `powf` of the stage — depends on everything *except* the nominal
+    /// power, so a row-scoped stager can reuse it across the points of a
+    /// lattice row while the power varies underneath.
+    fn guardband_factor(&self, kind: DomainKind, load: &DomainLoad, tob: Volts, delta: f64) -> f64 {
         let _ = kind;
-        guardband_stage(load, tob, delta)
+        pdn_proc::guardband_factor(load.leakage_fraction, load.voltage, tob, delta)
+    }
+
+    /// [`guardband_stage`] for one domain's load.
+    ///
+    /// The default composes `P_NOM · factor` exactly as [`guardband_power`]
+    /// does (`guardband_power(P, …) == P · guardband_factor(…)`, same ops,
+    /// same order), so routing the factor through the stager preserves the
+    /// bits while letting implementations cache the factor alone.
+    fn guardband(&self, kind: DomainKind, load: &DomainLoad, tob: Volts, delta: f64) -> StagedLoad {
+        StagedLoad {
+            power: load.nominal_power * self.guardband_factor(kind, load, tob, delta),
+            voltage: load.voltage + tob,
+        }
     }
 
     /// [`guardband_stage`] followed by [`power_gate_stage`] for one
@@ -303,6 +413,83 @@ impl Stager for StagedPoint {
     fn virus_headroom(&self, scenario: &Scenario, domains: &[DomainKind]) -> Watts {
         let key = domain_seq_key(domains);
         let mut cache = self.headrooms.lock().expect("staging cache poisoned");
+        if let Some((_, hit)) = cache.iter().find(|(k, _)| *k == key) {
+            return *hit;
+        }
+        let value = scenario.rail_virus_headroom(domains);
+        cache.push((key, value));
+        value
+    }
+}
+
+/// Packs the powered flags of a scenario's six domains into a bitmask, in
+/// canonical domain order. The only load field [`Scenario::rail_virus_headroom`]
+/// reads is `powered`, so the mask (plus the domain sequence) keys a
+/// headroom cache exactly across the scenarios of one lattice row.
+fn powered_mask(scenario: &Scenario) -> u64 {
+    scenario.loads().fold(0u64, |mask, (_, load)| (mask << 1) | u64::from(load.powered))
+}
+
+/// Memoized PDN-independent stage results for **one** lattice row — a run
+/// of scenarios that share every sweep coordinate except one (application
+/// ratio along an active row, package C-state along an idle row).
+///
+/// Unlike [`StagedPoint`], which pins a single scenario and keys only on
+/// stage parameters, a row stager is shared across the scenarios of its
+/// row, so each cache keys on the exact bit patterns of *every* input the
+/// staged computation reads:
+///
+/// - guardband factors key on `(V_NOM, FL, TOB, δ)` — along a row the
+///   voltages and leakage fractions are sweep-invariant, so the whole row
+///   pays one `powf` per distinct combination (and domains or PDNs whose
+///   inputs collide bit-for-bit legitimately share the entry);
+/// - virus headrooms key on `(domain sequence, powered mask)` — the virus
+///   tables, margin, and workload type are fixed within a row by
+///   construction, and the powered flags (which *do* vary along an idle
+///   row) are part of the key.
+///
+/// The caller must create one `RowStage` per row and never reuse it across
+/// rows: row-invariant scenario fields are deliberately not in the keys.
+/// Interior mutability is a plain `RefCell` — a row stager belongs to the
+/// single worker that claimed the row task, so it is `!Sync` and lock-free
+/// (this is the batch kernel's hot path).
+#[derive(Debug, Default)]
+pub struct RowStage {
+    factors: RefCell<Vec<(FactorKey, f64)>>,
+    headrooms: RefCell<Vec<((u64, u64), Watts)>>,
+}
+
+/// Guardband-factor staging key: the raw bits of `(V_NOM, FL, TOB, δ)`.
+type FactorKey = (u64, u64, u64, u64);
+
+impl RowStage {
+    /// An empty staging cache for one lattice row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Stager for RowStage {
+    fn guardband_factor(&self, kind: DomainKind, load: &DomainLoad, tob: Volts, delta: f64) -> f64 {
+        let _ = kind;
+        let key = (
+            load.voltage.get().to_bits(),
+            load.leakage_fraction.get().to_bits(),
+            tob.get().to_bits(),
+            delta.to_bits(),
+        );
+        let mut cache = self.factors.borrow_mut();
+        if let Some((_, hit)) = cache.iter().find(|(k, _)| *k == key) {
+            return *hit;
+        }
+        let value = pdn_proc::guardband_factor(load.leakage_fraction, load.voltage, tob, delta);
+        cache.push((key, value));
+        value
+    }
+
+    fn virus_headroom(&self, scenario: &Scenario, domains: &[DomainKind]) -> Watts {
+        let key = (domain_seq_key(domains), powered_mask(scenario));
+        let mut cache = self.headrooms.borrow_mut();
         if let Some((_, hit)) = cache.iter().find(|(k, _)| *k == key) {
             return *hit;
         }
@@ -596,6 +783,104 @@ mod tests {
             super::domain_seq_key(&[DomainKind::Core0, DomainKind::Core1]),
             super::domain_seq_key(&[DomainKind::Core1, DomainKind::Core0])
         );
+    }
+
+    #[test]
+    fn row_stage_matches_direct_stager_across_a_row() {
+        // A RowStage shared across the scenarios of one row (and several
+        // stage-parameter sets, standing in for several PDNs) must return
+        // exactly the bits DirectStager computes fresh at every point.
+        let soc = pdn_proc::client_soc(Watts::new(18.0));
+        let scenarios: Vec<Scenario> = [0.2, 0.4, 0.6, 0.8, 1.0]
+            .iter()
+            .map(|&ar| {
+                Scenario::active_fixed_tdp_frequency(
+                    &soc,
+                    pdn_workload::WorkloadType::MultiThread,
+                    ApplicationRatio::new(ar).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let row = RowStage::new();
+        let direct = DirectStager;
+        let r_pg = Ohms::from_milliohms(0.5);
+        for s in &scenarios {
+            for tob in [Volts::from_millivolts(18.0), Volts::from_millivolts(25.0)] {
+                for kind in DomainKind::ALL {
+                    let l = s.load(kind);
+                    let fa = row.guardband_factor(kind, l, tob, 2.8);
+                    let fb = direct.guardband_factor(kind, l, tob, 2.8);
+                    assert_eq!(fa.to_bits(), fb.to_bits());
+                    let a = row.guardband(kind, l, tob, 2.8);
+                    let b = direct.guardband(kind, l, tob, 2.8);
+                    assert_eq!(a.power.get().to_bits(), b.power.get().to_bits());
+                    assert_eq!(a.voltage.get().to_bits(), b.voltage.get().to_bits());
+                    let ga = row.gated(kind, l, tob, r_pg, 2.8);
+                    let gb = direct.gated(kind, l, tob, r_pg, 2.8);
+                    assert_eq!(ga.power.get().to_bits(), gb.power.get().to_bits());
+                }
+            }
+            for domains in
+                [&[DomainKind::Core0, DomainKind::Core1, DomainKind::Llc][..], &[DomainKind::Sa]]
+            {
+                let a = row.rail_virus_power(s, domains, Watts::new(1.0));
+                let b = direct.rail_virus_power(s, domains, Watts::new(1.0));
+                assert_eq!(a.get().to_bits(), b.get().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn row_stage_guardband_equals_legacy_stage_function() {
+        // The factor-form default must reproduce guardband_stage (and so
+        // guardband_power) bit-for-bit: Eq. 2's P·factor split is exact.
+        let soc = pdn_proc::client_soc(Watts::new(4.0));
+        let s = Scenario::active_fixed_tdp_frequency(
+            &soc,
+            pdn_workload::WorkloadType::Graphics,
+            ApplicationRatio::new(0.35).unwrap(),
+        )
+        .unwrap();
+        let row = RowStage::new();
+        for kind in DomainKind::ALL {
+            let l = s.load(kind);
+            let a = row.guardband(kind, l, Volts::from_millivolts(18.0), 2.8);
+            let b = guardband_stage(l, Volts::from_millivolts(18.0), 2.8);
+            assert_eq!(a.power.get().to_bits(), b.power.get().to_bits());
+            assert_eq!(a.voltage.get().to_bits(), b.voltage.get().to_bits());
+        }
+    }
+
+    #[test]
+    fn row_stage_distinguishes_points_with_different_inputs() {
+        // Across the points of an *idle* row the powered flags change, so
+        // headrooms must not collide; and factor entries must key on the
+        // load voltage so distinct domains never share by accident.
+        let soc = pdn_proc::client_soc(Watts::new(18.0));
+        let row = RowStage::new();
+        let active = Scenario::active_fixed_tdp_frequency(
+            &soc,
+            pdn_workload::WorkloadType::MultiThread,
+            ApplicationRatio::new(0.6).unwrap(),
+        )
+        .unwrap();
+        let core = active.load(DomainKind::Core0);
+        let sa = active.load(DomainKind::Sa);
+        assert_ne!(core.voltage, sa.voltage, "test premise: distinct rail voltages");
+        let fc = row.guardband_factor(DomainKind::Core0, core, Volts::from_millivolts(18.0), 2.8);
+        let fs = row.guardband_factor(DomainKind::Sa, sa, Volts::from_millivolts(18.0), 2.8);
+        assert_ne!(fc.to_bits(), fs.to_bits(), "different voltages must miss the factor cache");
+
+        let deep = Scenario::idle(&soc, pdn_proc::PackageCState::C6);
+        let shallow = Scenario::idle(&soc, pdn_proc::PackageCState::C0Min);
+        let domains = [DomainKind::Core0, DomainKind::Core1, DomainKind::Llc];
+        let direct = DirectStager;
+        let a = row.virus_headroom(&shallow, &domains);
+        let b = row.virus_headroom(&deep, &domains);
+        assert_eq!(a.get().to_bits(), direct.virus_headroom(&shallow, &domains).get().to_bits());
+        assert_eq!(b.get().to_bits(), direct.virus_headroom(&deep, &domains).get().to_bits());
+        assert_ne!(a, b, "powered mask must separate idle states sharing a row stager");
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! code that only knows the trait.
 
 use crate::error::PdnError;
-use crate::etee::{PdnEvaluation, StagedPoint};
+use crate::etee::{PdnEvaluation, RowStage, StagedPoint};
 use crate::params::ModelParams;
 use crate::scenario::Scenario;
 use crate::topology::{OffchipRail, Pdn, PdnKind};
@@ -277,10 +277,17 @@ impl MemoCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = run(staged)?;
+        self.insert(key, &value);
+        Ok(value)
+    }
+
+    /// Inserts one evaluation under `key`, keeping any racing insertion.
+    ///
+    /// A racing worker may have inserted the same key; both computed
+    /// identical bits, so keeping the first insertion is safe.
+    fn insert(&self, key: MemoKey, value: &PdnEvaluation) {
         let mut shard =
             self.shard_of(key).lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        // A racing worker may have inserted the same key; both computed
-        // identical bits, so keeping the first insertion is safe.
         if !shard.map.contains_key(&key) {
             if shard.order.len() >= self.capacity_per_shard {
                 if let Some(oldest) = shard.order.pop_front() {
@@ -291,7 +298,57 @@ impl MemoCache {
             shard.order.push_back(key);
             shard.map.insert(key, value.clone());
         }
-        Ok(value)
+    }
+
+    /// Evaluates a whole lattice row through the cache with one bulk
+    /// lookup.
+    ///
+    /// Rows whose every point is cached return without touching the
+    /// kernel at all — the warm-sweep fast path. A row with any miss runs
+    /// [`Pdn::evaluate_row`] over the *full* row (the row kernel's staged
+    /// front-half amortises across the row, so re-running cached points
+    /// costs less than splitting the row) and inserts the previously
+    /// missing `Ok` results. Hit/miss/bypass counters advance per point,
+    /// exactly as the same sweep would count through
+    /// [`MemoCache::evaluate`].
+    pub fn evaluate_row(
+        &self,
+        pdn: &dyn Pdn,
+        scenarios: &[Scenario],
+        row: &RowStage,
+    ) -> Vec<Result<PdnEvaluation, PdnError>> {
+        let Some(token) = pdn.memo_token() else {
+            self.bypasses.fetch_add(scenarios.len() as u64, Ordering::Relaxed);
+            return pdn.evaluate_row(scenarios, row);
+        };
+        let keys: Vec<MemoKey> =
+            scenarios.iter().map(|s| MemoKey { pdn: token, scenario: s.fingerprint() }).collect();
+        let cached: Vec<Option<PdnEvaluation>> = keys
+            .iter()
+            .map(|&key| {
+                self.shard_of(key)
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .map
+                    .get(&key)
+                    .cloned()
+            })
+            .collect();
+        let n_hits = cached.iter().filter(|c| c.is_some()).count();
+        self.hits.fetch_add(n_hits as u64, Ordering::Relaxed);
+        self.misses.fetch_add((scenarios.len() - n_hits) as u64, Ordering::Relaxed);
+        if n_hits == scenarios.len() {
+            return cached.into_iter().map(|c| Ok(c.expect("all points hit"))).collect();
+        }
+        let results = pdn.evaluate_row(scenarios, row);
+        for (i, result) in results.iter().enumerate() {
+            if cached[i].is_none() {
+                if let Ok(value) = result {
+                    self.insert(keys[i], value);
+                }
+            }
+        }
+        results
     }
 
     /// Current number of cached evaluations across all shards.
@@ -583,6 +640,35 @@ mod tests {
             rebuilt.evaluate(&pdn, s).unwrap();
         }
         assert_eq!(warm.export(), rebuilt.export());
+    }
+
+    #[test]
+    fn row_evaluation_matches_per_point_and_serves_warm_rows() {
+        let pdn = IvrPdn::new(ModelParams::paper_defaults());
+        let row: Vec<Scenario> = (0..5).map(|i| scenario(18.0, 0.40 + 0.08 * i as f64)).collect();
+
+        let per_point = MemoCache::new();
+        let expected: Vec<PdnEvaluation> =
+            row.iter().map(|s| per_point.evaluate(&pdn, s).unwrap()).collect();
+
+        let bulk = MemoCache::new();
+        let stage = RowStage::new();
+        let cold: Vec<PdnEvaluation> =
+            bulk.evaluate_row(&pdn, &row, &stage).into_iter().map(|r| r.unwrap()).collect();
+        for (a, b) in expected.iter().zip(&cold) {
+            assert_eq!(a.input_power.get().to_bits(), b.input_power.get().to_bits());
+            assert_eq!(a.etee.get().to_bits(), b.etee.get().to_bits());
+        }
+        let stats = bulk.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 5));
+
+        // The warm pass answers the whole row from the cache.
+        let warm_stage = RowStage::new();
+        let warm: Vec<PdnEvaluation> =
+            bulk.evaluate_row(&pdn, &row, &warm_stage).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(cold, warm);
+        let stats = bulk.stats();
+        assert_eq!((stats.hits, stats.misses), (5, 5));
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //! ```
 
 pub use crate::batch::{
-    build_scenarios, evaluate, par_map, par_map_stats, BatchOutcome, BatchStats, ClientSoc,
-    LatticePoint, PointEvaluation, SocProvider, SweepGrid, SweepGridBuilder, Workers,
+    build_scenarios, evaluate, evaluate_delta, par_map, par_map_stats, BatchOutcome, BatchStats,
+    ClientSoc, DeltaOutcome, GridDelta, LatticePoint, PointEvaluation, SocProvider, SweepGrid,
+    SweepGridBuilder, Workers,
 };
 pub use crate::config::{EngineConfig, EngineConfigBuilder, DEFAULT_ADMISSION_DEPTH};
 pub use crate::error::{ErrorCode, PdnError};
@@ -24,7 +25,7 @@ pub use crate::etee::{LossBreakdown, PdnEvaluation, RailReport};
 pub use crate::memo::{MemoCache, MemoEntry, MemoPdn, MemoStats};
 pub use crate::params::ModelParams;
 pub use crate::scenario::{DomainLoad, Scenario};
-pub use crate::sweep::{crossover, surfaces, Crossover, EteeSurface};
+pub use crate::sweep::{crossover, surfaces, surfaces_delta, Crossover, EteeSurface};
 pub use crate::topology::{IPlusMbvrPdn, IvrPdn, LdoPdn, MbvrPdn, Pdn, PdnKind};
 pub use crate::validation::{validate, validate_with, ReferenceSystem, ValidationReport};
 pub use pdn_units::{ApplicationRatio, Watts};

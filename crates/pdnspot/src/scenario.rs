@@ -9,7 +9,7 @@
 
 use crate::error::PdnError;
 use crate::params::ModelParams;
-use pdn_proc::{DomainKind, DomainState, DomainTable, PackageCState, SocSpec};
+use pdn_proc::{DomainKind, DomainState, DomainTable, HoistedDomainPower, PackageCState, SocSpec};
 use pdn_units::{ApplicationRatio, Celsius, Hertz, Ratio, Volts, Watts};
 use pdn_workload::WorkloadType;
 use serde::{Deserialize, Serialize};
@@ -137,44 +137,8 @@ impl Scenario {
             if !workload_type.domain_powered(kind) {
                 return DomainLoad::gated();
             }
-            let frequency = match kind {
-                DomainKind::Core0 | DomainKind::Core1 => f_cores,
-                DomainKind::Gfx => f_gfx,
-                DomainKind::Llc => {
-                    if workload_type == WorkloadType::Graphics {
-                        // §7.1: graphics demand pushes the LLC above the
-                        // core clock; scale the GFX clock position into the
-                        // LLC range.
-                        let gfx_cfg = soc.domain(DomainKind::Gfx);
-                        let t = (f_gfx.get() - gfx_cfg.fmin.get())
-                            / (gfx_cfg.fmax.get() - gfx_cfg.fmin.get()).max(1.0);
-                        let llc_from_gfx = Hertz::new(
-                            cfg.fmin.get() + 0.8 * t * (cfg.fmax.get() - cfg.fmin.get()),
-                        );
-                        f_cores.max(llc_from_gfx)
-                    } else {
-                        f_cores
-                    }
-                }
-                DomainKind::Sa | DomainKind::Io => cfg.fmax,
-            };
-            // SA/IO activity tracks the workload but stays moderate; in
-            // graphics workloads the cores mostly wait on the GPU (§7.1
-            // gives them only 10–20 % of the budget); the other compute
-            // domains carry the package AR.
-            let activity = match kind {
-                DomainKind::Sa | DomainKind::Io => {
-                    ApplicationRatio::new((ar.get() * 0.8).clamp(0.05, 1.0))
-                        .expect("scaled AR is valid")
-                }
-                DomainKind::Core0 | DomainKind::Core1
-                    if workload_type == WorkloadType::Graphics =>
-                {
-                    ApplicationRatio::new((ar.get() * 0.25).clamp(0.05, 1.0))
-                        .expect("scaled AR is valid")
-                }
-                _ => ar,
-            };
+            let frequency = Self::domain_frequency(soc, workload_type, kind, f_cores, f_gfx);
+            let activity = Self::domain_activity(workload_type, kind, ar);
             let state = DomainState::active(frequency, activity);
             DomainLoad {
                 nominal_power: cfg.nominal_power(&state, tj),
@@ -185,11 +149,76 @@ impl Scenario {
         })
     }
 
+    /// The operating frequency of one powered domain at an active point.
+    /// Shared by [`Scenario::domain_loads_at`] and the row constructor so
+    /// both paths make the identical choice.
+    fn domain_frequency(
+        soc: &SocSpec,
+        workload_type: WorkloadType,
+        kind: DomainKind,
+        f_cores: Hertz,
+        f_gfx: Hertz,
+    ) -> Hertz {
+        let cfg = soc.domain(kind);
+        match kind {
+            DomainKind::Core0 | DomainKind::Core1 => f_cores,
+            DomainKind::Gfx => f_gfx,
+            DomainKind::Llc => {
+                if workload_type == WorkloadType::Graphics {
+                    // §7.1: graphics demand pushes the LLC above the
+                    // core clock; scale the GFX clock position into the
+                    // LLC range.
+                    let gfx_cfg = soc.domain(DomainKind::Gfx);
+                    let t = (f_gfx.get() - gfx_cfg.fmin.get())
+                        / (gfx_cfg.fmax.get() - gfx_cfg.fmin.get()).max(1.0);
+                    let llc_from_gfx =
+                        Hertz::new(cfg.fmin.get() + 0.8 * t * (cfg.fmax.get() - cfg.fmin.get()));
+                    f_cores.max(llc_from_gfx)
+                } else {
+                    f_cores
+                }
+            }
+            DomainKind::Sa | DomainKind::Io => cfg.fmax,
+        }
+    }
+
+    /// The activity of one powered domain given the package AR. SA/IO
+    /// activity tracks the workload but stays moderate; in graphics
+    /// workloads the cores mostly wait on the GPU (§7.1 gives them only
+    /// 10–20 % of the budget); the other compute domains carry the package
+    /// AR. Shared by [`Scenario::domain_loads_at`] and the row constructor.
+    fn domain_activity(
+        workload_type: WorkloadType,
+        kind: DomainKind,
+        ar: ApplicationRatio,
+    ) -> ApplicationRatio {
+        match kind {
+            DomainKind::Sa | DomainKind::Io => {
+                ApplicationRatio::new((ar.get() * 0.8).clamp(0.05, 1.0))
+                    .expect("scaled AR is valid")
+            }
+            DomainKind::Core0 | DomainKind::Core1 if workload_type == WorkloadType::Graphics => {
+                ApplicationRatio::new((ar.get() * 0.25).clamp(0.05, 1.0))
+                    .expect("scaled AR is valid")
+            }
+            _ => ar,
+        }
+    }
+
     /// Per-domain power-virus loads: for each domain, the AR = 1 power at
     /// the highest frequency the TDP sustains for the workload type that
     /// stresses that domain hardest (multi-thread for cores/LLC, graphics
-    /// for GFX).
+    /// for GFX). Served from the process-wide [`staging`] cache: the tables
+    /// are a pure function of the SoC, so the cached copy is bit-identical
+    /// to a fresh computation.
     pub(crate) fn tdp_virus_loads(soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
+        staging::for_soc(soc).tdp_virus(soc)
+    }
+
+    /// Uncached [`Scenario::tdp_virus_loads`]: the two 48-step virus
+    /// bisections plus load assembly. Called once per SoC by the staging
+    /// cache (and by tests pinning cache transparency).
+    fn tdp_virus_loads_uncached(soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
         [WorkloadType::MultiThread, WorkloadType::Graphics].map(|wl| {
             let t = Self::solve_t_for_nominal(soc, wl, soc.tdp);
             let (f_cores, f_gfx) = Self::frequency_point(soc, wl, t);
@@ -328,19 +357,25 @@ impl Scenario {
     }
 
     /// The frequency scalar of the [`Scenario::active_fixed_tdp_frequency`]
-    /// design point. Independent of AR, so a sweep along the AR axis
-    /// solves it once per (SoC, workload type).
+    /// design point. Independent of AR — and a pure function of the
+    /// (SoC, workload type) pair — so it is served from the process-wide
+    /// [`staging`] cache; a hit returns the exact bits a fresh 48-step
+    /// bisection would produce.
     pub(crate) fn solve_t_fixed_tdp(
         soc: &SocSpec,
         workload_type: WorkloadType,
     ) -> Result<f64, PdnError> {
-        Self::solve_t_for_budget(soc, workload_type, ApplicationRatio::POWER_VIRUS, soc.tdp)
+        staging::for_soc(soc).solved_t(soc, workload_type)
     }
 
     /// [`Scenario::active_fixed_tdp_frequency`] with the frequency scalar
     /// and virus tables precomputed by the caller. Feeding back the values
     /// the unstaged constructor would itself compute yields a bit-identical
-    /// scenario — the batch engine's per-TDP cache relies on this.
+    /// scenario. The batch engine now builds whole rows through
+    /// [`Scenario::active_fixed_tdp_row`]; this per-point form remains as
+    /// the reference the row constructor's bit-identity tests compare
+    /// against.
+    #[cfg(test)]
     pub(crate) fn active_fixed_tdp_staged(
         soc: &SocSpec,
         workload_type: WorkloadType,
@@ -350,6 +385,86 @@ impl Scenario {
     ) -> Result<Self, PdnError> {
         let (f_cores, f_gfx) = Self::frequency_point(soc, workload_type, t);
         Self::active_with_virus(soc, workload_type, ar, f_cores, f_gfx, virus)
+    }
+
+    /// The formatted AR suffix of a scenario name — the exact `{:.0}`
+    /// rendering of [`ApplicationRatio::percent`] the per-point
+    /// constructor embeds, split out so a sweep can format each distinct
+    /// AR once instead of once per lattice point.
+    pub(crate) fn ar_suffix(ar: ApplicationRatio) -> String {
+        format!("{:.0}", ar.percent())
+    }
+
+    /// Row-at-a-time counterpart of `active_fixed_tdp_staged`:
+    /// builds every scenario of one AR row (fixed SoC, workload type and
+    /// frequency scalar; AR varying) in a single call. The per-domain
+    /// frequency choice, V/f interpolation, leakage `powf`/`exp`
+    /// ([`DomainConfig::hoist_active`](pdn_proc::DomainConfig::hoist_active))
+    /// and the name prefix are computed once for the row; the per-point
+    /// work reduces to one multiply-add chain per powered domain — in the
+    /// exact operation order of [`Scenario::domain_loads_at`] — plus two
+    /// string copies for the name, so every returned scenario is
+    /// bit-identical to the per-point constructor's.
+    ///
+    /// `ar_suffixes` must hold [`Scenario::ar_suffix`] of each entry of
+    /// `ars` (the batch cache formats them once per sweep: float `Display`
+    /// with a fixed precision costs more than the rest of a point's name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::Scenario`] if no domain ends up powered (the
+    /// powered set is AR-independent, so the whole row fails identically).
+    pub(crate) fn active_fixed_tdp_row(
+        soc: &SocSpec,
+        workload_type: WorkloadType,
+        ars: &[ApplicationRatio],
+        ar_suffixes: &[String],
+        t: f64,
+        virus: &[DomainTable<DomainLoad>; 2],
+    ) -> Result<Vec<Self>, PdnError> {
+        assert_eq!(ars.len(), ar_suffixes.len(), "one formatted suffix per application ratio");
+        let (f_cores, f_gfx) = Self::frequency_point(soc, workload_type, t);
+        let tj = soc.tj_active;
+        let hoisted: DomainTable<Option<HoistedDomainPower>> = DomainTable::from_fn(|kind| {
+            if !workload_type.domain_powered(kind) {
+                return None;
+            }
+            let frequency = Self::domain_frequency(soc, workload_type, kind, f_cores, f_gfx);
+            Some(soc.domain(kind).hoist_active(frequency, tj))
+        });
+        if hoisted.values().all(Option::is_none) {
+            return Err(PdnError::Scenario("no powered domain in scenario".into()));
+        }
+        let prefix = format!("{}-{}W-ar", workload_type, soc.tdp.get());
+        Ok(ars
+            .iter()
+            .zip(ar_suffixes)
+            .map(|(&ar, suffix)| {
+                let loads = DomainTable::from_fn(|kind| match hoisted.get(kind) {
+                    None => DomainLoad::gated(),
+                    Some(h) => DomainLoad {
+                        nominal_power: h.nominal_at(Self::domain_activity(workload_type, kind, ar)),
+                        voltage: h.voltage(),
+                        leakage_fraction: h.leakage_fraction(),
+                        powered: true,
+                    },
+                });
+                let mut name = String::with_capacity(prefix.len() + suffix.len());
+                name.push_str(&prefix);
+                name.push_str(suffix);
+                Self {
+                    name,
+                    workload_type,
+                    ar,
+                    power_state: None,
+                    tj,
+                    tdp: soc.tdp,
+                    loads,
+                    virus: *virus,
+                    virus_margin: TURBO_VIRUS_MARGIN,
+                }
+            })
+            .collect())
     }
 
     /// Bisects the frequency scalar `t` so that the scenario's nominal
@@ -422,7 +537,7 @@ impl Scenario {
 
     /// [`Scenario::idle`] with the fmin virus tables precomputed by the
     /// caller (they depend only on the SoC; same bit-identity contract as
-    /// [`Scenario::active_fixed_tdp_staged`]).
+    /// `active_fixed_tdp_staged`).
     pub(crate) fn idle_staged(
         soc: &SocSpec,
         state: PackageCState,
@@ -459,10 +574,62 @@ impl Scenario {
         }
     }
 
+    /// Row-at-a-time counterpart of [`Scenario::idle_staged`]: builds the
+    /// scenarios of one idle row (fixed SoC; package C-state varying). The
+    /// fmin V/f interpolation — state-independent, since every idle state
+    /// runs its powered rails at the minimum setpoint — and the name suffix
+    /// are hoisted out of the per-state loop; every returned scenario is
+    /// bit-identical to [`Scenario::idle_staged`]'s.
+    pub(crate) fn idle_row(
+        soc: &SocSpec,
+        states: &[PackageCState],
+        virus: &[DomainTable<DomainLoad>; 2],
+    ) -> Vec<Self> {
+        let fmin_voltage = DomainTable::from_fn(|kind| {
+            let cfg = soc.domain(kind);
+            cfg.vf.voltage_at(cfg.fmin)
+        });
+        let suffix = format!("-{}W", soc.tdp.get());
+        states
+            .iter()
+            .map(|&state| {
+                let powers = state.nominal_domain_powers();
+                let loads = DomainTable::from_fn(|kind| match powers.get(&kind) {
+                    Some(&p) => DomainLoad {
+                        nominal_power: p,
+                        voltage: *fmin_voltage.get(kind),
+                        leakage_fraction: soc.domain(kind).power.guardband_leakage_fraction,
+                        powered: true,
+                    },
+                    None => DomainLoad::gated(),
+                });
+                Self {
+                    name: format!("{state}{suffix}"),
+                    workload_type: WorkloadType::BatteryLife,
+                    ar: ApplicationRatio::POWER_VIRUS,
+                    power_state: Some(state),
+                    tj: pdn_proc::soc::TJ_BATTERY_LIFE,
+                    tdp: soc.tdp,
+                    loads,
+                    virus: *virus,
+                    virus_margin: 1.0,
+                }
+            })
+            .collect()
+    }
+
     /// Per-domain power-virus loads at the minimum operating frequencies —
     /// the rail guardband basis for C0MIN/idle configurations, where DVFS
-    /// has already lowered every setpoint.
+    /// has already lowered every setpoint. Served from the process-wide
+    /// [`staging`] cache (same transparency contract as
+    /// [`Scenario::tdp_virus_loads`]).
     pub(crate) fn fmin_virus_loads(soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
+        staging::for_soc(soc).fmin_virus(soc)
+    }
+
+    /// Uncached [`Scenario::fmin_virus_loads`] (no bisection — fmin is
+    /// fixed). Called once per SoC by the staging cache.
+    fn fmin_virus_loads_uncached(soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
         [WorkloadType::MultiThread, WorkloadType::Graphics].map(|wl| {
             let cores = soc.domain(DomainKind::Core0);
             let gfx = soc.domain(DomainKind::Gfx);
@@ -566,6 +733,118 @@ impl Scenario {
                 l.powered.then_some(l.voltage)
             })
             .max_by(|a, b| a.get().total_cmp(&b.get()))
+    }
+}
+
+/// Process-wide cache of the expensive SoC-pure staging computations: the
+/// fixed-TDP frequency solve (48-step bisection per workload type) and the
+/// two virus load-set families. Every cached value is a pure function of
+/// the SoC specification, keyed by an exact-bits fingerprint of every
+/// field the constructors read, so a hit returns precisely the bits a
+/// fresh computation would produce — the same transparency model the
+/// [`crate::memo`] cache uses for evaluations. Without this cache a batch
+/// sweep pays ≈ 300 µs of re-bisection per `evaluate` call and every
+/// [`Scenario::active`] pays ≈ 28 µs of virus sizing.
+mod staging {
+    use super::{DomainLoad, PdnError, Scenario};
+    use crate::memo::Fnv1a;
+    use pdn_proc::{DomainTable, SocSpec};
+    use pdn_units::ApplicationRatio;
+    use pdn_workload::WorkloadType;
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    /// Cached solver results for one SoC. Fields populate lazily on first
+    /// use; only successful solves are stored (errors always recompute, so
+    /// they propagate fresh).
+    #[derive(Debug, Default)]
+    pub(super) struct SocStaging {
+        /// `solve_t_fixed_tdp` result, indexed by workload-type discriminant.
+        solved_t: Mutex<[Option<f64>; 4]>,
+        tdp_virus: OnceLock<[DomainTable<DomainLoad>; 2]>,
+        fmin_virus: OnceLock<[DomainTable<DomainLoad>; 2]>,
+    }
+
+    impl SocStaging {
+        pub(super) fn solved_t(
+            &self,
+            soc: &SocSpec,
+            workload_type: WorkloadType,
+        ) -> Result<f64, PdnError> {
+            let idx = workload_type as usize;
+            if let Some(t) = self.solved_t.lock().expect("staging mutex poisoned")[idx] {
+                return Ok(t);
+            }
+            let t = Scenario::solve_t_for_budget(
+                soc,
+                workload_type,
+                ApplicationRatio::POWER_VIRUS,
+                soc.tdp,
+            )?;
+            self.solved_t.lock().expect("staging mutex poisoned")[idx] = Some(t);
+            Ok(t)
+        }
+
+        pub(super) fn tdp_virus(&self, soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
+            *self.tdp_virus.get_or_init(|| Scenario::tdp_virus_loads_uncached(soc))
+        }
+
+        pub(super) fn fmin_virus(&self, soc: &SocSpec) -> [DomainTable<DomainLoad>; 2] {
+            *self.fmin_virus.get_or_init(|| Scenario::fmin_virus_loads_uncached(soc))
+        }
+    }
+
+    /// Bound on distinct SoCs tracked at once; past it the registry is
+    /// cleared wholesale (every entry is recomputable, so eviction only
+    /// costs time, never correctness).
+    const CAP: usize = 512;
+
+    fn registry() -> &'static Mutex<HashMap<u64, Arc<SocStaging>>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<u64, Arc<SocStaging>>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// The staging slot for `soc`, creating it on first sight.
+    pub(super) fn for_soc(soc: &SocSpec) -> Arc<SocStaging> {
+        let key = soc_fingerprint(soc);
+        let mut map = registry().lock().expect("staging registry poisoned");
+        if map.len() >= CAP && !map.contains_key(&key) {
+            map.clear();
+        }
+        map.entry(key).or_default().clone()
+    }
+
+    /// Exact-bits fingerprint of every SoC field the scenario constructors
+    /// read (TDP, active junction temperature, and per domain: frequency
+    /// limits, the full power model, and the V/f knot table). The derived
+    /// `name` and the reporting-only process node are excluded — no solver
+    /// reads them.
+    fn soc_fingerprint(soc: &SocSpec) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(soc.tdp.get().to_bits());
+        h.write(soc.tj_active.get().to_bits());
+        for (kind, cfg) in soc.domains() {
+            h.write(kind as u64);
+            h.write(cfg.fmin.get().to_bits());
+            h.write(cfg.fmax.get().to_bits());
+            let p = &cfg.power;
+            h.write(p.ceff.to_bits());
+            h.write(p.leak_ref.get().to_bits());
+            h.write(p.vref.get().to_bits());
+            h.write(p.tref.get().to_bits());
+            h.write(p.leak_voltage_exp.to_bits());
+            h.write(p.leak_temp_coeff.to_bits());
+            h.write(p.guardband_leakage_fraction.get().to_bits());
+            h.write(p.clock_fraction.to_bits());
+            for (f, v) in cfg.vf.points() {
+                h.write(f.get().to_bits());
+                h.write(v.get().to_bits());
+            }
+            // Knot-list terminator: keeps differently shaped curves from
+            // aliasing under concatenation.
+            h.write(u64::MAX);
+        }
+        h.finish()
     }
 }
 
@@ -694,5 +973,72 @@ mod tests {
         let (fc, fg) = Scenario::frequency_point(&soc, WorkloadType::BatteryLife, 0.9);
         assert_eq!(fc, soc.domain(DomainKind::Core0).fmin);
         assert_eq!(fg, soc.domain(DomainKind::Gfx).fmin);
+    }
+
+    #[test]
+    fn active_row_matches_per_point_constructor_bit_for_bit() {
+        let types = [WorkloadType::SingleThread, WorkloadType::MultiThread, WorkloadType::Graphics];
+        for tdp in [4.0, 18.0, 50.0] {
+            let soc = client_soc(Watts::new(tdp));
+            for wl in types {
+                let t = Scenario::solve_t_fixed_tdp(&soc, wl).unwrap();
+                let virus = Scenario::tdp_virus_loads(&soc);
+                let ars: Vec<_> = (1..=9).map(|i| ar(f64::from(i) * 0.1)).collect();
+                let suffixes: Vec<_> = ars.iter().map(|&a| Scenario::ar_suffix(a)).collect();
+                let row =
+                    Scenario::active_fixed_tdp_row(&soc, wl, &ars, &suffixes, t, &virus).unwrap();
+                assert_eq!(row.len(), ars.len());
+                for (got, &a) in row.iter().zip(&ars) {
+                    let point = Scenario::active_fixed_tdp_staged(&soc, wl, a, t, virus).unwrap();
+                    assert_eq!(*got, point, "{wl} tdp={tdp} ar={a}");
+                    assert_eq!(got.fingerprint(), point.fingerprint());
+                    // And against the fully unstaged constructor.
+                    let direct = Scenario::active_fixed_tdp_frequency(&soc, wl, a).unwrap();
+                    assert_eq!(*got, direct);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn idle_row_matches_per_point_constructor_bit_for_bit() {
+        let soc = client_soc(Watts::new(25.0));
+        let virus = Scenario::fmin_virus_loads(&soc);
+        let row = Scenario::idle_row(&soc, &PackageCState::ALL, &virus);
+        assert_eq!(row.len(), PackageCState::ALL.len());
+        for (got, &state) in row.iter().zip(PackageCState::ALL.iter()) {
+            assert_eq!(*got, Scenario::idle_staged(&soc, state, virus));
+            assert_eq!(*got, Scenario::idle(&soc, state));
+            assert_eq!(got.fingerprint(), Scenario::idle(&soc, state).fingerprint());
+        }
+    }
+
+    #[test]
+    fn staging_cache_is_bit_transparent() {
+        let soc = client_soc(Watts::new(7.5));
+        let direct = Scenario::solve_t_for_budget(
+            &soc,
+            WorkloadType::MultiThread,
+            ApplicationRatio::POWER_VIRUS,
+            soc.tdp,
+        )
+        .unwrap();
+        let cached = Scenario::solve_t_fixed_tdp(&soc, WorkloadType::MultiThread).unwrap();
+        let warm = Scenario::solve_t_fixed_tdp(&soc, WorkloadType::MultiThread).unwrap();
+        assert_eq!(direct.to_bits(), cached.to_bits());
+        assert_eq!(cached.to_bits(), warm.to_bits());
+        assert_eq!(Scenario::tdp_virus_loads(&soc), Scenario::tdp_virus_loads_uncached(&soc));
+        assert_eq!(Scenario::fmin_virus_loads(&soc), Scenario::fmin_virus_loads_uncached(&soc));
+    }
+
+    #[test]
+    fn staging_cache_distinguishes_socs() {
+        use pdn_proc::ClientSocBuilder;
+        // Same TDP, different leakage bin: the exact-bits fingerprint must
+        // keep their cached virus tables apart.
+        let base = client_soc(Watts::new(15.0));
+        let binned = ClientSocBuilder::new(Watts::new(15.0)).leakage_scale(1.07).build();
+        assert_ne!(Scenario::tdp_virus_loads(&base), Scenario::tdp_virus_loads(&binned));
+        assert_eq!(Scenario::tdp_virus_loads(&binned), Scenario::tdp_virus_loads_uncached(&binned));
     }
 }

@@ -162,6 +162,98 @@ pub fn surfaces(
     Ok((surfaces, outcome.stats))
 }
 
+/// Patches a prior [`surfaces`] campaign in place after an axis change —
+/// the incremental re-sweep entry point.
+///
+/// `grid` is the *new* grid and `delta` the output of
+/// [`SweepGrid::diff`] against the grid `surfaces` was computed on. Only
+/// the dirtied slab is re-evaluated (through
+/// [`crate::batch::evaluate_delta`]); each dirty `(TDP, AR)` cell of the
+/// matching surface is overwritten with its fresh value and every
+/// surface's axes are refreshed to the new grid's. Because a dirty
+/// point's delta evaluation is bit-identical to the full re-sweep's and
+/// clean cells are untouched by the axis change, the patched surfaces
+/// equal a from-scratch [`surfaces`] call on the new grid bit for bit.
+///
+/// `surfaces` must be the PDN-major slice a prior [`surfaces`] call
+/// returned for the same `pdns` (one surface per `(pdn, workload type)`
+/// pair, axes sized like `grid`'s).
+///
+/// # Errors
+///
+/// Returns [`PdnError::Scenario`] when the grid has idle states or the
+/// surface slice does not line up with `pdns` × `grid`, and propagates
+/// the first captured per-point evaluation error.
+pub fn surfaces_delta(
+    pdns: &[&dyn Pdn],
+    grid: &SweepGrid,
+    delta: &crate::batch::GridDelta,
+    surfaces: &mut [EteeSurface],
+    provider: &(impl SocProvider + ?Sized),
+    config: &EngineConfig,
+    memo: Option<&MemoCache>,
+) -> Result<crate::batch::BatchStats, PdnError> {
+    if !grid.idle_states().is_empty() {
+        return Err(PdnError::Scenario(
+            "ETEE surfaces are defined on active lattices only; build the grid without \
+             idle states"
+                .into(),
+        ));
+    }
+    let n_wl = grid.workload_types().len();
+    if surfaces.len() != pdns.len() * n_wl {
+        return Err(PdnError::Scenario(format!(
+            "surface slice has {} entries; {} PDNs x {} workload types need {}",
+            surfaces.len(),
+            pdns.len(),
+            n_wl,
+            pdns.len() * n_wl
+        )));
+    }
+    for (i, surface) in surfaces.iter().enumerate() {
+        let (pdn, wl) = (pdns[i / n_wl], grid.workload_types()[i % n_wl]);
+        if surface.pdn != pdn.kind().to_string()
+            || surface.workload_type != wl
+            || surface.tdps.len() != grid.tdps().len()
+            || surface.ars.len() != grid.ars().len()
+            || surface.values.len() != grid.tdps().len() * grid.ars().len()
+        {
+            return Err(PdnError::Scenario(format!(
+                "surface {i} ({} / {}, {}x{}) does not match PDN {} / {} on a {}x{} grid",
+                surface.pdn,
+                surface.workload_type,
+                surface.tdps.len(),
+                surface.ars.len(),
+                pdn.kind(),
+                wl,
+                grid.tdps().len(),
+                grid.ars().len()
+            )));
+        }
+    }
+    let outcome = crate::batch::evaluate_delta(pdns, grid, delta, provider, config, memo);
+    let n_ars = grid.ars().len();
+    for eval in &outcome.evaluations {
+        let crate::batch::LatticePoint::Active { tdp_idx, wl_idx, ar_idx } = eval.point else {
+            unreachable!("active-only grids produce active points");
+        };
+        match &eval.result {
+            Ok(e) => {
+                surfaces[eval.pdn_idx * n_wl + wl_idx].values[tdp_idx * n_ars + ar_idx] =
+                    e.etee.get();
+            }
+            Err(e) => return Err(e.clone()),
+        }
+    }
+    for surface in surfaces.iter_mut() {
+        surface.tdps.clear();
+        surface.tdps.extend_from_slice(grid.tdps());
+        surface.ars.clear();
+        surface.ars.extend_from_slice(grid.ars());
+    }
+    Ok(outcome.stats)
+}
+
 /// The result of a crossover search between two PDNs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Crossover {
@@ -464,6 +556,116 @@ mod tests {
         assert_eq!(plain, cold);
         assert_eq!(plain, warm);
         assert_eq!(warm_stats.memo_hits, 8, "2 PDNs x 4 points all hit on the second pass");
+    }
+
+    #[test]
+    fn surfaces_delta_patches_to_the_full_resweep_bit_for_bit() {
+        let params = ModelParams::paper_defaults();
+        let ivr = IvrPdn::new(params.clone());
+        let mbvr = MbvrPdn::new(params);
+        let pdns: [&dyn Pdn; 2] = [&ivr, &mbvr];
+        let old = SweepGrid::active(
+            &[4.0, 18.0, 50.0],
+            &[WorkloadType::MultiThread, WorkloadType::Graphics],
+            &[0.4, 0.56, 0.8],
+        )
+        .unwrap();
+        let (mut patched, _) =
+            surfaces(&pdns, &old, &ClientSoc, &cfg(Workers::Serial), None).unwrap();
+        // Perturb one TDP and one AR: the dirty slab is their union.
+        let new = SweepGrid::active(
+            &[4.0, 20.0, 50.0],
+            &[WorkloadType::MultiThread, WorkloadType::Graphics],
+            &[0.4, 0.56, 0.75],
+        )
+        .unwrap();
+        let delta = new.diff(&old);
+        let stats = surfaces_delta(
+            &pdns,
+            &new,
+            &delta,
+            &mut patched,
+            &ClientSoc,
+            &cfg(Workers::Auto),
+            None,
+        )
+        .unwrap();
+        // 1 dirty TDP x 2 wl x 3 ars + 2 clean TDPs x 2 wl x 1 dirty ar,
+        // for each of the two PDNs.
+        assert_eq!(stats.evaluations, 2 * (6 + 4));
+        let (full, _) = surfaces(&pdns, &new, &ClientSoc, &cfg(Workers::Serial), None).unwrap();
+        assert_eq!(patched.len(), full.len());
+        for (p, f) in patched.iter().zip(&full) {
+            assert_eq!(p.pdn, f.pdn);
+            assert_eq!(p.workload_type, f.workload_type);
+            assert_eq!(p.tdps, f.tdps);
+            assert_eq!(p.ars, f.ars);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&p.values), bits(&f.values), "{} / {}", p.pdn, p.workload_type);
+        }
+    }
+
+    #[test]
+    fn surfaces_delta_rejects_mismatched_slices_and_idle_grids() {
+        let ivr = IvrPdn::new(ModelParams::paper_defaults());
+        let pdns: [&dyn Pdn; 1] = [&ivr];
+        let grid =
+            SweepGrid::active(&[4.0, 18.0], &[WorkloadType::MultiThread], &[0.4, 0.8]).unwrap();
+        let (mut surfs, _) =
+            surfaces(&pdns, &grid, &ClientSoc, &cfg(Workers::Serial), None).unwrap();
+        let delta = grid.diff(&grid);
+        // Wrong slice length.
+        assert!(surfaces_delta(
+            &pdns,
+            &grid,
+            &delta,
+            &mut surfs[..0],
+            &ClientSoc,
+            &cfg(Workers::Serial),
+            None
+        )
+        .is_err());
+        // Wrong PDN identity.
+        let mbvr = MbvrPdn::new(ModelParams::paper_defaults());
+        let wrong: [&dyn Pdn; 1] = [&mbvr];
+        assert!(surfaces_delta(
+            &wrong,
+            &grid,
+            &delta,
+            &mut surfs,
+            &ClientSoc,
+            &cfg(Workers::Serial),
+            None
+        )
+        .is_err());
+        // Idle grids are rejected like `surfaces`.
+        let idle = SweepGrid::builder()
+            .tdps(&[18.0])
+            .idle_states(&[pdn_proc::PackageCState::C8])
+            .build()
+            .unwrap();
+        assert!(surfaces_delta(
+            &pdns,
+            &idle,
+            &idle.diff(&idle),
+            &mut surfs,
+            &ClientSoc,
+            &cfg(Workers::Serial),
+            None
+        )
+        .is_err());
+        // The aligned call still succeeds (empty delta patches nothing).
+        let stats = surfaces_delta(
+            &pdns,
+            &grid,
+            &delta,
+            &mut surfs,
+            &ClientSoc,
+            &cfg(Workers::Serial),
+            None,
+        )
+        .unwrap();
+        assert_eq!(stats.evaluations, 0);
     }
 
     #[test]

@@ -1,18 +1,19 @@
 //! The I+MBVR hybrid PDN (§7, Intel Skylake-X): IVRs for the compute
 //! domains, dedicated board VRs for SA and IO.
 
-use super::{dedicated_rail_flow_with, ivr_domain_stage_with, pdn_memo_token, Pdn, PdnKind};
+use super::{
+    dedicated_rail_finish, dedicated_rail_lane, ivr_domain_stage_with, pdn_memo_token, Pdn, PdnKind,
+};
 use crate::error::PdnError;
 use crate::etee::{
-    board_vr_stage, load_line_stage, DirectStager, LossBreakdown, PdnEvaluation, RailReport,
-    StagedPoint, Stager,
+    board_vr_stage, load_line_domain_stages, load_line_stage, DirectStager, LossBreakdown,
+    PdnEvaluation, RailReport, RowStage, StagedPoint, Stager,
 };
 use crate::params::ModelParams;
 use crate::scenario::Scenario;
-use pdn_proc::DomainKind;
+use pdn_proc::{DomainKind, DomainTable};
 use pdn_units::{Amps, Watts};
 use pdn_vr::{presets, BuckConverter};
-use std::collections::BTreeMap;
 
 /// The IVR+MBVR hybrid: like the IVR PDN it regulates the wide-range
 /// domains in two stages through `V_IN`, but like the LDO PDN it removes
@@ -45,17 +46,16 @@ pub struct IPlusMbvrPdn {
     vin_vr: BuckConverter,
     sa_vr: BuckConverter,
     io_vr: BuckConverter,
-    ivrs: BTreeMap<DomainKind, BuckConverter>,
+    ivrs: DomainTable<Option<BuckConverter>>,
 }
 
 impl IPlusMbvrPdn {
     /// Builds the I+MBVR PDN: four compute IVRs plus `V_IN`, `V_SA`,
     /// `V_IO` board rails.
     pub fn new(params: ModelParams) -> Self {
-        let ivrs = DomainKind::WIDE_RANGE
-            .iter()
-            .map(|&k| (k, presets::ivr(&format!("IVR_{}", k.rail_name()))))
-            .collect();
+        let ivrs = DomainTable::from_fn(|k| {
+            k.is_wide_range().then(|| presets::ivr(&format!("IVR_{}", k.rail_name())))
+        });
         Self {
             params,
             vin_vr: presets::vin_board_vr(),
@@ -82,7 +82,8 @@ impl IPlusMbvrPdn {
         // wide-range group.
         let mut p_in = Watts::ZERO;
         for &kind in &DomainKind::WIDE_RANGE {
-            let stage = ivr_domain_stage_with(scenario, kind, p, &self.ivrs[&kind], stager)?;
+            let ivr = self.ivrs.get(kind).as_ref().expect("wide-range domains carry an IVR");
+            let stage = ivr_domain_stage_with(scenario, kind, p, ivr, stager)?;
             p_in += stage.input_power;
             breakdown.other += stage.overhead;
             breakdown.vr_loss += stage.vr_loss;
@@ -103,21 +104,36 @@ impl IPlusMbvrPdn {
             rails.push(rail);
         }
 
-        // SA/IO: dedicated one-stage board rails (the MBVR flow).
-        for (kind, r_ll, vr) in [
-            (DomainKind::Sa, p.mbvr_loadlines.sa, &self.sa_vr),
-            (DomainKind::Io, p.mbvr_loadlines.io, &self.io_vr),
-        ] {
-            let (pin, overhead, conduction, vr_loss, rail) = dedicated_rail_flow_with(
-                scenario,
-                kind,
-                p.ivr_tob.total(),
-                super::power_gate_impedance(),
-                r_ll,
-                vr,
-                p,
-                stager,
-            )?;
+        // SA/IO: dedicated one-stage board rails (the MBVR flow), their
+        // load-line fixed points advanced in lockstep. Per rail this is
+        // `dedicated_rail_flow_with` with the same operations in the same
+        // order, so the bits are unchanged.
+        let tob = p.ivr_tob.total();
+        let r_pg = super::power_gate_impedance();
+        let (sa_lane, sa_overhead) = dedicated_rail_lane(
+            scenario,
+            DomainKind::Sa,
+            tob,
+            r_pg,
+            p.mbvr_loadlines.sa,
+            p,
+            stager,
+        );
+        let (io_lane, io_overhead) = dedicated_rail_lane(
+            scenario,
+            DomainKind::Io,
+            tob,
+            r_pg,
+            p.mbvr_loadlines.io,
+            p,
+            stager,
+        );
+        let steps = load_line_domain_stages(&[sa_lane, io_lane], p.leakage_exponent);
+        for (l, (overhead, vr)) in
+            [(sa_overhead, &self.sa_vr), (io_overhead, &self.io_vr)].into_iter().enumerate()
+        {
+            let (pin, overhead, conduction, vr_loss, rail) =
+                dedicated_rail_finish(steps[l], vr, p, overhead)?;
             if pin.get() > 0.0 {
                 breakdown.other += overhead;
                 breakdown.conduction_sa_io += conduction;
@@ -157,6 +173,14 @@ impl Pdn for IPlusMbvrPdn {
         staged: &StagedPoint,
     ) -> Result<PdnEvaluation, PdnError> {
         self.evaluate_with(scenario, staged)
+    }
+
+    fn evaluate_row(
+        &self,
+        scenarios: &[Scenario],
+        row: &RowStage,
+    ) -> Vec<Result<PdnEvaluation, PdnError>> {
+        scenarios.iter().map(|s| self.evaluate_with(s, row)).collect()
     }
 
     fn memo_token(&self) -> Option<u64> {

@@ -4,15 +4,14 @@
 use super::{ivr_domain_stage_with, pdn_memo_token, Pdn, PdnKind};
 use crate::error::PdnError;
 use crate::etee::{
-    board_vr_stage, load_line_stage, DirectStager, LossBreakdown, PdnEvaluation, StagedPoint,
-    Stager,
+    board_vr_stage, load_line_stage, DirectStager, LossBreakdown, PdnEvaluation, RowStage,
+    StagedPoint, Stager,
 };
 use crate::params::ModelParams;
 use crate::scenario::Scenario;
-use pdn_proc::DomainKind;
+use pdn_proc::{DomainKind, DomainTable};
 use pdn_units::Watts;
 use pdn_vr::{presets, BuckConverter};
-use std::collections::BTreeMap;
 
 /// The integrated-voltage-regulator PDN — the state of the art the paper
 /// compares against (Intel 4th/5th/10th-generation Core).
@@ -40,16 +39,13 @@ use std::collections::BTreeMap;
 pub struct IvrPdn {
     params: ModelParams,
     vin_vr: BuckConverter,
-    ivrs: BTreeMap<DomainKind, BuckConverter>,
+    ivrs: DomainTable<BuckConverter>,
 }
 
 impl IvrPdn {
     /// Builds the IVR PDN with its six per-domain IVRs and `V_IN` board VR.
     pub fn new(params: ModelParams) -> Self {
-        let ivrs = DomainKind::ALL
-            .iter()
-            .map(|&k| (k, presets::ivr(&format!("IVR_{}", k.rail_name()))))
-            .collect();
+        let ivrs = DomainTable::from_fn(|k| presets::ivr(&format!("IVR_{}", k.rail_name())));
         Self { params, vin_vr: presets::vin_board_vr(), ivrs }
     }
 
@@ -67,7 +63,7 @@ impl IvrPdn {
         let mut p_in_sa_io = Watts::ZERO;
 
         for kind in DomainKind::ALL {
-            let stage = ivr_domain_stage_with(scenario, kind, p, &self.ivrs[&kind], stager)?;
+            let stage = ivr_domain_stage_with(scenario, kind, p, self.ivrs.get(kind), stager)?;
             p_in += stage.input_power;
             breakdown.other += stage.overhead;
             breakdown.vr_loss += stage.vr_loss;
@@ -129,6 +125,14 @@ impl Pdn for IvrPdn {
         staged: &StagedPoint,
     ) -> Result<PdnEvaluation, PdnError> {
         self.evaluate_with(scenario, staged)
+    }
+
+    fn evaluate_row(
+        &self,
+        scenarios: &[Scenario],
+        row: &RowStage,
+    ) -> Vec<Result<PdnEvaluation, PdnError>> {
+        scenarios.iter().map(|s| self.evaluate_with(s, row)).collect()
     }
 
     fn memo_token(&self) -> Option<u64> {

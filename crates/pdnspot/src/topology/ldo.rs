@@ -2,18 +2,17 @@
 //! compute voltage feeding on-die LDO VRs, with SA/IO on dedicated board
 //! VRs (AMD Zen style).
 
-use super::{dedicated_rail_flow_with, pdn_memo_token, Pdn, PdnKind};
+use super::{dedicated_rail_finish, dedicated_rail_lane, pdn_memo_token, Pdn, PdnKind};
 use crate::error::PdnError;
 use crate::etee::{
-    board_vr_stage, load_line_domain_stage, DirectStager, LossBreakdown, PdnEvaluation, RailReport,
-    StagedPoint, Stager,
+    board_vr_stage, load_line_domain_stages, DirectStager, LossBreakdown, PdnEvaluation,
+    RailLoadLine, RailReport, RowStage, StagedPoint, Stager,
 };
 use crate::params::ModelParams;
 use crate::scenario::Scenario;
-use pdn_proc::DomainKind;
+use pdn_proc::{DomainKind, DomainTable};
 use pdn_units::{Amps, Watts};
 use pdn_vr::{presets, BuckConverter, LdoRegulator, OperatingPoint, VoltageRegulator};
-use std::collections::BTreeMap;
 
 /// The low-dropout-regulator PDN. The power-management unit sets `V_IN` to
 /// the maximum voltage required across the compute domains; domains needing
@@ -46,17 +45,16 @@ pub struct LdoPdn {
     vin_vr: BuckConverter,
     sa_vr: BuckConverter,
     io_vr: BuckConverter,
-    ldos: BTreeMap<DomainKind, LdoRegulator>,
+    ldos: DomainTable<Option<LdoRegulator>>,
 }
 
 impl LdoPdn {
     /// Builds the LDO PDN: four on-die LDOs (cores, LLC, graphics), a board
     /// `V_IN`, and dedicated `V_SA`/`V_IO` board rails.
     pub fn new(params: ModelParams) -> Self {
-        let ldos = DomainKind::WIDE_RANGE
-            .iter()
-            .map(|&k| (k, presets::ldo(&format!("LDO_{}", k.rail_name()))))
-            .collect();
+        let ldos = DomainTable::from_fn(|k| {
+            k.is_wide_range().then(|| presets::ldo(&format!("LDO_{}", k.rail_name())))
+        });
         Self {
             params,
             vin_vr: presets::compute_board_vr("V_IN"),
@@ -85,6 +83,7 @@ impl LdoPdn {
 
         let mut p_in = Watts::ZERO;
         let mut fl_weighted = 0.0;
+        let mut vin_lane: Option<RailLoadLine> = None;
         if let Some(vin_rail) = vin_rail {
             for &kind in &DomainKind::WIDE_RANGE {
                 let load = scenario.load(kind);
@@ -96,58 +95,71 @@ impl LdoPdn {
                 breakdown.other += gb.power - load.nominal_power;
                 let iout = gb.power / gb.voltage;
                 let op = OperatingPoint::new(vin_rail, gb.voltage, iout);
-                let eta = self.ldos[&kind].efficiency(op)?;
+                let ldo = self.ldos.get(kind).as_ref().expect("wide-range domains carry an LDO");
+                let eta = ldo.efficiency(op)?;
                 let pin_d = gb.power / eta;
                 breakdown.vr_loss += pin_d - gb.power;
                 fl_weighted += load.leakage_fraction.get() * pin_d.get();
                 p_in += pin_d;
             }
 
-            if p_in.get() > 0.0 {
+            vin_lane = (p_in.get() > 0.0).then(|| {
                 // Eqs. 7–8 applied to the LDO V_IN rail. Bypassed domains
                 // see the rail directly, so the physical domain-load
                 // variant applies (excess voltage burns Eq. 2 power).
                 let fl = pdn_units::Ratio::new(fl_weighted / p_in.get())
                     .expect("weighted mean of valid fractions");
-                let step = load_line_domain_stage(
-                    p_in,
-                    vin_rail,
-                    stager.rail_virus_power(scenario, &DomainKind::WIDE_RANGE, p_in),
-                    p.ldo_loadlines.vin,
-                    fl,
-                    p.leakage_exponent,
-                );
-                breakdown.conduction_compute += step.extra;
-                chip_current += p_in / vin_rail;
-                // Eq. 12 first term: the V_IN board VR.
-                let (pin, rail) = board_vr_stage(
-                    &self.vin_vr,
-                    p.supply_voltage,
-                    step.v_ll,
-                    step.p_ll,
-                    p.board_lightload_cap,
-                )?;
-                breakdown.vr_loss += pin - step.p_ll;
-                p_batt += pin;
-                rails.push(rail);
-            }
+                RailLoadLine {
+                    power: p_in,
+                    voltage: vin_rail,
+                    p_peak: stager.rail_virus_power(scenario, &DomainKind::WIDE_RANGE, p_in),
+                    r_ll: p.ldo_loadlines.vin,
+                    leakage_fraction: fl,
+                }
+            });
+        }
+
+        // All three board rails' load-line fixed points in lockstep, then
+        // their VRs in the original V_IN → SA → IO order (each rail sees
+        // the same operations in the same order as the rail-at-a-time
+        // walk, so the bits are unchanged).
+        let r_pg = super::power_gate_impedance();
+        let (sa_lane, sa_overhead) =
+            dedicated_rail_lane(scenario, DomainKind::Sa, tob, r_pg, p.ldo_loadlines.sa, p, stager);
+        let (io_lane, io_overhead) =
+            dedicated_rail_lane(scenario, DomainKind::Io, tob, r_pg, p.ldo_loadlines.io, p, stager);
+        let mut lanes = [sa_lane, io_lane, io_lane];
+        let n_lanes = if let Some(vin) = vin_lane {
+            lanes = [vin, sa_lane, io_lane];
+            3
+        } else {
+            2
+        };
+        let steps = load_line_domain_stages(&lanes[..n_lanes], p.leakage_exponent);
+        let mut next = 0;
+        if let Some(vin) = vin_lane {
+            let step = steps[next];
+            next += 1;
+            breakdown.conduction_compute += step.extra;
+            chip_current += vin.power / vin.voltage;
+            // Eq. 12 first term: the V_IN board VR.
+            let (pin, rail) = board_vr_stage(
+                &self.vin_vr,
+                p.supply_voltage,
+                step.v_ll,
+                step.p_ll,
+                p.board_lightload_cap,
+            )?;
+            breakdown.vr_loss += pin - step.p_ll;
+            p_batt += pin;
+            rails.push(rail);
         }
 
         // Eq. 12 second term: dedicated SA/IO rails (MBVR-style flow).
-        for (kind, r_ll, vr) in [
-            (DomainKind::Sa, p.ldo_loadlines.sa, &self.sa_vr),
-            (DomainKind::Io, p.ldo_loadlines.io, &self.io_vr),
-        ] {
-            let (pin, overhead, conduction, vr_loss, rail) = dedicated_rail_flow_with(
-                scenario,
-                kind,
-                tob,
-                super::power_gate_impedance(),
-                r_ll,
-                vr,
-                p,
-                stager,
-            )?;
+        for (overhead, vr) in [(sa_overhead, &self.sa_vr), (io_overhead, &self.io_vr)] {
+            let (pin, overhead, conduction, vr_loss, rail) =
+                dedicated_rail_finish(steps[next], vr, p, overhead)?;
+            next += 1;
             if pin.get() > 0.0 {
                 breakdown.other += overhead;
                 breakdown.conduction_sa_io += conduction;
@@ -187,6 +199,14 @@ impl Pdn for LdoPdn {
         staged: &StagedPoint,
     ) -> Result<PdnEvaluation, PdnError> {
         self.evaluate_with(scenario, staged)
+    }
+
+    fn evaluate_row(
+        &self,
+        scenarios: &[Scenario],
+        row: &RowStage,
+    ) -> Vec<Result<PdnEvaluation, PdnError>> {
+        scenarios.iter().map(|s| self.evaluate_with(s, row)).collect()
     }
 
     fn memo_token(&self) -> Option<u64> {

@@ -4,8 +4,8 @@
 use super::{gated_domain_stage_with, pdn_memo_token, power_gate_impedance, Pdn, PdnKind};
 use crate::error::PdnError;
 use crate::etee::{
-    board_vr_stage, load_line_domain_stage, DirectStager, LossBreakdown, PdnEvaluation, RailReport,
-    StagedPoint, Stager,
+    board_vr_stage, load_line_domain_stages, DirectStager, LossBreakdown, PdnEvaluation,
+    RailLoadLine, RailReport, RowStage, StagedPoint, Stager, MAX_RAIL_LANES,
 };
 use crate::params::ModelParams;
 use crate::scenario::Scenario;
@@ -95,8 +95,20 @@ impl MbvrPdn {
         let mut p_batt = Watts::ZERO;
         let mut chip_current = Amps::ZERO;
 
+        // Phase 1 — Eq. 2 + power gate for each domain, collecting each
+        // powered group's rail-level load. The per-accumulator addition
+        // order matches the single-loop walk (group order), so the split
+        // into phases changes no bits.
+        let mut lanes: [RailLoadLine; MAX_RAIL_LANES] = [RailLoadLine {
+            power: Watts::ZERO,
+            voltage: Volts::ZERO,
+            p_peak: Watts::ZERO,
+            r_ll: Ohms::new(0.0),
+            leakage_fraction: pdn_units::Ratio::ZERO,
+        }; MAX_RAIL_LANES];
+        let mut active: [Option<&RailGroup>; MAX_RAIL_LANES] = [None; MAX_RAIL_LANES];
+        let mut n_lanes = 0;
         for group in &self.groups {
-            // Eq. 2 + power gate for each domain in the group.
             let mut p_d = Watts::ZERO;
             let mut v_d = Volts::ZERO;
             let mut fl_weighted = 0.0;
@@ -117,24 +129,31 @@ impl MbvrPdn {
             }
             let group_fl = pdn_units::Ratio::new(fl_weighted / p_d.get())
                 .expect("weighted mean of valid fractions");
+            lanes[n_lanes] = RailLoadLine {
+                power: p_d,
+                voltage: v_d,
+                p_peak: stager.rail_virus_power(scenario, &group.domains, p_d),
+                r_ll: self.group_loadline(group),
+                leakage_fraction: group_fl,
+            };
+            active[n_lanes] = Some(group);
+            n_lanes += 1;
+            chip_current += p_d / v_d;
+        }
 
-            // Eqs. 3–4: group load line (physical domain-load variant).
-            let step = load_line_domain_stage(
-                p_d,
-                v_d,
-                stager.rail_virus_power(scenario, &group.domains, p_d),
-                self.group_loadline(group),
-                group_fl,
-                p.leakage_exponent,
-            );
+        // Phase 2 — Eqs. 3–4: the powered groups' load lines, advanced in
+        // lockstep so their fixed-point chains overlap.
+        let steps = load_line_domain_stages(&lanes[..n_lanes], p.leakage_exponent);
+
+        // Phase 3 — Eq. 5 term: each group's board VR, in group order.
+        for l in 0..n_lanes {
+            let group = active[l].expect("lane count matches active groups");
+            let step = steps[l];
             if group.compute {
                 breakdown.conduction_compute += step.extra;
             } else {
                 breakdown.conduction_sa_io += step.extra;
             }
-            chip_current += p_d / v_d;
-
-            // Eq. 5 term: the group's board VR.
             let (pin, rail) = board_vr_stage(
                 &group.vr,
                 p.supply_voltage,
@@ -176,6 +195,14 @@ impl Pdn for MbvrPdn {
         staged: &StagedPoint,
     ) -> Result<PdnEvaluation, PdnError> {
         self.evaluate_with(scenario, staged)
+    }
+
+    fn evaluate_row(
+        &self,
+        scenarios: &[Scenario],
+        row: &RowStage,
+    ) -> Vec<Result<PdnEvaluation, PdnError>> {
+        scenarios.iter().map(|s| self.evaluate_with(s, row)).collect()
     }
 
     fn memo_token(&self) -> Option<u64> {

@@ -27,8 +27,8 @@ pub use mbvr::MbvrPdn;
 
 use crate::error::PdnError;
 use crate::etee::{
-    board_vr_stage, load_line_domain_stage, DirectStager, PdnEvaluation, RailReport, StagedPoint,
-    Stager,
+    board_vr_stage, load_line_domain_stage, DirectStager, LoadLineStep, PdnEvaluation,
+    RailLoadLine, RailReport, RowStage, StagedPoint, Stager,
 };
 use crate::memo::Fnv1a;
 use crate::params::ModelParams;
@@ -113,6 +113,26 @@ pub trait Pdn: fmt::Debug + Send + Sync {
     ) -> Result<PdnEvaluation, PdnError> {
         let _ = staged;
         self.evaluate(scenario)
+    }
+
+    /// Evaluates one lattice **row** — scenarios that share every sweep
+    /// coordinate except one — in a single call, routing the
+    /// PDN-independent stages through a shared [`RowStage`].
+    ///
+    /// The batch engine hands every PDN of a row the same stager, so
+    /// guardband factors and virus headrooms are computed once per row
+    /// instead of once per point; the returned vector is index-aligned
+    /// with `scenarios` and must contain exactly the bits a per-point
+    /// [`Pdn::evaluate`] loop would produce. The default does that loop
+    /// directly (ignoring the stager), which keeps external [`Pdn`]
+    /// implementations correct by construction.
+    fn evaluate_row(
+        &self,
+        scenarios: &[Scenario],
+        row: &RowStage,
+    ) -> Vec<Result<PdnEvaluation, PdnError>> {
+        let _ = row;
+        scenarios.iter().map(|s| self.evaluate(s)).collect()
     }
 
     /// A 64-bit identity token for result memoization: two PDNs may share
@@ -268,16 +288,52 @@ pub fn dedicated_rail_flow_with(
     params: &ModelParams,
     stager: &impl Stager,
 ) -> Result<(Watts, Watts, Watts, Watts, RailReport), PdnError> {
-    let (p_d, v_d, overhead) =
-        gated_domain_stage_with(scenario, kind, tob, r_pg, params.leakage_exponent, stager);
+    let (lane, overhead) = dedicated_rail_lane(scenario, kind, tob, r_pg, r_ll, params, stager);
     let step = load_line_domain_stage(
-        p_d,
-        v_d,
-        stager.rail_virus_power(scenario, &[kind], p_d),
-        r_ll,
-        scenario.load(kind).leakage_fraction,
+        lane.power,
+        lane.voltage,
+        lane.p_peak,
+        lane.r_ll,
+        lane.leakage_fraction,
         params.leakage_exponent,
     );
+    dedicated_rail_finish(step, vr, params, overhead)
+}
+
+/// Front half of [`dedicated_rail_flow_with`] — guardband + power gate —
+/// yielding the rail's load-line lane and the Eq. 2 overhead, so callers
+/// with several dedicated rails can advance the load-line fixed points in
+/// lockstep ([`crate::etee::load_line_domain_stages`]) instead of paying
+/// each chain's latency back-to-back.
+pub(crate) fn dedicated_rail_lane(
+    scenario: &Scenario,
+    kind: DomainKind,
+    tob: Volts,
+    r_pg: Ohms,
+    r_ll: Ohms,
+    params: &ModelParams,
+    stager: &impl Stager,
+) -> (RailLoadLine, Watts) {
+    let (p_d, v_d, overhead) =
+        gated_domain_stage_with(scenario, kind, tob, r_pg, params.leakage_exponent, stager);
+    let lane = RailLoadLine {
+        power: p_d,
+        voltage: v_d,
+        p_peak: stager.rail_virus_power(scenario, &[kind], p_d),
+        r_ll,
+        leakage_fraction: scenario.load(kind).leakage_fraction,
+    };
+    (lane, overhead)
+}
+
+/// Back half of [`dedicated_rail_flow_with`]: the board VR behind an
+/// already-advanced load-line step.
+pub(crate) fn dedicated_rail_finish(
+    step: LoadLineStep,
+    vr: &BuckConverter,
+    params: &ModelParams,
+    overhead: Watts,
+) -> Result<(Watts, Watts, Watts, Watts, RailReport), PdnError> {
     let (pin, rail) = board_vr_stage(
         vr,
         params.supply_voltage,

@@ -31,7 +31,10 @@ pub mod vf;
 
 pub use cstate::{CStateLatency, PackageCState};
 pub use domain::{DomainKind, DomainState, DomainTable};
-pub use power::{guardband_power, DomainPowerModel};
-pub use soc::{broadwell_ult, client_soc, skylake_ult, ClientSocBuilder, DomainConfig, SocSpec};
+pub use power::{guardband_factor, guardband_power, DomainPowerModel};
+pub use soc::{
+    broadwell_ult, client_soc, skylake_ult, ClientSocBuilder, DomainConfig, HoistedDomainPower,
+    SocSpec,
+};
 pub use tdp::{ConfigurableTdp, PAPER_TDPS};
 pub use vf::VfCurve;

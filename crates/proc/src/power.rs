@@ -45,11 +45,20 @@ pub fn guardband_power(
     v_gb: Volts,
     delta: f64,
 ) -> Watts {
+    p_nom * guardband_factor(leakage_fraction, v_nom, v_gb, delta)
+}
+
+/// The power-independent multiplier of Eq. 2:
+/// `guardband_power(P, …) == P · guardband_factor(…)` exactly (the same
+/// operations in the same order). Row-at-a-time evaluation hoists this
+/// factor — the only `powf` of the guardband stage — out of per-point
+/// loops, because along a lattice row only the nominal power varies while
+/// `(FL, V_NOM, V_GB, δ)` stay fixed.
+pub fn guardband_factor(leakage_fraction: Ratio, v_nom: Volts, v_gb: Volts, delta: f64) -> f64 {
     debug_assert!(v_nom.get() > 0.0, "nominal voltage must be positive");
     let scale = (v_nom + v_gb).get() / v_nom.get();
     let fl = leakage_fraction.get();
-    let factor = fl * scale.powf(delta) + (1.0 - fl) * scale * scale;
-    p_nom * factor
+    fl * scale.powf(delta) + (1.0 - fl) * scale * scale
 }
 
 /// Fraction of a domain's dynamic power that switches regardless of

@@ -45,6 +45,64 @@ impl DomainConfig {
     pub fn voltage_for(&self, state: &DomainState) -> Volts {
         self.vf.voltage_at(state.frequency.clamp(self.fmin, self.fmax))
     }
+
+    /// Hoists the activity-independent half of [`DomainConfig::nominal_power`]
+    /// at a fixed frequency and temperature: the frequency clamp, the V/f
+    /// interpolation and the leakage `powf`/`exp` are computed once, and
+    /// [`HoistedDomainPower::nominal_at`] reproduces `nominal_power` for any
+    /// activity bit-for-bit. Row-at-a-time lattice evaluation builds one of
+    /// these per (row, domain) and sweeps activity over the row.
+    pub fn hoist_active(&self, frequency: Hertz, tj: Celsius) -> HoistedDomainPower {
+        let f = frequency.clamp(self.fmin, self.fmax);
+        let v = self.vf.voltage_at(f);
+        HoistedDomainPower {
+            frequency: f,
+            voltage: v,
+            leakage: self.power.leakage_power(v, tj),
+            ceff: self.power.ceff,
+            clock_fraction: self.power.clock_fraction,
+            leakage_fraction: self.power.guardband_leakage_fraction,
+        }
+    }
+}
+
+/// The activity-independent half of a powered domain's operating point:
+/// clamped frequency, interpolated rail voltage, and the (expensive)
+/// leakage power, computed once per lattice row by
+/// [`DomainConfig::hoist_active`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoistedDomainPower {
+    frequency: Hertz,
+    voltage: Volts,
+    leakage: Watts,
+    ceff: f64,
+    clock_fraction: f64,
+    leakage_fraction: Ratio,
+}
+
+impl HoistedDomainPower {
+    /// The rail voltage at the hoisted operating point — the value
+    /// [`DomainConfig::voltage_for`] would return for the same frequency.
+    pub fn voltage(&self) -> Volts {
+        self.voltage
+    }
+
+    /// The design-time guardband leakage fraction of the domain.
+    pub fn leakage_fraction(&self) -> Ratio {
+        self.leakage_fraction
+    }
+
+    /// Nominal power at `activity` — bit-identical to
+    /// [`DomainConfig::nominal_power`] on an active state at the hoisted
+    /// frequency: the dynamic share repeats the exact
+    /// [`DomainPowerModel::dynamic_power`] expression (left-to-right
+    /// multiply order matters) and adds the precomputed leakage term.
+    pub fn nominal_at(&self, activity: pdn_units::ApplicationRatio) -> Watts {
+        let effective = self.clock_fraction + (1.0 - self.clock_fraction) * activity.get();
+        Watts::new(
+            effective * self.ceff * self.frequency.get() * self.voltage.get() * self.voltage.get(),
+        ) + self.leakage
+    }
 }
 
 /// A complete SoC specification (Table 1 architecture at one TDP point).

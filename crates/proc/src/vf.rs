@@ -45,6 +45,13 @@ impl VfCurve {
         Volts::new(self.curve.eval(frequency.get()))
     }
 
+    /// Iterates over the `(frequency, voltage)` knots of the curve, in
+    /// ascending frequency order. Exposes the exact table a PMU would
+    /// store, e.g. for content-addressed caching of solver results.
+    pub fn points(&self) -> impl Iterator<Item = (Hertz, Volts)> + '_ {
+        self.curve.points().map(|(f, v)| (Hertz::new(f), Volts::new(v)))
+    }
+
     /// The frequency range covered by the curve.
     pub fn frequency_range(&self) -> (Hertz, Hertz) {
         let (lo, hi) = self.curve.domain();

@@ -239,6 +239,28 @@ impl BuckConverter {
         Ok(fixed + switching + conduction)
     }
 
+    /// Battery-side input power and efficiency from one loss evaluation.
+    ///
+    /// Bit-identical to calling [`VoltageRegulator::input_power`] and
+    /// [`VoltageRegulator::efficiency`] separately — the same operations in
+    /// the same order on a single [`BuckConverter::loss_at`] result — but
+    /// the loss model (operating-point check, phase optimisation, loss
+    /// terms) runs once instead of twice. The hot per-rail path of a sweep
+    /// wants both numbers, so the pairing is worth a dedicated entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VrError::UnsupportedOperatingPoint`] when
+    /// [`BuckConverter::check_point`] fails.
+    pub fn conversion(&self, op: OperatingPoint) -> Result<(Watts, Option<Efficiency>), VrError> {
+        let loss = self.loss_at(op)?;
+        let pout = op.output_power();
+        let pin = pout + loss;
+        let efficiency =
+            if op.iout.get() <= 0.0 { None } else { Efficiency::new(pout.get() / pin.get()).ok() };
+        Ok((pin, efficiency))
+    }
+
     /// Deepest power state able to carry `iout`, used by PDN models to let
     /// a rail follow its load into light-load states.
     pub fn best_power_state(&self, iout: Amps) -> VrPowerState {

@@ -2,8 +2,9 @@
 //!
 //! The build environment has no network access, so the workspace vendors
 //! the slice of the proptest API its property tests use: the [`proptest!`]
-//! macro, [`Strategy`] with `prop_filter`/`prop_map`, range, tuple,
-//! [`option::of`], and [`collection::vec`] strategies, [`Just`],
+//! macro, [`Strategy`] with `prop_filter`/`prop_filter_map`/`prop_map`,
+//! range, tuple, [`option::of`], [`collection::vec`], and
+//! [`sample::subsequence`]/[`sample::Index`] strategies, [`Just`],
 //! [`prop_oneof!`], the `prop_assert*` macros, and
 //! [`ProptestConfig::with_cases`].
 //!
@@ -47,6 +48,18 @@ pub trait Strategy {
         F: Fn(Self::Value) -> O,
     {
         Map { inner: self, f }
+    }
+
+    /// Maps drawn values through `f`, rejecting draws it returns `None`
+    /// for and retrying (up to an internal cap) until one maps. `reason`
+    /// labels the filter in panics.
+    fn prop_filter_map<R, O, F>(self, reason: R, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { inner: self, reason: reason.into(), f }
     }
 
     /// Type-erases the strategy (the form [`prop_oneof!`] stores).
@@ -154,6 +167,28 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
             }
         }
         panic!("prop_filter '{}' rejected {MAX_REJECTS} consecutive draws", self.reason);
+    }
+}
+
+/// The [`Strategy::prop_filter_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        const MAX_REJECTS: u32 = 10_000;
+        for _ in 0..MAX_REJECTS {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map '{}' rejected {MAX_REJECTS} consecutive draws", self.reason);
     }
 }
 
@@ -292,6 +327,19 @@ pub mod collection {
         }
     }
 
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            Self { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    impl SizeRange {
+        pub(crate) fn draw(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.lo..self.hi)
+        }
+    }
+
     /// Strategy for vectors whose length is drawn from `size` and whose
     /// elements are drawn from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
@@ -311,6 +359,65 @@ pub mod collection {
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.random_range(self.size.lo..self.size.hi);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies drawing from fixed collections.
+pub mod sample {
+    use super::{collection::SizeRange, Arbitrary, Strategy, TestRng};
+    use rand::Rng;
+
+    /// The [`subsequence`] strategy.
+    #[derive(Debug, Clone)]
+    pub struct Subsequence<T: Clone> {
+        values: Vec<T>,
+        size: SizeRange,
+    }
+
+    /// Order-preserving subsets of `values` whose length is drawn from
+    /// `size` (clamped to `values.len()`).
+    pub fn subsequence<T: Clone>(values: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence { values, size: size.into() }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let len = self.size.draw(rng).min(self.values.len());
+            // Draw `len` distinct positions, then emit them in the
+            // collection's own order.
+            let mut picked = vec![false; self.values.len()];
+            let mut remaining = len;
+            while remaining > 0 {
+                let i = rng.random_range(0..self.values.len());
+                if !picked[i] {
+                    picked[i] = true;
+                    remaining -= 1;
+                }
+            }
+            self.values.iter().zip(&picked).filter(|&(_, &p)| p).map(|(v, _)| v.clone()).collect()
+        }
+    }
+
+    /// A position into a collection of unknown length, resolved against
+    /// a concrete length with [`Index::index`] (upstream
+    /// `proptest::sample::Index`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Maps the drawn position into `0..len`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index into an empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(usize::arbitrary(rng))
         }
     }
 }
@@ -454,6 +561,23 @@ mod tests {
         #[test]
         fn oneof_draws_every_arm(choice in prop_oneof![Just(1u32), Just(2), Just(3)]) {
             prop_assert!((1..=3).contains(&choice));
+        }
+
+        #[test]
+        fn subsequence_preserves_order_and_bounds(
+            sub in prop::sample::subsequence(vec![1u32, 2, 3, 4, 5], 0..=4),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(sub.len() <= 4);
+            prop_assert!(sub.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(idx.index(7) < 7);
+        }
+
+        #[test]
+        fn filter_map_keeps_only_mapped_draws(
+            even in (0usize..100).prop_filter_map("even", |v| (v % 2 == 0).then_some(v / 2)),
+        ) {
+            prop_assert!(even < 50);
         }
 
         #[test]
